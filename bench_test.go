@@ -1,0 +1,187 @@
+// Package repro's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation in reduced form, one testing.B per
+// experiment, and report the headline quantity of each as a custom
+// metric. Run the full-size versions with cmd/experiments.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/ktrace"
+	"repro/internal/simtime"
+)
+
+func BenchmarkFig1MinBandwidthSingle(b *testing.B) {
+	var last experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig1()
+	}
+	b.ReportMetric(last.AtTaskPeriod, "B(T=P)")
+	b.ReportMetric(last.AtT200, "B(T=200ms)")
+}
+
+func BenchmarkFig2MinBandwidthMulti(b *testing.B) {
+	var last experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig2()
+	}
+	b.ReportMetric(last.BestWaste, "bestWaste")
+	b.ReportMetric(last.WorstWaste, "worstWaste")
+}
+
+func BenchmarkTable1TracerOverhead(b *testing.B) {
+	var last experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Table1(uint64(i+1), 2)
+	}
+	for _, row := range last.Rows {
+		if row.Tracer != ktrace.NoTrace {
+			b.ReportMetric(row.RelOverhead*100, row.Tracer.String()+"_pct")
+		}
+	}
+}
+
+func BenchmarkFig4SyscallHistogram(b *testing.B) {
+	var last experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig4(uint64(i+1), 10*simtime.Second)
+	}
+	b.ReportMetric(float64(last.Total), "events")
+}
+
+func BenchmarkFig5EventTrain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(uint64(i + 1))
+	}
+}
+
+func BenchmarkFig6Transform(b *testing.B) {
+	var last experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig6(uint64(i+1), 2)
+	}
+	b.ReportMetric(last.OpsFitR2[0.1], "R2_ops_vs_H")
+}
+
+func BenchmarkFig7Transform(b *testing.B) {
+	var last experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig7(uint64(i+1), 2)
+	}
+	b.ReportMetric(last.StdAt400, "stdHz_at_fmax400")
+}
+
+func BenchmarkFig8PeakDetect(b *testing.B) {
+	var last experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig8(uint64(i+1), 2)
+	}
+	b.ReportMetric(last.SpeedupFromAlpha, "alpha_speedup_x")
+}
+
+func BenchmarkFig9EpsilonSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(uint64(i+1), 2)
+	}
+}
+
+func BenchmarkFig10SpectraVsTracingTime(b *testing.B) {
+	var last experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig10(uint64(i + 1))
+	}
+	b.ReportMetric(last.PeakSharpness[4000], "peak_to_mean_4s")
+}
+
+func BenchmarkFig11DetectionPMF(b *testing.B) {
+	var last experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig11(uint64(i+1), 10)
+	}
+	b.ReportMetric(last.LongHit*100, "hit_pct_H2s")
+}
+
+func BenchmarkTable2LoadTolerance(b *testing.B) {
+	var last experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Table2(uint64(i+1), 10, simtime.Second)
+	}
+	b.ReportMetric(last.Rows[len(last.Rows)-1].FreqMean, "meanHz_at_60pct")
+}
+
+func BenchmarkFig13Feedback(b *testing.B) {
+	var last experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig13(uint64(i+1), 500)
+	}
+	b.ReportMetric(last.LFSStats.Std, "lfs_ift_std_ms")
+	b.ReportMetric(last.LFSPStats.Std, "lfspp_ift_std_ms")
+}
+
+func BenchmarkFig14CDFs(b *testing.B) {
+	var last experiments.Fig14Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig14(uint64(i+1), 500)
+	}
+	b.ReportMetric(last.LFSTail, "lfs_tail")
+	b.ReportMetric(last.LFSPTail, "lfspp_tail")
+}
+
+func BenchmarkTable3LoadedFeedback(b *testing.B) {
+	var last experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Table3(uint64(i+1), 300)
+	}
+	b.ReportMetric(last.Rows[len(last.Rows)-1].MeanMS, "meanIFT_at_70pct")
+}
+
+func BenchmarkAblationPredictor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationPredictor(uint64(i+1), 300)
+	}
+}
+
+func BenchmarkAblationSpread(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationSpread(uint64(i+1), 300)
+	}
+}
+
+func BenchmarkAblationSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationSampling(uint64(i+1), 300)
+	}
+}
+
+func BenchmarkAblationCBSMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationCBSMode(uint64(i+1), 300)
+	}
+}
+
+func BenchmarkAblationStateTrace(b *testing.B) {
+	var last experiments.StateTraceResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.AblationStateTrace(uint64(i+1), 5, simtime.Second)
+	}
+	b.ReportMetric(last.Rows[len(last.Rows)-1].StateMean, "stateHz_at_60pct")
+}
+
+func BenchmarkAblationScoring(b *testing.B) {
+	var last experiments.ScoringResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.AblationScoring(uint64(i+1), 8)
+	}
+	b.ReportMetric(last.Rows[0].Exact, "wm_clean_exact")
+}
+
+func BenchmarkAblationDenseGrid(b *testing.B) {
+	var last experiments.DenseGridResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.AblationDenseGrid(uint64(i + 1))
+	}
+	b.ReportMetric(float64(last.SparseOps), "sparse_ops")
+}

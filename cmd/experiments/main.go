@@ -1,0 +1,190 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation (Sec. 5). Each experiment prints a text table
+// and/or CSV series to stdout; figures are CSV so they can be plotted
+// with any tool.
+//
+// Usage:
+//
+//	experiments [-seed N] [-reps N] [-frames N] [-quick] <experiment>...
+//	experiments all
+//
+// Experiments: fig1 fig2 table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+// fig11 table2 fig12 fig13 fig14 table3 ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/simtime"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "deterministic seed for all experiments")
+	reps := flag.Int("reps", 100, "repetitions for statistical experiments (paper uses 100)")
+	frames := flag.Int("frames", 1400, "frames for the feedback experiments (paper plots ~1400)")
+	quick := flag.Bool("quick", false, "shrink reps/frames for a fast smoke run")
+	outPath := flag.String("o", "", "write the output to this file instead of stdout")
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if *quick {
+		*reps = 10
+		*frames = 400
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|fig2|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|fig12|fig13|fig14|table3|ablations|all>...")
+		os.Exit(2)
+	}
+	want := make(map[string]bool)
+	all := false
+	for _, a := range args {
+		a = strings.ToLower(a)
+		if a == "all" {
+			all = true
+		}
+		want[a] = true
+	}
+	run := func(name string) bool { return all || want[name] }
+	ran := 0
+
+	if run("fig1") {
+		ran++
+		r := experiments.Fig1()
+		fmt.Fprint(out, r.Series.String())
+		fmt.Fprintf(out, "# landmarks: B(T=P)=%.3f (paper 0.20), B(34ms)=%.3f (paper ~0.29), B(200ms)=%.3f (paper ~0.60)\n\n",
+			r.AtTaskPeriod, r.AtT34, r.AtT200)
+	}
+	if run("fig2") {
+		ran++
+		r := experiments.Fig2()
+		fmt.Fprint(out, r.Series.String())
+		fmt.Fprintf(out, "# utilisation=%.3f best waste=%.3f worst waste=%.3f (paper: 6%%..41%%)\n\n",
+			r.Utilization, r.BestWaste, r.WorstWaste)
+	}
+	if run("table1") {
+		ran++
+		runs := 10
+		if *quick {
+			runs = 3
+		}
+		fmt.Fprintln(out, experiments.Table1(*seed, runs).Table())
+	}
+	if run("fig4") {
+		ran++
+		fmt.Fprintln(out, experiments.Fig4(*seed, 30*simtime.Second).Table())
+	}
+	if run("fig5") {
+		ran++
+		r := experiments.Fig5(*seed)
+		fmt.Fprint(out, r.Series.String())
+		fmt.Fprintln(out)
+	}
+	if run("fig6") {
+		ran++
+		r := experiments.Fig6(*seed, *reps)
+		over, prec := r.Series()
+		fmt.Fprint(out, over.String())
+		fmt.Fprint(out, prec.String())
+		for df, r2 := range r.TimeFitR2 {
+			fmt.Fprintf(out, "# linearity of time vs H at deltaF=%.1f: R2=%.4f\n", df, r2)
+		}
+		fmt.Fprintln(out)
+	}
+	if run("fig7") {
+		ran++
+		r := experiments.Fig7(*seed, *reps)
+		over, prec := r.Series()
+		fmt.Fprint(out, over.String())
+		fmt.Fprint(out, prec.String())
+		fmt.Fprintf(out, "# detection std: fmax=100 -> %.2fHz, fmax=400 -> %.2fHz (paper: grows)\n\n",
+			r.StdAt100, r.StdAt400)
+	}
+	if run("fig8") {
+		ran++
+		r := experiments.Fig8(*seed, *reps)
+		fmt.Fprint(out, r.Series().String())
+		fmt.Fprintf(out, "# alpha=0 vs alpha=0.2 cost ratio: %.2fx\n\n", r.SpeedupFromAlpha)
+	}
+	if run("fig9") {
+		ran++
+		fmt.Fprint(out, experiments.Fig9(*seed, *reps).Series().String())
+		fmt.Fprintln(out)
+	}
+	if run("fig10") {
+		ran++
+		r := experiments.Fig10(*seed)
+		fmt.Fprint(out, r.Series.String())
+		fmt.Fprintf(out, "# normalised peak at 32.5Hz per tracing time: %v\n\n", r.PeakSharpness)
+	}
+	if run("fig11") {
+		ran++
+		r := experiments.Fig11(*seed, *reps)
+		s1, s2 := r.Series()
+		fmt.Fprint(out, s1.String())
+		fmt.Fprint(out, s2.String())
+		fmt.Fprintf(out, "# hit-rate near 32.5Hz: H=200ms %.0f%%, H=2s %.0f%%; harmonics: %.0f%% vs %.0f%%\n\n",
+			r.ShortHit*100, r.LongHit*100, r.ShortHarmonic*100, r.LongHarmonic*100)
+	}
+	if run("table2") || run("fig12") {
+		ran++
+		r := experiments.Table2(*seed, *reps, simtime.Second)
+		fmt.Fprintln(out, r.Table())
+		fmt.Fprint(out, r.Series().String())
+		fmt.Fprintln(out)
+	}
+	if run("fig13") {
+		ran++
+		r := experiments.Fig13(*seed, *frames)
+		fmt.Fprint(out, r.IFT.String())
+		fmt.Fprint(out, r.Reserved.String())
+		fmt.Fprintf(out, "# IFT stats: LFS mean=%.3fms std=%.3fms | LFS++ mean=%.3fms std=%.3fms\n",
+			r.LFSStats.Mean, r.LFSStats.Std, r.LFSPStats.Mean, r.LFSPStats.Std)
+		fmt.Fprintf(out, "# paper:     LFS mean=39.992ms std=11.287ms | LFS++ mean=40.925ms std=4.631ms\n\n")
+	}
+	if run("fig14") {
+		ran++
+		r := experiments.Fig14(*seed, *frames)
+		fmt.Fprint(out, r.IFTCDF.String())
+		fmt.Fprint(out, r.ReservedCDF.String())
+		fmt.Fprintf(out, "# P(IFT>60ms): LFS %.3f vs LFS++ %.3f; allocation spread (p95-p05): %.3f vs %.3f\n\n",
+			r.LFSTail, r.LFSPTail, r.LFSSpread, r.LFSPSpread)
+	}
+	if run("table3") {
+		ran++
+		fmt.Fprintln(out, experiments.Table3(*seed, *frames).Table())
+	}
+	if run("ablations") {
+		ran++
+		fmt.Fprintln(out, experiments.AblationPredictor(*seed, *frames).Table())
+		fmt.Fprintln(out, experiments.AblationSpread(*seed, *frames).Table())
+		fmt.Fprintln(out, experiments.AblationSampling(*seed, *frames).Table())
+		fmt.Fprintln(out, experiments.AblationCBSMode(*seed, *frames).Table())
+		fmt.Fprintln(out, experiments.AblationStateTrace(*seed, *reps, simtime.Second).Table())
+		fmt.Fprintln(out, experiments.AblationScoring(*seed, *reps).Table())
+		d := experiments.AblationDenseGrid(*seed)
+		fmt.Fprintf(out, "== Ablation: sparse vs dense transform ==\n")
+		fmt.Fprintf(out, "events=%d sparse ops=%d (time %.0fus reference, %.0fus recurrence)\n",
+			d.Events, d.SparseOps, d.SparseTimeUS, d.FastTimeUS)
+		fmt.Fprintf(out, "dense 1us grid would need %d samples before any FFT butterfly\n\n", d.DenseSamples)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: nothing matched %v\n", args)
+		os.Exit(2)
+	}
+}

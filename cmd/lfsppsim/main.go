@@ -1,0 +1,155 @@
+// Command lfsppsim runs one self-tuning scheduling session: a legacy
+// multimedia application model on the simulated AQuoSA-style kernel,
+// managed by an AutoTuner, optionally next to background real-time
+// load. It prints the controller's activation history and a final
+// quality report.
+//
+// Examples:
+//
+//	lfsppsim -app video -util 0.25 -duration 30s
+//	lfsppsim -app mp3 -load 0.45 -controller lfs -duration 60s
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/feedback"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/selftune"
+)
+
+// teeSink forwards syscalls to the kernel tracer and also records the
+// timestamps for the -trace export (consumable by cmd/periodscope).
+type teeSink struct {
+	inner workload.SyscallSink
+	times []simtime.Time
+}
+
+func (s *teeSink) Syscall(now simtime.Time, pid, nr int) simtime.Duration {
+	s.times = append(s.times, now)
+	return s.inner.Syscall(now, pid, nr)
+}
+
+func main() {
+	var (
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		app        = flag.String("app", "video", "application model: video | mp3")
+		util       = flag.Float64("util", 0.25, "application mean CPU utilisation (video only)")
+		load       = flag.Float64("load", 0, "background real-time load (fraction of CPU)")
+		controller = flag.String("controller", "lfspp", "feedback controller: lfspp | lfs")
+		duration   = flag.Duration("duration", 30*time.Second, "simulated duration")
+		noRate     = flag.Bool("no-rate-detection", false, "disable the period analyser")
+		verbose    = flag.Bool("v", false, "print every controller activation")
+		traceFile  = flag.String("trace", "", "export the app's syscall timestamps (seconds, one per line) to this file")
+	)
+	flag.Parse()
+
+	sys := selftune.NewSystem(selftune.SystemConfig{Seed: *seed})
+	if *load > 0 {
+		sys.StartBackgroundLoad(*load, 3)
+	}
+
+	var pcfg workload.PlayerConfig
+	switch *app {
+	case "video":
+		pcfg = workload.VideoPlayerConfig("mplayer", *util)
+	case "mp3":
+		pcfg = workload.MP3PlayerConfig("mplayer")
+	default:
+		fmt.Fprintf(os.Stderr, "lfsppsim: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+	var tee *teeSink
+	pcfg.Sink = sys.Tracer()
+	if *traceFile != "" {
+		tee = &teeSink{inner: sys.Tracer()}
+		pcfg.Sink = tee
+	}
+	player := sys.NewPlayer(pcfg)
+
+	cfg := selftune.DefaultTunerConfig()
+	cfg.RateDetection = !*noRate
+	switch *controller {
+	case "lfspp":
+		cfg.Controller = feedback.NewLFSPP()
+	case "lfs":
+		cfg.Controller = feedback.NewLFS()
+	default:
+		fmt.Fprintf(os.Stderr, "lfsppsim: unknown controller %q\n", *controller)
+		os.Exit(2)
+	}
+
+	tuner, err := sys.Tune(player, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		tuner.OnTick = func(s selftune.TunerSnapshot) {
+			fmt.Printf("%12v  period=%-10v detected=%6.2fHz  granted=%-10v bw=%.3f events=%d\n",
+				s.At, s.Period, s.Detected, s.Granted, s.Bandwidth, s.Events)
+		}
+	}
+	player.Start(0)
+	sys.Run(selftune.Duration(duration.Nanoseconds()))
+
+	fmt.Printf("application : %s (%s controller, rate detection %v)\n",
+		player.Config().Name, cfg.Controller.Name(), cfg.RateDetection)
+	fmt.Printf("frames      : %d released, %d decoded, %d deadline misses\n",
+		player.Frames(), player.Task().Stats().Completed, player.Task().Stats().Missed)
+	if f := tuner.DetectedFrequency(); f > 0 {
+		fmt.Printf("detection   : %.2f Hz (period %v)\n", f, tuner.Period())
+	} else {
+		fmt.Printf("detection   : none (period held at %v)\n", tuner.Period())
+	}
+	fmt.Printf("reservation : Q=%v T=%v (%.1f%% of the CPU)\n",
+		tuner.Server().Budget(), tuner.Server().Period(), 100*tuner.Server().Bandwidth())
+
+	ift := player.InterFrameTimes()
+	if len(ift) > 1 {
+		xs := make([]float64, len(ift))
+		over80 := 0
+		for i, d := range ift {
+			xs[i] = d.Milliseconds()
+			if d > 80*simtime.Millisecond {
+				over80++
+			}
+		}
+		s := stats.Summarize(xs)
+		fmt.Printf("inter-frame : mean=%.3fms std=%.3fms p99=%.1fms max=%.1fms  (>80ms: %d of %d)\n",
+			s.Mean, s.Std, s.P99, s.Max, over80, len(ift))
+	}
+	grants, compressed, _ := sys.Supervisor().Stats()
+	fmt.Printf("supervisor  : %d grants, %d compressed, total granted %.3f\n",
+		grants, compressed, sys.Supervisor().TotalGranted())
+	fmt.Printf("scheduler   : utilisation %.3f, %d context switches\n",
+		sys.Scheduler().Utilization(), sys.Scheduler().ContextSwitches())
+
+	if tee != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		fmt.Fprintf(w, "# %d syscall timestamps of %s (seconds)\n", len(tee.times), pcfg.Name)
+		for _, at := range tee.times {
+			fmt.Fprintf(w, "%.9f\n", at.Seconds())
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace       : %d events written to %s\n", len(tee.times), *traceFile)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestParseEventsUnits(t *testing.T) {
+	cases := []struct {
+		unit string
+		in   string
+		want []simtime.Time
+	}{
+		{"s", "0.5\n1.0\n", []simtime.Time{simtime.Time(500 * simtime.Millisecond), simtime.Time(simtime.Second)}},
+		{"ms", "1\n2.5\n", []simtime.Time{simtime.Time(simtime.Millisecond), simtime.Time(2500 * simtime.Microsecond)}},
+		{"us", "7\n", []simtime.Time{simtime.Time(7 * simtime.Microsecond)}},
+		{"ns", "42\n", []simtime.Time{42}},
+	}
+	for _, c := range cases {
+		got, err := parseEvents(strings.NewReader(c.in), c.unit)
+		if err != nil {
+			t.Fatalf("unit %s: %v", c.unit, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("unit %s: got %v", c.unit, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("unit %s[%d] = %v, want %v", c.unit, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestParseEventsSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n  1.0  \n# trailing\n2.0\n"
+	got, err := parseEvents(strings.NewReader(in), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseEventsSortsUnordered(t *testing.T) {
+	got, err := parseEvents(strings.NewReader("3\n1\n2\n"), "ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+}
+
+func TestParseEventsErrors(t *testing.T) {
+	if _, err := parseEvents(strings.NewReader("1\n"), "h"); err == nil {
+		t.Error("unknown unit accepted")
+	}
+	if _, err := parseEvents(strings.NewReader("abc\n"), "s"); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestDemoTraceDetectable(t *testing.T) {
+	events := demoTrace()
+	if len(events) < 100 {
+		t.Fatalf("demo trace has only %d events", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i] < events[i-1] {
+			t.Fatal("demo trace not chronological")
+		}
+	}
+}

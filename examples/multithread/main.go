@@ -1,0 +1,119 @@
+// Multithread: one legacy application with two threads — a 50 Hz audio
+// mixer and a 25 Hz video decoder — tuned two ways:
+//
+//  1. per-thread reservations (one AutoTuner each), the efficient
+//     configuration the paper's Figure 2 recommends;
+//  2. one shared reservation managed by a MultiTuner (the paper's
+//     Sec. 6 multi-threaded future-work item).
+//
+// Both keep the threads on rate. The printed bandwidths also make a
+// point the paper's Figure 2 leaves implicit: the figure's bandwidth
+// premium for shared reservations is a *worst-case guarantee* cost,
+// while the feedback loop only reserves what the threads measurably
+// consume — so in closed loop the two configurations cost nearly the
+// same, and what the shared reservation gives up is analysable
+// schedulability, not average bandwidth.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/selftune"
+)
+
+func threadConfigs(sys *selftune.System) []selftune.PlayerConfig {
+	return []selftune.PlayerConfig{
+		{
+			Name:          "app:audio",
+			Period:        20 * selftune.Millisecond,
+			ReleaseJitter: 200 * selftune.Microsecond,
+			MeanDemand:    selftune.Duration(0.08 * float64(20*selftune.Millisecond)),
+			DemandJitter:  0.05,
+			StartBurstMin: 4, StartBurstMax: 7,
+			EndBurstMin: 4, EndBurstMax: 7,
+			Sink: sys.Tracer(),
+		},
+		{
+			Name:          "app:video",
+			Period:        40 * selftune.Millisecond,
+			ReleaseJitter: 300 * selftune.Microsecond,
+			MeanDemand:    selftune.Duration(0.18 * float64(40*selftune.Millisecond)),
+			DemandJitter:  0.08,
+			StartBurstMin: 6, StartBurstMax: 10,
+			EndBurstMin: 6, EndBurstMax: 10,
+			Sink: sys.Tracer(),
+		},
+	}
+}
+
+func meanIFT(p *selftune.Player) float64 {
+	ift := p.InterFrameTimes()
+	if len(ift) < 300 {
+		return 0
+	}
+	xs := make([]float64, 0, len(ift)-250)
+	for _, d := range ift[250:] {
+		xs = append(xs, d.Milliseconds())
+	}
+	return stats.Mean(xs)
+}
+
+func main() {
+	const horizon = 40 * selftune.Second
+
+	// Configuration 1: a reservation per thread.
+	{
+		sys := selftune.NewSystem(selftune.SystemConfig{Seed: 21})
+		var players []*selftune.Player
+		for _, cfg := range threadConfigs(sys) {
+			players = append(players, sys.NewPlayer(cfg))
+		}
+		for _, p := range players {
+			if _, err := sys.Tune(p, selftune.DefaultTunerConfig()); err != nil {
+				panic(err)
+			}
+		}
+		for _, p := range players {
+			p.Start(0)
+		}
+		sys.Run(horizon)
+		fmt.Printf("per-thread reservations:\n")
+		for _, p := range players {
+			fmt.Printf("  %-10s mean inter-frame %.2fms\n", p.Config().Name, meanIFT(p))
+		}
+		fmt.Printf("  total reserved bandwidth: %.3f\n\n", sys.Supervisor().TotalGranted())
+	}
+
+	// Configuration 2: one shared reservation for the whole app.
+	{
+		sys := selftune.NewSystem(selftune.SystemConfig{Seed: 21})
+		var players []*selftune.Player
+		for _, cfg := range threadConfigs(sys) {
+			players = append(players, sys.NewPlayer(cfg))
+		}
+		// Rate-monotonic priorities: the 50Hz audio thread first.
+		tuner, err := sys.TuneMulti(players, []int{0, 1}, selftune.DefaultTunerConfig())
+		if err != nil {
+			panic(err)
+		}
+		for _, p := range players {
+			p.Start(0)
+		}
+		sys.Run(horizon)
+		fmt.Printf("one shared reservation (MultiTuner):\n")
+		for _, p := range players {
+			fmt.Printf("  %-10s mean inter-frame %.2fms\n", p.Config().Name, meanIFT(p))
+		}
+		fmt.Printf("  detected thread periods: %v\n", tuner.ThreadPeriods())
+		fmt.Printf("  reservation: Q=%v every T=%v -> bandwidth %.3f\n",
+			tuner.Server().Budget(), tuner.Server().Period(), tuner.Server().Bandwidth())
+		fmt.Println(`
+Both configurations keep the threads on rate at nearly the same
+measured bandwidth: the feedback loop reserves what is consumed, not
+the worst case. Figure 2's premium for shared reservations is the
+price of *guaranteeing* the deadlines analytically — compare
+analysis.MinBandwidthRMServer (one server, worst-case phasing of both
+threads) with the sum of per-thread utilisations.`)
+	}
+}

@@ -1,0 +1,379 @@
+// Package analysis implements the schedulability mathematics behind
+// the paper's Section 3.2: the bandwidth a CBS reservation must be
+// given to schedule real-time tasks correctly, as a function of the
+// server period. It regenerates Figure 1 (a single task in a
+// dedicated, job-synchronised server) and Figure 2 (several
+// fixed-priority tasks sharing one periodic reservation, analysed with
+// the hierarchical supply-bound machinery of [9, 22, 25]).
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simtime"
+)
+
+// TaskSpec is a periodic task (C, P) with implicit deadline.
+type TaskSpec struct {
+	C simtime.Duration // worst-case execution time
+	P simtime.Duration // period (= deadline)
+}
+
+// Utilization returns C/P.
+func (t TaskSpec) Utilization() float64 { return float64(t.C) / float64(t.P) }
+
+// Validate reports whether the spec is well-formed.
+func (t TaskSpec) Validate() error {
+	if t.C <= 0 || t.P <= 0 || t.C > t.P {
+		return fmt.Errorf("analysis: invalid task C=%v P=%v", t.C, t.P)
+	}
+	return nil
+}
+
+// TotalUtilization sums C/P over the set.
+func TotalUtilization(tasks []TaskSpec) float64 {
+	var u float64
+	for _, t := range tasks {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// --- Figure 1: dedicated, job-synchronised CBS --------------------
+
+// CBSGuaranteedSupply returns the CPU time a CBS with reservation
+// (Q, T) provably delivers within an interval of length t starting at
+// a job arrival that finds the server idle: the CBS assigns deadline
+// a+T and supplies Q by each successive deadline, so the supply over
+// [a, a+t] is m·Q plus whatever part of the next budget is guaranteed
+// before a+t, where m = ⌊t/T⌋. Within the partial period, EDF may
+// postpone the whole budget to just before its deadline, so only
+// max(0, (t mod T) - (T - Q)) is guaranteed.
+func CBSGuaranteedSupply(q, t simtime.Duration, interval simtime.Duration) simtime.Duration {
+	if interval <= 0 {
+		return 0
+	}
+	m := interval / t
+	rem := interval % t
+	supply := simtime.Duration(m) * q
+	if extra := rem - (t - q); extra > 0 {
+		supply += extra
+	}
+	return supply
+}
+
+// CBSConservativeSupply is the supply model behind the paper's
+// Figure 1 (inherited from the authors' earlier analysis [8]): within
+// a task period it credits only *complete* server periods — each worth
+// Q — and falls back to the guaranteed tail of the single pending
+// budget only when no complete period fits (T > interval). It is
+// sound everywhere and, unlike CBSGuaranteedSupply, does not rely on
+// the system-wide EDF argument for the trailing partial period, which
+// is what makes the paper's curve read ≈29% at T=34ms instead of the
+// tighter 22%.
+func CBSConservativeSupply(q, t simtime.Duration, interval simtime.Duration) simtime.Duration {
+	if interval <= 0 {
+		return 0
+	}
+	if m := interval / t; m > 0 {
+		return simtime.Duration(m) * q
+	}
+	if extra := interval - (t - q); extra > 0 {
+		return extra
+	}
+	return 0
+}
+
+// SupplyModel selects the guarantee model used by the single-task
+// minimum-bandwidth analysis.
+type SupplyModel int
+
+const (
+	// PaperSupply is the conservative model of Figure 1.
+	PaperSupply SupplyModel = iota
+	// TightSupply additionally credits the guaranteed tail of the
+	// trailing partial server period (the ablation subject).
+	TightSupply
+)
+
+// String implements fmt.Stringer.
+func (m SupplyModel) String() string {
+	if m == TightSupply {
+		return "tight"
+	}
+	return "paper"
+}
+
+func (m SupplyModel) supply(q, t, interval simtime.Duration) simtime.Duration {
+	if m == TightSupply {
+		return CBSGuaranteedSupply(q, t, interval)
+	}
+	return CBSConservativeSupply(q, t, interval)
+}
+
+// MinBudgetSingleTask returns the minimum CBS budget Q such that the
+// periodic task (C, P), alone in a server of period T whose deadlines
+// are synchronised with the job arrivals (the CBS behaviour when the
+// task blocks at the end of each job), meets every deadline under the
+// given supply model. It returns false when no Q ≤ T works.
+func MinBudgetSingleTask(task TaskSpec, t simtime.Duration, model SupplyModel) (simtime.Duration, bool) {
+	if err := task.Validate(); err != nil {
+		panic(err)
+	}
+	if t <= 0 {
+		panic("analysis: server period must be positive")
+	}
+	// Binary search on Q: supply within P is monotone in Q.
+	lo, hi := simtime.Duration(1), t
+	if model.supply(hi, t, task.P) < task.C {
+		return 0, false
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if model.supply(mid, t, task.P) >= task.C {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// MinBandwidthSingleTask is MinBudgetSingleTask under the paper's
+// model, expressed as Q/T (Figure 1's y axis). It returns +Inf when
+// infeasible.
+func MinBandwidthSingleTask(task TaskSpec, t simtime.Duration) float64 {
+	q, ok := MinBudgetSingleTask(task, t, PaperSupply)
+	if !ok {
+		return math.Inf(1)
+	}
+	return float64(q) / float64(t)
+}
+
+// MinBandwidthSingleTaskTight is the ablation variant using the tight
+// supply bound.
+func MinBandwidthSingleTaskTight(task TaskSpec, t simtime.Duration) float64 {
+	q, ok := MinBudgetSingleTask(task, t, TightSupply)
+	if !ok {
+		return math.Inf(1)
+	}
+	return float64(q) / float64(t)
+}
+
+// --- Figure 2: several RM tasks in one periodic reservation -------
+
+// PeriodicSupplyLowerBound returns the Shin–Lee supply bound function
+// sbf(t) of a periodic resource Γ(Π, Θ): the minimum CPU time the
+// reservation delivers in *any* interval of length t, under the worst
+// phasing between the interval and the server periods. (Unlike the
+// single-task case above, tasks inside a shared server wake at
+// arbitrary offsets, so no synchronisation can be assumed.)
+func PeriodicSupplyLowerBound(theta, pi simtime.Duration, t simtime.Duration) simtime.Duration {
+	if t <= 0 || theta <= 0 {
+		return 0
+	}
+	blackout := pi - theta
+	avail := t - blackout
+	if avail <= 0 {
+		return 0
+	}
+	k := avail / pi
+	supply := simtime.Duration(k) * theta
+	if extra := avail%pi - blackout; extra > 0 {
+		supply += extra
+	}
+	return supply
+}
+
+// rmDemand returns the worst-case demand of task i (and its
+// higher-priority interferers, indices < i, rate-monotonic order) in
+// an interval of length t starting at a critical instant:
+// C_i + Σ_{j<i} ⌈t/P_j⌉ C_j.
+func rmDemand(tasks []TaskSpec, i int, t simtime.Duration) simtime.Duration {
+	d := tasks[i].C
+	for j := 0; j < i; j++ {
+		n := (t + tasks[j].P - 1) / tasks[j].P // ceil
+		d += simtime.Duration(n) * tasks[j].C
+	}
+	return d
+}
+
+// rmCheckpoints enumerates the time-demand analysis checkpoints for
+// task i: all multiples of higher-priority periods up to P_i, plus
+// P_i itself.
+func rmCheckpoints(tasks []TaskSpec, i int) []simtime.Duration {
+	var pts []simtime.Duration
+	limit := tasks[i].P
+	for j := 0; j <= i; j++ {
+		for t := tasks[j].P; t <= limit; t += tasks[j].P {
+			pts = append(pts, t)
+		}
+	}
+	return pts
+}
+
+// RMFeasibleInServer reports whether the task set (sorted by
+// decreasing rate, i.e. RM priority order) is schedulable inside a
+// periodic reservation (theta, pi): every task i must find a
+// checkpoint t ≤ P_i with demand_i(t) ≤ sbf(t).
+func RMFeasibleInServer(tasks []TaskSpec, theta, pi simtime.Duration) bool {
+	for i := range tasks {
+		ok := false
+		for _, t := range rmCheckpoints(tasks, i) {
+			if rmDemand(tasks, i, t) <= PeriodicSupplyLowerBound(theta, pi, t) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MinBudgetRMServer returns the minimum budget Θ such that the RM task
+// set fits inside a periodic reservation of period Π, or false when no
+// Θ ≤ Π works (Figure 2's "single reservation" curve).
+func MinBudgetRMServer(tasks []TaskSpec, pi simtime.Duration) (simtime.Duration, bool) {
+	if len(tasks) == 0 {
+		panic("analysis: empty task set")
+	}
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			panic(err)
+		}
+	}
+	if !RMFeasibleInServer(tasks, pi, pi) {
+		return 0, false
+	}
+	lo, hi := simtime.Duration(1), pi
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if RMFeasibleInServer(tasks, mid, pi) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// MinBandwidthRMServer is MinBudgetRMServer as a fraction Θ/Π,
+// returning +Inf when infeasible.
+func MinBandwidthRMServer(tasks []TaskSpec, pi simtime.Duration) float64 {
+	q, ok := MinBudgetRMServer(tasks, pi)
+	if !ok {
+		return math.Inf(1)
+	}
+	return float64(q) / float64(pi)
+}
+
+// hyperperiod returns the least common multiple of the task periods,
+// capped at cap to keep the testing set bounded for pathological
+// period combinations.
+func hyperperiod(tasks []TaskSpec, cap simtime.Duration) simtime.Duration {
+	gcd := func(a, b simtime.Duration) simtime.Duration {
+		for b != 0 {
+			a, b = b, a%b
+		}
+		return a
+	}
+	h := tasks[0].P
+	for _, t := range tasks[1:] {
+		g := gcd(h, t.P)
+		h = h / g * t.P
+		if h >= cap {
+			return cap
+		}
+	}
+	return h
+}
+
+// edfDemand returns the EDF demand bound function of implicit-deadline
+// periodic tasks: dbf(t) = Σ ⌊t/P⌋·C.
+func edfDemand(tasks []TaskSpec, t simtime.Duration) simtime.Duration {
+	var d simtime.Duration
+	for _, task := range tasks {
+		d += simtime.Duration(t/task.P) * task.C
+	}
+	return d
+}
+
+// EDFFeasibleInServer reports whether the task set is schedulable by
+// *local EDF* inside a periodic reservation (theta, pi): for every
+// absolute deadline t up to the (capped) hyperperiod, dbf(t) ≤ sbf(t).
+func EDFFeasibleInServer(tasks []TaskSpec, theta, pi simtime.Duration) bool {
+	if len(tasks) == 0 {
+		panic("analysis: empty task set")
+	}
+	horizon := hyperperiod(tasks, simtime.Duration(10*simtime.Second))
+	for _, task := range tasks {
+		for t := task.P; t <= horizon; t += task.P {
+			if edfDemand(tasks, t) > PeriodicSupplyLowerBound(theta, pi, t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MinBudgetEDFServer returns the minimum budget Θ such that the task
+// set fits under local EDF inside a periodic reservation of period Π,
+// or false when none does. Local EDF dominates local RM, so this is a
+// lower envelope for Figure 2's single-reservation curve.
+func MinBudgetEDFServer(tasks []TaskSpec, pi simtime.Duration) (simtime.Duration, bool) {
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			panic(err)
+		}
+	}
+	if !EDFFeasibleInServer(tasks, pi, pi) {
+		return 0, false
+	}
+	lo, hi := simtime.Duration(1), pi
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if EDFFeasibleInServer(tasks, mid, pi) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// MinBandwidthEDFServer is MinBudgetEDFServer as Θ/Π, +Inf when
+// infeasible.
+func MinBandwidthEDFServer(tasks []TaskSpec, pi simtime.Duration) float64 {
+	q, ok := MinBudgetEDFServer(tasks, pi)
+	if !ok {
+		return math.Inf(1)
+	}
+	return float64(q) / float64(pi)
+}
+
+// RMUtilizationBound returns the Liu & Layland bound n(2^{1/n}-1) for
+// n tasks on a dedicated CPU, used as a sanity reference in tests.
+func RMUtilizationBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// EDFFeasible reports the EDF schedulability of implicit-deadline
+// periodic tasks on a dedicated CPU: ΣC/P ≤ 1.
+func EDFFeasible(tasks []TaskSpec) bool { return TotalUtilization(tasks) <= 1 }
+
+// Figure2Tasks is the exact task set of the paper's Figure 2:
+// C=(3,5,5)ms, P=(15,20,30)ms, cumulative utilisation ≈ 61.7%.
+var Figure2Tasks = []TaskSpec{
+	{C: 3 * simtime.Millisecond, P: 15 * simtime.Millisecond},
+	{C: 5 * simtime.Millisecond, P: 20 * simtime.Millisecond},
+	{C: 5 * simtime.Millisecond, P: 30 * simtime.Millisecond},
+}
+
+// Figure1Task is the task of the paper's Figure 1: C=20ms, P=100ms.
+var Figure1Task = TaskSpec{C: 20 * simtime.Millisecond, P: 100 * simtime.Millisecond}

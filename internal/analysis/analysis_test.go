@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+const ms = simtime.Millisecond
+
+func TestFigure1KnownPoints(t *testing.T) {
+	task := Figure1Task // C=20ms, P=100ms, U=0.2
+	cases := []struct {
+		t    simtime.Duration
+		want float64
+		tol  float64
+	}{
+		{100 * ms, 0.20, 0.001},                    // T = P: exactly the utilisation
+		{50 * ms, 0.20, 0.001},                     // T = P/2: still 20%
+		{simtime.Duration(100*ms) / 3, 0.20, 0.01}, // T = P/3
+		{25 * ms, 0.20, 0.001},                     // T = P/4
+		{34 * ms, 0.294, 0.005},                    // the paper's "close to 30%" example
+		{200 * ms, 0.60, 0.001},                    // the paper's right edge: "more than 60%"
+		{120 * ms, 1.0 / 3, 0.002},
+	}
+	for _, c := range cases {
+		got := MinBandwidthSingleTask(task, c.t)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("T=%v: min bandwidth %.4f, want %.4f", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTightSupplyNeverWorseThanPaper(t *testing.T) {
+	task := Figure1Task
+	for tms := 1; tms <= 200; tms++ {
+		T := simtime.Duration(tms) * ms
+		paper := MinBandwidthSingleTask(task, T)
+		tight := MinBandwidthSingleTaskTight(task, T)
+		if tight > paper+1e-9 {
+			t.Fatalf("T=%v: tight %.4f above paper %.4f", T, tight, paper)
+		}
+	}
+	// And strictly better somewhere between sub-multiples.
+	if MinBandwidthSingleTaskTight(task, 34*ms) >= MinBandwidthSingleTask(task, 34*ms) {
+		t.Error("tight bound not tighter at T=34ms")
+	}
+}
+
+func TestFigure1ShapeSawtooth(t *testing.T) {
+	task := Figure1Task
+	// Minima at sub-multiples of P, rising in between; never below U.
+	for tms := 1; tms <= 200; tms++ {
+		T := simtime.Duration(tms) * ms
+		b := MinBandwidthSingleTask(task, T)
+		if b < task.Utilization()-0.001 {
+			t.Fatalf("T=%v: bandwidth %.4f below task utilisation", T, b)
+		}
+		if b > 0.65 {
+			t.Fatalf("T=%v: bandwidth %.4f above Figure 1's range", T, b)
+		}
+	}
+	// The peak just above P/2 must exceed the value at P/2.
+	atHalf := MinBandwidthSingleTask(task, 50*ms)
+	above := MinBandwidthSingleTask(task, 55*ms)
+	if above <= atHalf {
+		t.Errorf("no sawtooth: B(55ms)=%.4f <= B(50ms)=%.4f", above, atHalf)
+	}
+}
+
+func TestCBSGuaranteedSupply(t *testing.T) {
+	// (Q=20, T=100): by 100 → 20; by 150 → 20 (nothing of the partial
+	// period is guaranteed until 180); by 190 → 30.
+	q, T := 20*ms, 100*ms
+	cases := []struct {
+		at   simtime.Duration
+		want simtime.Duration
+	}{
+		{0, 0}, {50 * ms, 0}, {80 * ms, 0}, {90 * ms, 10 * ms},
+		{100 * ms, 20 * ms}, {150 * ms, 20 * ms}, {190 * ms, 30 * ms},
+		{200 * ms, 40 * ms},
+	}
+	for _, c := range cases {
+		if got := CBSGuaranteedSupply(q, T, c.at); got != c.want {
+			t.Errorf("supply(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestPeriodicSupplyLowerBound(t *testing.T) {
+	// Shin-Lee: Γ(Θ=3, Π=10). Worst-case blackout is 2(Π-Θ)=14.
+	theta, pi := 3*ms, 10*ms
+	if got := PeriodicSupplyLowerBound(theta, pi, 14*ms); got != 0 {
+		t.Errorf("sbf(14) = %v, want 0", got)
+	}
+	if got := PeriodicSupplyLowerBound(theta, pi, 17*ms); got != 3*ms {
+		t.Errorf("sbf(17) = %v, want 3ms", got)
+	}
+	if got := PeriodicSupplyLowerBound(theta, pi, 24*ms); got != 3*ms {
+		t.Errorf("sbf(24) = %v, want 3ms", got)
+	}
+	if got := PeriodicSupplyLowerBound(theta, pi, 27*ms); got != 6*ms {
+		t.Errorf("sbf(27) = %v, want 6ms", got)
+	}
+}
+
+func TestSbfMonotonicityProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		pi := simtime.Duration(2+r.Intn(100)) * ms
+		theta := simtime.Duration(r.Int63n(int64(pi))) + 1
+		prev := simtime.Duration(-1)
+		for step := simtime.Duration(0); step <= 5*pi; step += pi / 7 {
+			got := PeriodicSupplyLowerBound(theta, pi, step)
+			if got < prev {
+				t.Logf("seed %d: sbf not monotone at %v", seed, step)
+				return false
+			}
+			// sbf can never exceed the fluid bound t*Θ/Π + Θ.
+			fluid := simtime.Duration(float64(step)*float64(theta)/float64(pi)) + theta
+			if got > fluid {
+				t.Logf("seed %d: sbf(%v)=%v above fluid %v", seed, step, got, fluid)
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	tasks := Figure2Tasks
+	util := TotalUtilization(tasks)
+	if math.Abs(util-(0.2+0.25+1.0/6)) > 1e-9 {
+		t.Fatalf("task set utilisation %.4f wrong", util)
+	}
+	// The single-reservation curve must sit strictly above the
+	// cumulative utilisation everywhere (the paper: waste between 6%
+	// and 41%), and be finite over a reasonable range.
+	bestWaste, worstWaste := math.Inf(1), 0.0
+	for tms := 1; tms <= 60; tms++ {
+		T := simtime.Duration(tms) * ms
+		b := MinBandwidthRMServer(tasks, T)
+		if math.IsInf(b, 1) {
+			// Very large periods become infeasible; that is fine past
+			// the figure's range but not inside it.
+			if tms <= 10 {
+				t.Errorf("T=%v infeasible inside Figure 2's plotted range", T)
+			}
+			continue
+		}
+		waste := b - util
+		if waste < -1e-9 {
+			t.Fatalf("T=%v: single-reservation bandwidth %.4f below utilisation", T, b)
+		}
+		if waste < bestWaste {
+			bestWaste = waste
+		}
+		if waste > worstWaste && b <= 1 {
+			worstWaste = waste
+		}
+	}
+	if bestWaste > 0.12 {
+		t.Errorf("best-case waste %.3f, paper reports ~6%%", bestWaste)
+	}
+	if worstWaste < 0.2 {
+		t.Errorf("worst-case waste %.3f, paper reports up to ~41%%", worstWaste)
+	}
+}
+
+func TestFigure2SeparateServersBeatShared(t *testing.T) {
+	tasks := Figure2Tasks
+	util := TotalUtilization(tasks)
+	// Dedicated synchronised servers need exactly the utilisation.
+	var sep float64
+	for _, task := range tasks {
+		sep += MinBandwidthSingleTask(task, task.P)
+	}
+	if math.Abs(sep-util) > 0.002 {
+		t.Errorf("separate servers need %.4f, want the utilisation %.4f", sep, util)
+	}
+	// Any shared server needs strictly more.
+	for _, T := range []simtime.Duration{5 * ms, 10 * ms, 15 * ms} {
+		if b := MinBandwidthRMServer(tasks, T); b <= util {
+			t.Errorf("shared server at T=%v needs %.4f <= utilisation", T, b)
+		}
+	}
+}
+
+func TestRMFeasibleFullServer(t *testing.T) {
+	// Θ=Π means a dedicated CPU: the Figure 2 set (U=0.617 < LL bound
+	// for n=3, 0.7798) must be RM-feasible.
+	if !RMFeasibleInServer(Figure2Tasks, 10*ms, 10*ms) {
+		t.Error("Figure 2 set infeasible on a dedicated CPU")
+	}
+}
+
+func TestRMUtilizationBound(t *testing.T) {
+	if got := RMUtilizationBound(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("LL(1) = %v", got)
+	}
+	if got := RMUtilizationBound(3); math.Abs(got-0.7798) > 0.0001 {
+		t.Errorf("LL(3) = %v", got)
+	}
+	if got := RMUtilizationBound(0); got != 0 {
+		t.Errorf("LL(0) = %v", got)
+	}
+}
+
+func TestEDFFeasible(t *testing.T) {
+	if !EDFFeasible(Figure2Tasks) {
+		t.Error("Figure 2 set should be EDF feasible")
+	}
+	over := []TaskSpec{{C: 80 * ms, P: 100 * ms}, {C: 50 * ms, P: 100 * ms}}
+	if EDFFeasible(over) {
+		t.Error("130% utilisation accepted")
+	}
+}
+
+func TestEDFInServerDominatesRM(t *testing.T) {
+	// Local EDF never needs more budget than local RM, and both are at
+	// least the utilisation.
+	tasks := Figure2Tasks
+	util := TotalUtilization(tasks)
+	for tms := 1; tms <= 30; tms++ {
+		T := simtime.Duration(tms) * ms
+		rm := MinBandwidthRMServer(tasks, T)
+		edf := MinBandwidthEDFServer(tasks, T)
+		if math.IsInf(rm, 1) && math.IsInf(edf, 1) {
+			continue
+		}
+		if edf > rm+1e-9 {
+			t.Errorf("T=%v: EDF needs %.4f > RM's %.4f", T, edf, rm)
+		}
+		if !math.IsInf(edf, 1) && edf < util-1e-9 {
+			t.Errorf("T=%v: EDF bandwidth %.4f below utilisation", T, edf)
+		}
+	}
+}
+
+func TestEDFInServerFullBudgetFeasible(t *testing.T) {
+	// Θ=Π is a dedicated CPU: any set with U <= 1 is EDF feasible.
+	if !EDFFeasibleInServer(Figure2Tasks, 10*ms, 10*ms) {
+		t.Error("Figure 2 set EDF-infeasible on a dedicated CPU")
+	}
+	over := []TaskSpec{{C: 60 * ms, P: 100 * ms}, {C: 50 * ms, P: 100 * ms}}
+	if EDFFeasibleInServer(over, 10*ms, 10*ms) {
+		t.Error("110% utilisation accepted by EDF-in-server")
+	}
+}
+
+func TestEDFBudgetAtFig2OperatingPoint(t *testing.T) {
+	tasks := Figure2Tasks
+	T := 5 * ms
+	rm, ok1 := MinBudgetRMServer(tasks, T)
+	edf, ok2 := MinBudgetEDFServer(tasks, T)
+	if !ok1 || !ok2 {
+		t.Fatal("T=5ms infeasible")
+	}
+	if edf > rm {
+		t.Errorf("EDF budget %v above RM budget %v", edf, rm)
+	}
+}
+
+func TestMinBudgetMonotoneInC(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := simtime.Duration(10+r.Intn(190)) * ms
+		c1 := simtime.Duration(r.Int63n(int64(p)/2)) + 1
+		c2 := c1 + simtime.Duration(r.Int63n(int64(p)/4)) + 1
+		if c2 > p {
+			c2 = p
+		}
+		T := simtime.Duration(1+r.Intn(200)) * ms
+		b1, ok1 := MinBudgetSingleTask(TaskSpec{C: c1, P: p}, T, TightSupply)
+		b2, ok2 := MinBudgetSingleTask(TaskSpec{C: c2, P: p}, T, TightSupply)
+		if ok1 != ok2 {
+			return !ok2 || ok1 // feasibility can only be lost, not gained
+		}
+		if !ok1 {
+			return true
+		}
+		return b2 >= b1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidSpecsPanic(t *testing.T) {
+	bads := []TaskSpec{
+		{C: 0, P: 100 * ms},
+		{C: 10 * ms, P: 0},
+		{C: 200 * ms, P: 100 * ms},
+	}
+	for _, b := range bads {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("spec %+v did not panic", b)
+				}
+			}()
+			MinBudgetSingleTask(b, 10*ms, PaperSupply)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty RM set did not panic")
+			}
+		}()
+		MinBudgetRMServer(nil, 10*ms)
+	}()
+}

@@ -1,0 +1,396 @@
+// Package core implements the paper's headline contribution: the
+// self-tuning scheduler of Figure 3. Each legacy task gets a task
+// controller (AutoTuner) that
+//
+//  1. downloads the task's syscall timestamps from the kernel tracer,
+//  2. feeds them to the period analyser to estimate the activation
+//     period P,
+//  3. samples the scheduler's consumed-CPU-time sensor and runs a
+//     feedback controller (LFS++ by default) to compute a budget
+//     request Q_req, and
+//  4. submits (Q_req, P) to the supervisor, applying the granted
+//     reservation to the task's CBS server.
+//
+// Everything is transparent to the application: no API calls, no
+// instrumentation — exactly the paper's definition of support for
+// legacy real-time applications.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/feedback"
+	"repro/internal/ktrace"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/spectrum"
+	"repro/internal/supervisor"
+)
+
+// Config parameterises an AutoTuner.
+type Config struct {
+	// Sampling is the controller activation period S. The paper warns
+	// against S = P (asynchronous sampling makes job-wise adaptation
+	// unstable); several periods per activation is the intended use.
+	Sampling simtime.Duration
+	// Horizon is the observation window H fed to the period analyser.
+	Horizon simtime.Duration
+	// Band is the analysed frequency range.
+	Band spectrum.Band
+	// Detect parameterises the peak-detection heuristic.
+	Detect spectrum.DetectConfig
+	// Controller computes budget requests; nil selects LFS++ with the
+	// paper's defaults.
+	Controller feedback.Controller
+	// RateDetection enables the period analyser. When false the
+	// reservation period stays at InitialPeriod (the configuration the
+	// paper uses to evaluate the feedback in isolation, Sec. 5.4).
+	RateDetection bool
+	// InitialBudget and InitialPeriod set the reservation before the
+	// loop has learned anything. The default budget is deliberately
+	// generous (25% of the period): an under-provisioned reservation
+	// throttles the application before the analyser has seen it, and
+	// the throttling itself imprints the server period onto the
+	// syscall train — the analyser then locks onto the reservation
+	// instead of the application, and the loop self-reinforces. A
+	// generous start lets the first detection see the application's
+	// own structure; the controller tightens the budget immediately
+	// after.
+	InitialBudget simtime.Duration
+	InitialPeriod simtime.Duration
+	// MinBandwidth is the guaranteed floor registered with the
+	// supervisor.
+	MinBandwidth float64
+	// MinEvents is the number of traced events required before the
+	// analyser's verdict is trusted.
+	MinEvents int
+	// PeriodTolerance is the relative period change that resets the
+	// controller history (old samples were scaled by the old period).
+	PeriodTolerance float64
+	// Mode selects the CBS flavour of the managed server.
+	Mode sched.Mode
+}
+
+// DefaultConfig returns the configuration used by the paper's
+// complete-feedback experiments. The aperiodicity criterion is
+// stricter than the analyser default: the tuner re-tests every 200ms
+// forever, so its per-window false-positive probability must be far
+// smaller than a one-shot analysis needs — and a genuinely periodic
+// 2s window measures a peak-to-mean ratio an order of magnitude above
+// this threshold anyway.
+func DefaultConfig() Config {
+	detect := spectrum.DefaultDetect
+	detect.MinPeakToMean = 4.5
+	return Config{
+		Sampling:        200 * simtime.Millisecond,
+		Horizon:         2 * simtime.Second,
+		Band:            spectrum.DefaultBand,
+		Detect:          detect,
+		RateDetection:   true,
+		InitialBudget:   10 * simtime.Millisecond,
+		InitialPeriod:   40 * simtime.Millisecond,
+		MinBandwidth:    0.01,
+		MinEvents:       50,
+		PeriodTolerance: 0.10,
+		Mode:            sched.HardCBS,
+	}
+}
+
+// Snapshot records the tuner state after one activation, the data
+// behind Figures 13-14's "reserved fraction of CPU" curves.
+type Snapshot struct {
+	At        simtime.Time
+	Period    simtime.Duration // current period estimate
+	Requested simtime.Duration // budget requested from the supervisor
+	Granted   simtime.Duration // budget actually applied
+	Bandwidth float64          // granted / period
+	Detected  float64          // last analyser verdict in Hz (0 = none)
+	Events    int              // events inside the analyser window
+}
+
+// AutoTuner is the per-task controller of Figure 3.
+type AutoTuner struct {
+	cfg    Config
+	sd     *sched.Scheduler
+	sup    *supervisor.Supervisor
+	client *supervisor.Client
+	tracer *ktrace.Buffer
+	task   *sched.Task
+	server *sched.Server
+
+	window *spectrum.Window
+	ctrl   feedback.Controller
+
+	period      simtime.Duration
+	detected    float64
+	snapshots   []Snapshot
+	running     bool
+	stopped     bool
+	holdLastW   simtime.Duration // consumed-time sensor during the hold phase
+	holdLastExh int              // exhaustion counter during the hold phase
+	holdGrowths int              // budget growths spent during the hold phase
+
+	// Detection hysteresis: a period change is applied only after the
+	// analyser repeats it, so one noisy verdict (common under heavy
+	// contention, when a dilated trace briefly favours a harmonic)
+	// cannot flap the reservation period and reset the controller.
+	pendingPeriod simtime.Duration
+	pendingCount  int
+
+	// OnTick, if non-nil, observes every activation.
+	OnTick func(Snapshot)
+}
+
+// New creates an AutoTuner managing the given task: it builds the
+// task's CBS server, attaches the task, points the tracer's PID filter
+// at it and registers with the supervisor (which may be nil for
+// unsupervised operation). The task must not be attached to a server
+// already.
+func New(sd *sched.Scheduler, sup *supervisor.Supervisor, tracer *ktrace.Buffer,
+	task *sched.Task, cfg Config) (*AutoTuner, error) {
+
+	if cfg.Sampling <= 0 || cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("core: sampling and horizon must be positive")
+	}
+	if cfg.InitialBudget <= 0 || cfg.InitialPeriod <= 0 || cfg.InitialBudget > cfg.InitialPeriod {
+		return nil, fmt.Errorf("core: invalid initial reservation Q=%v T=%v",
+			cfg.InitialBudget, cfg.InitialPeriod)
+	}
+	if cfg.Controller == nil {
+		cfg.Controller = feedback.NewLFSPP()
+	}
+	if cfg.MinEvents <= 0 {
+		cfg.MinEvents = 50
+	}
+	if cfg.PeriodTolerance <= 0 {
+		cfg.PeriodTolerance = 0.10
+	}
+	a := &AutoTuner{
+		cfg:    cfg,
+		sd:     sd,
+		sup:    sup,
+		tracer: tracer,
+		task:   task,
+		ctrl:   cfg.Controller,
+		period: cfg.InitialPeriod,
+	}
+	a.server = sd.NewServer("tuner:"+task.Name(), cfg.InitialBudget, cfg.InitialPeriod, cfg.Mode)
+	task.AttachTo(a.server, 0)
+	if cfg.RateDetection {
+		a.window = spectrum.NewWindow(cfg.Band, cfg.Horizon)
+	}
+	if sup != nil {
+		client, ok := sup.Register("tuner:"+task.Name(), cfg.MinBandwidth)
+		if !ok {
+			return nil, fmt.Errorf("core: supervisor rejected registration of %s", task.Name())
+		}
+		a.client = client
+	}
+	return a, nil
+}
+
+// Task returns the managed task.
+func (a *AutoTuner) Task() *sched.Task { return a.task }
+
+// Server returns the managed CBS server.
+func (a *AutoTuner) Server() *sched.Server { return a.server }
+
+// Period returns the current period estimate.
+func (a *AutoTuner) Period() simtime.Duration { return a.period }
+
+// DetectedFrequency returns the analyser's last verdict in Hz
+// (0 before the first confident detection).
+func (a *AutoTuner) DetectedFrequency() float64 { return a.detected }
+
+// Snapshots returns the activation history.
+func (a *AutoTuner) Snapshots() []Snapshot { return a.snapshots }
+
+// Start schedules the periodic controller activations. It must be
+// called once, before running the engine.
+func (a *AutoTuner) Start() {
+	if a.running {
+		panic("core: AutoTuner started twice")
+	}
+	a.running = true
+	a.stopped = false
+	eng := a.sd.Engine()
+	var tick func()
+	tick = func() {
+		if a.stopped {
+			return
+		}
+		a.tick()
+		eng.After(a.cfg.Sampling, tick)
+	}
+	eng.After(a.cfg.Sampling, tick)
+}
+
+// Stop cancels future activations. The task keeps running in its
+// server with the last applied reservation and the supervisor claim
+// stays in place (the bandwidth is still consumed); the system simply
+// stops adapting. Stop is idempotent and the tuner can be started
+// again later.
+func (a *AutoTuner) Stop() {
+	if !a.running || a.stopped {
+		return
+	}
+	a.stopped = true
+	a.running = false
+}
+
+// tick is one activation of the task controller: Figure 3's loop body.
+func (a *AutoTuner) tick() {
+	now := a.sd.Engine().Now()
+
+	// Bootstrap guard: while no period has been detected yet, a server
+	// that exhausted its budget during the sampling interval has been
+	// dilating the application, and the trace collected meanwhile
+	// shows the *server's* quantisation rather than the application's
+	// period. Discard that evidence, grow the budget and try again —
+	// before letting the analyser see any of it. After several growths
+	// (e.g. when the supervisor caps the budget under contention) the
+	// tuner accepts the imperfect evidence rather than holding forever.
+	const maxHoldGrowths = 10
+	if a.window != nil && a.detected == 0 && a.holdGrowths < maxHoldGrowths {
+		st := a.server.Stats()
+		exhausted := st.Exhaustions > a.holdLastExh
+		a.holdLastExh = st.Exhaustions
+		a.holdLastW = st.Consumed
+		if exhausted {
+			a.holdGrowths++
+			if a.tracer != nil {
+				a.tracer.DrainPID(a.task.PID())
+			}
+			a.window.Reset()
+			req := simtime.Duration(1.5 * float64(a.server.Budget()))
+			if req > a.server.Period() {
+				req = a.server.Period()
+			}
+			a.applyHold(now, req)
+			return
+		}
+	}
+
+	// 1-2. Download the batch of traced timestamps and update the
+	// period estimate.
+	if a.window != nil && a.tracer != nil {
+		events := a.tracer.DrainPID(a.task.PID())
+		a.window.Observe(now, ktrace.Timestamps(events))
+		if a.window.Events() >= a.cfg.MinEvents {
+			det := spectrum.Detect(a.window.Spectrum(), a.cfg.Detect)
+			if det.Periodic && det.Frequency > 0 {
+				newP := simtime.FromHertz(det.Frequency)
+				switch {
+				case a.detected == 0 || relDiff(newP, a.period) <= a.cfg.PeriodTolerance:
+					// First lock, or a refinement of the current one:
+					// apply directly.
+					a.detected = det.Frequency
+					a.period = newP
+					a.pendingCount = 0
+				case a.pendingPeriod != 0 && relDiff(newP, a.pendingPeriod) <= a.cfg.PeriodTolerance:
+					// The same new period again: one more vote.
+					a.pendingCount++
+					a.pendingPeriod = newP
+					if a.pendingCount >= 2 {
+						// The change is real: per-period scalings of the
+						// controller history are invalid.
+						a.ctrl.Reset()
+						a.detected = det.Frequency
+						a.period = newP
+						a.pendingCount = 0
+						a.pendingPeriod = 0
+					}
+				default:
+					a.pendingPeriod = newP
+					a.pendingCount = 0
+				}
+			}
+		}
+	}
+
+	// With rate detection enabled, the feedback law is held back until
+	// the analyser has produced a first period estimate: the law
+	// rescales consumption by the period, so acting on the initial
+	// guess can shrink the budget, dilate the application's bursts and
+	// imprint the wrong period onto the very trace the analyser is
+	// about to read.
+	if a.window != nil && a.detected == 0 {
+		a.applyHold(now, a.server.Budget())
+		return
+	}
+
+	// 3. Sample the scheduler state and run the feedback law.
+	srvStats := a.server.Stats()
+	req := a.ctrl.Tick(feedback.Sample{
+		Now:         now,
+		Consumed:    srvStats.Consumed,
+		Exhaustions: srvStats.Exhaustions,
+		Period:      a.period,
+		Sampling:    a.cfg.Sampling,
+		Budget:      a.server.Budget(),
+	})
+	if req > a.period {
+		req = a.period
+	}
+	if req <= 0 {
+		req = simtime.Microsecond
+	}
+
+	// 4. Submit to the supervisor and actuate.
+	granted := req
+	if a.client != nil {
+		granted = a.client.Request(req, a.period)
+		if granted <= 0 {
+			granted = simtime.Microsecond
+		}
+	}
+	if granted != a.server.Budget() || a.period != a.server.Period() {
+		a.server.SetParams(granted, a.period)
+	}
+	a.recordSnapshot(now, req, granted)
+}
+
+// applyHold actuates a hold-phase request (possibly just the current
+// budget) through the supervisor and records the snapshot.
+func (a *AutoTuner) applyHold(now simtime.Time, req simtime.Duration) {
+	granted := req
+	if a.client != nil {
+		granted = a.client.Request(req, a.server.Period())
+		if granted <= 0 {
+			granted = simtime.Microsecond
+		}
+	}
+	if granted != a.server.Budget() {
+		a.server.SetParams(granted, a.server.Period())
+	}
+	a.recordSnapshot(now, req, granted)
+}
+
+func (a *AutoTuner) recordSnapshot(now simtime.Time, req, granted simtime.Duration) {
+	snap := Snapshot{
+		At:        now,
+		Period:    a.period,
+		Requested: req,
+		Granted:   granted,
+		Bandwidth: a.server.Bandwidth(),
+		Detected:  a.detected,
+	}
+	if a.window != nil {
+		snap.Events = a.window.Events()
+	}
+	a.snapshots = append(a.snapshots, snap)
+	if a.OnTick != nil {
+		a.OnTick(snap)
+	}
+}
+
+func relDiff(a, b simtime.Duration) float64 {
+	if b == 0 {
+		return 1
+	}
+	d := float64(a-b) / float64(b)
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -1,0 +1,127 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Sec. 5), plus the ablations listed in DESIGN.md.
+// Each driver returns structured results that the cmd/experiments
+// binary renders, bench_test.go times, and EXPERIMENTS.md records.
+//
+// Determinism: every driver takes a seed; the same seed reproduces the
+// same virtual-time results bit for bit. Wall-clock measurements
+// (Figures 6-8, which time our own analyser implementation) are the
+// only host-dependent numbers.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ktrace"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/supervisor"
+	"repro/internal/workload"
+)
+
+// world bundles the simulation pieces most experiments need.
+type world struct {
+	eng    *sim.Engine
+	sd     *sched.Scheduler
+	tracer *ktrace.Buffer
+	r      *rng.Source
+}
+
+func newWorld(seed uint64, tracerKind ktrace.Kind) *world {
+	eng := sim.New()
+	return &world{
+		eng:    eng,
+		sd:     sched.New(sched.Config{Engine: eng}),
+		tracer: ktrace.NewBuffer(tracerKind, 1<<18),
+		r:      rng.New(seed),
+	}
+}
+
+// mp3Trace runs the paper's tracing workload — mplayer playing an mp3
+// under qtrace — for the given duration, with an optional background
+// real-time load, and returns the recorded timestamps of the player's
+// system calls. The player runs in the best-effort class, as an
+// untuned legacy application being observed.
+//
+// The paper traces "a set of mp3 files": each seed therefore also
+// draws a per-run decode cost (different songs, bitrates and codecs),
+// which is what spreads the detection statistics at a given load level
+// instead of flipping every run at once.
+func mp3Trace(seed uint64, duration simtime.Duration, load workload.LoadSpec) []simtime.Time {
+	return mp3TraceSong(seed, duration, load, true)
+}
+
+// mp3TraceFixed is mp3Trace with a fixed decode cost: the single-song
+// configuration of Figures 6-9 ("playing an mp3 song").
+func mp3TraceFixed(seed uint64, duration simtime.Duration) []simtime.Time {
+	return mp3TraceSong(seed, duration, noLoad, false)
+}
+
+func mp3TraceSong(seed uint64, duration simtime.Duration, load workload.LoadSpec, varySong bool) []simtime.Time {
+	sys, _ := mp3TraceBoth(seed, duration, load, varySong, false)
+	return sys
+}
+
+// mp3TraceBoth runs the tracing workload and returns both event
+// sources: the syscall timestamps (the paper's mechanism) and, when
+// wantState is set, the blocked/ready transition timestamps (the
+// paper's Sec. 6 ftrace alternative).
+func mp3TraceBoth(seed uint64, duration simtime.Duration, load workload.LoadSpec,
+	varySong, wantState bool) (syscalls, transitions []simtime.Time) {
+
+	w := newWorld(seed, ktrace.QTrace)
+	cfg := workload.MP3PlayerConfig("mplayer")
+	if varySong {
+		cfg.MeanDemand = simtime.Duration(w.r.Uniform(0.6, 1.7) * float64(cfg.MeanDemand))
+	}
+	cfg.Sink = w.tracer
+	player := workload.NewPlayer(w.sd, w.r.Split(), cfg)
+	w.tracer.FilterPIDs(player.Task().PID())
+	var stateBuf *ktrace.Buffer
+	if wantState {
+		stateBuf = ktrace.NewBuffer(ktrace.QTrace, 1<<18)
+		stateBuf.FilterPIDs(player.Task().PID())
+		// Only the wakeups: they carry the activation instants. The
+		// block events carry the *completion* phase, which dilates
+		// under load and (with just two events per period) hands the
+		// harmonics enough amplitude to confuse the detector — measured
+		// before this filter was added.
+		stateBuf.FilterSyscalls(ktrace.NrWakeup)
+		ktrace.AttachStateTracer(w.sd, stateBuf)
+	}
+	workload.StartLoad(w.sd, w.r.Split(), load, "rt")
+	player.Start(0)
+	w.eng.RunUntil(simtime.Time(duration))
+	syscalls = ktrace.Timestamps(w.tracer.Drain())
+	if stateBuf != nil {
+		transitions = ktrace.Timestamps(stateBuf.Drain())
+	}
+	return syscalls, transitions
+}
+
+// noLoad is the zero-background LoadSpec.
+var noLoad = workload.LoadSpec{}
+
+// qtraceKind returns the tracer used by the self-tuning experiments.
+func qtraceKind() ktrace.Kind { return ktrace.QTrace }
+
+// newSupervisor returns the experiments' standard supervisor
+// (U_lub = 1, as in Eq. 1).
+func newSupervisor() *supervisor.Supervisor { return supervisor.New(1) }
+
+// defaultTunerConfig returns the tuner configuration shared by the
+// feedback experiments.
+func defaultTunerConfig() core.Config { return core.DefaultConfig() }
+
+// mustTuner builds and returns an AutoTuner or panics; experiment
+// setup errors are programming errors, not runtime conditions.
+func mustTuner(w *world, sup *supervisor.Supervisor, player *workload.Player, cfg core.Config) *core.AutoTuner {
+	tuner, err := core.New(w.sd, sup, w.tracer, player.Task(), cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return tuner
+}

@@ -1,0 +1,432 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/simtime"
+	"repro/internal/spectrum"
+	"repro/internal/stats"
+)
+
+// timeIt returns the average wall-clock duration of f over iters
+// executions (at least one).
+func timeIt(iters int, f func()) time.Duration {
+	if iters < 1 {
+		iters = 1
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// detectOn computes the spectrum of a fresh mp3 trace of duration h
+// and runs the heuristic with the given configuration.
+func detectOn(seed uint64, h simtime.Duration, band spectrum.Band, cfg spectrum.DetectConfig) (spectrum.Detection, *spectrum.Spectrum) {
+	events := mp3Trace(seed, h, noLoad)
+	s := spectrum.Compute(events, band)
+	return spectrum.Detect(s, cfg), s
+}
+
+// Fig6Point is one (H, δf) cell of Figure 6.
+type Fig6Point struct {
+	HorizonS  float64
+	DeltaF    float64
+	AvgTimeMS float64 // wall time of the transform on this host
+	Ops       int64   // complex exponentials (Eq. 3), host-independent
+	FreqMean  float64
+	FreqStd   float64
+}
+
+// Fig6Result reproduces Figure 6: transform cost and detection
+// precision vs the observation horizon H, for several δf, at
+// fmax = 100 Hz.
+type Fig6Result struct {
+	Points []Fig6Point
+	// TimeFitR2 maps δf to the R² of a linear fit of time vs H; the
+	// paper's claim is linearity (Eq. 3). Wall-clock noise makes this
+	// meaningful only with enough repetitions.
+	TimeFitR2 map[float64]float64
+	// OpsFitR2 is the same fit on the deterministic operation count,
+	// the host-independent form of the linearity claim.
+	OpsFitR2 map[float64]float64
+}
+
+// Fig6 sweeps H ∈ {0.5,1,1.5,2}s and δf ∈ {0.1,0.2,0.5}Hz with `reps`
+// repetitions per cell (the paper uses 100).
+func Fig6(seed uint64, reps int) Fig6Result {
+	if reps <= 0 {
+		reps = 100
+	}
+	horizons := []simtime.Duration{500 * simtime.Millisecond, simtime.Second,
+		1500 * simtime.Millisecond, 2 * simtime.Second}
+	deltas := []float64{0.1, 0.2, 0.5}
+	res := Fig6Result{TimeFitR2: make(map[float64]float64), OpsFitR2: make(map[float64]float64)}
+	for _, df := range deltas {
+		band := spectrum.Band{FMin: 1, FMax: 100, DeltaF: df}
+		var hs, ts, os []float64
+		for _, h := range horizons {
+			var freqs []float64
+			var opsTotal int64
+			var elapsed time.Duration
+			for rep := 0; rep < reps; rep++ {
+				events := mp3TraceFixed(seed+uint64(rep)*101, h)
+				var s *spectrum.Spectrum
+				elapsed += timeIt(1, func() { s = spectrum.Compute(events, band) })
+				opsTotal += s.Ops
+				if d := spectrum.Detect(s, spectrum.DefaultDetect); d.Periodic {
+					freqs = append(freqs, d.Frequency)
+				}
+			}
+			pt := Fig6Point{
+				HorizonS:  h.Seconds(),
+				DeltaF:    df,
+				AvgTimeMS: float64(elapsed.Microseconds()) / float64(reps) / 1e3,
+				Ops:       opsTotal / int64(reps),
+				FreqMean:  stats.Mean(freqs),
+				FreqStd:   stats.Std(freqs),
+			}
+			res.Points = append(res.Points, pt)
+			hs = append(hs, pt.HorizonS)
+			ts = append(ts, pt.AvgTimeMS)
+			os = append(os, float64(pt.Ops))
+		}
+		res.TimeFitR2[df] = stats.FitLine(hs, ts).R2
+		res.OpsFitR2[df] = stats.FitLine(hs, os).R2
+	}
+	return res
+}
+
+// Series renders Figure 6 as two CSV series (overhead and precision).
+func (r Fig6Result) Series() (*report.Series, *report.Series) {
+	over := report.NewSeries("Figure 6a: transform time (ms) vs H, fmax=100Hz",
+		"H_s", "deltaF_Hz", "time_ms", "ops")
+	prec := report.NewSeries("Figure 6b: detected frequency vs H, fmax=100Hz",
+		"H_s", "deltaF_Hz", "freq_mean_Hz", "freq_std_Hz")
+	for _, p := range r.Points {
+		over.Add(p.HorizonS, p.DeltaF, p.AvgTimeMS, float64(p.Ops))
+		prec.Add(p.HorizonS, p.DeltaF, p.FreqMean, p.FreqStd)
+	}
+	return over, prec
+}
+
+// Fig7Point is one (fmax, H) cell of Figure 7.
+type Fig7Point struct {
+	FMax      float64
+	HorizonS  float64
+	AvgTimeMS float64
+	Ops       int64
+	FreqMean  float64
+	FreqStd   float64
+}
+
+// Fig7Result reproduces Figure 7: transform cost and detection
+// precision vs fmax at δf = 0.5 Hz.
+type Fig7Result struct {
+	Points []Fig7Point
+	// StdGrowsWithFMax reports whether the average detection std at
+	// fmax=400 exceeds the one at fmax=100 (the paper's observation).
+	StdAt100, StdAt400 float64
+}
+
+// Fig7 sweeps fmax ∈ {100,200,300,400}Hz and H ∈ {0.5,1,1.5,2}s.
+func Fig7(seed uint64, reps int) Fig7Result {
+	if reps <= 0 {
+		reps = 100
+	}
+	horizons := []simtime.Duration{500 * simtime.Millisecond, simtime.Second,
+		1500 * simtime.Millisecond, 2 * simtime.Second}
+	var res Fig7Result
+	var n100, n400 int
+	for _, fmax := range []float64{100, 200, 300, 400} {
+		band := spectrum.Band{FMin: 1, FMax: fmax, DeltaF: 0.5}
+		for _, h := range horizons {
+			var freqs []float64
+			var opsTotal int64
+			var elapsed time.Duration
+			for rep := 0; rep < reps; rep++ {
+				events := mp3TraceFixed(seed+uint64(rep)*271, h)
+				var s *spectrum.Spectrum
+				elapsed += timeIt(1, func() { s = spectrum.Compute(events, band) })
+				opsTotal += s.Ops
+				if d := spectrum.Detect(s, spectrum.DefaultDetect); d.Periodic {
+					freqs = append(freqs, d.Frequency)
+				}
+			}
+			pt := Fig7Point{
+				FMax:      fmax,
+				HorizonS:  h.Seconds(),
+				AvgTimeMS: float64(elapsed.Microseconds()) / float64(reps) / 1e3,
+				Ops:       opsTotal / int64(reps),
+				FreqMean:  stats.Mean(freqs),
+				FreqStd:   stats.Std(freqs),
+			}
+			res.Points = append(res.Points, pt)
+			switch fmax {
+			case 100:
+				res.StdAt100 += pt.FreqStd
+				n100++
+			case 400:
+				res.StdAt400 += pt.FreqStd
+				n400++
+			}
+		}
+	}
+	if n100 > 0 {
+		res.StdAt100 /= float64(n100)
+	}
+	if n400 > 0 {
+		res.StdAt400 /= float64(n400)
+	}
+	return res
+}
+
+// Series renders Figure 7 as two CSV series.
+func (r Fig7Result) Series() (*report.Series, *report.Series) {
+	over := report.NewSeries("Figure 7a: transform time (ms) vs fmax, deltaF=0.5Hz",
+		"fmax_Hz", "H_s", "time_ms", "ops")
+	prec := report.NewSeries("Figure 7b: detected frequency vs fmax, deltaF=0.5Hz",
+		"fmax_Hz", "H_s", "freq_mean_Hz", "freq_std_Hz")
+	for _, p := range r.Points {
+		over.Add(p.FMax, p.HorizonS, p.AvgTimeMS, float64(p.Ops))
+		prec.Add(p.FMax, p.HorizonS, p.FreqMean, p.FreqStd)
+	}
+	return over, prec
+}
+
+// Fig8Point is one (ε, H) cell of Figure 8.
+type Fig8Point struct {
+	Epsilon   float64
+	HorizonS  float64
+	Alpha     float64
+	AvgTimeUS float64 // heuristic-only wall time
+	Scanned   int64   // elements examined (Eq. 5)
+}
+
+// Fig8Result reproduces Figure 8: the peak-detection heuristic's cost
+// vs ε, with (b) and without (a) the α threshold.
+type Fig8Result struct {
+	Points []Fig8Point
+	// SpeedupFromAlpha is the mean ratio of α=0 cost to α=0.2 cost
+	// (the paper's plots show roughly 3-4x).
+	SpeedupFromAlpha float64
+}
+
+// Fig8 sweeps ε ∈ {0.1..1.0} and H ∈ {0.5,1,1.5,2}s for α ∈ {0, 0.2}.
+func Fig8(seed uint64, reps int) Fig8Result {
+	if reps <= 0 {
+		reps = 100
+	}
+	horizons := []simtime.Duration{500 * simtime.Millisecond, simtime.Second,
+		1500 * simtime.Millisecond, 2 * simtime.Second}
+	var res Fig8Result
+	var ratioSum float64
+	var ratioN int
+	for _, h := range horizons {
+		// One spectrum per (H, rep); the heuristic is what is timed.
+		specs := make([]*spectrum.Spectrum, 0, reps)
+		for rep := 0; rep < reps; rep++ {
+			events := mp3TraceFixed(seed+uint64(rep)*733, h)
+			specs = append(specs, spectrum.Compute(events, spectrum.DefaultBand))
+		}
+		for eps := 0.1; eps <= 1.001; eps += 0.1 {
+			var byAlpha [2]float64
+			for ai, alpha := range []float64{0, 0.2} {
+				cfg := spectrum.DetectConfig{Alpha: alpha, Epsilon: eps, KMax: 10}
+				var scanned int64
+				elapsed := timeIt(1, func() {
+					for _, s := range specs {
+						d := spectrum.Detect(s, cfg)
+						scanned += d.Scanned
+					}
+				})
+				avgUS := float64(elapsed.Nanoseconds()) / float64(reps) / 1e3
+				res.Points = append(res.Points, Fig8Point{
+					Epsilon:   eps,
+					HorizonS:  h.Seconds(),
+					Alpha:     alpha,
+					AvgTimeUS: avgUS,
+					Scanned:   scanned / int64(reps),
+				})
+				byAlpha[ai] = avgUS
+			}
+			if byAlpha[1] > 0 {
+				ratioSum += byAlpha[0] / byAlpha[1]
+				ratioN++
+			}
+		}
+	}
+	if ratioN > 0 {
+		res.SpeedupFromAlpha = ratioSum / float64(ratioN)
+	}
+	return res
+}
+
+// Series renders Figure 8 as one CSV series.
+func (r Fig8Result) Series() *report.Series {
+	s := report.NewSeries("Figure 8: peak-detection time (us) vs epsilon",
+		"epsilon_Hz", "H_s", "alpha", "time_us", "scanned")
+	for _, p := range r.Points {
+		s.Add(p.Epsilon, p.HorizonS, p.Alpha, p.AvgTimeUS, float64(p.Scanned))
+	}
+	return s
+}
+
+// Fig9Point is one (ε, H) cell of Figure 9.
+type Fig9Point struct {
+	Epsilon  float64
+	HorizonS float64
+	FreqMean float64
+	FreqStd  float64
+}
+
+// Fig9Result reproduces Figure 9: detected-frequency statistics vs ε.
+type Fig9Result struct {
+	Points []Fig9Point
+}
+
+// Fig9 sweeps ε ∈ {0.1..1.0} and H ∈ {0.5,1,1.5,2}s at α = 0.2.
+func Fig9(seed uint64, reps int) Fig9Result {
+	if reps <= 0 {
+		reps = 100
+	}
+	horizons := []simtime.Duration{500 * simtime.Millisecond, simtime.Second,
+		1500 * simtime.Millisecond, 2 * simtime.Second}
+	var res Fig9Result
+	for _, h := range horizons {
+		specs := make([]*spectrum.Spectrum, 0, reps)
+		for rep := 0; rep < reps; rep++ {
+			events := mp3TraceFixed(seed+uint64(rep)*947, h)
+			specs = append(specs, spectrum.Compute(events, spectrum.DefaultBand))
+		}
+		for eps := 0.1; eps <= 1.001; eps += 0.1 {
+			cfg := spectrum.DetectConfig{Alpha: 0.2, Epsilon: eps, KMax: 10}
+			var freqs []float64
+			for _, s := range specs {
+				if d := spectrum.Detect(s, cfg); d.Periodic {
+					freqs = append(freqs, d.Frequency)
+				}
+			}
+			res.Points = append(res.Points, Fig9Point{
+				Epsilon:  eps,
+				HorizonS: h.Seconds(),
+				FreqMean: stats.Mean(freqs),
+				FreqStd:  stats.Std(freqs),
+			})
+		}
+	}
+	return res
+}
+
+// Series renders Figure 9 as one CSV series.
+func (r Fig9Result) Series() *report.Series {
+	s := report.NewSeries("Figure 9: detected frequency vs epsilon (alpha=0.2)",
+		"epsilon_Hz", "H_s", "freq_mean_Hz", "freq_std_Hz")
+	for _, p := range r.Points {
+		s.Add(p.Epsilon, p.HorizonS, p.FreqMean, p.FreqStd)
+	}
+	return s
+}
+
+// Fig10Result reproduces Figure 10: the normalised amplitude spectrum
+// of the mplayer trace at increasing tracing times.
+type Fig10Result struct {
+	Series *report.Series // freq_Hz then one column per tracing time
+	// PeakSharpness maps tracing milliseconds to the ratio between the
+	// fundamental's amplitude and the mean amplitude over the band:
+	// the peaks sharpen as the tracing time grows (the paper:
+	// "indisputable starting from 1s of tracing time").
+	PeakSharpness map[int]float64
+}
+
+// Fig10 computes spectra for tracing times {0.2, 0.5, 1, 2, 4}s.
+func Fig10(seed uint64) Fig10Result {
+	times := []simtime.Duration{200 * simtime.Millisecond, 500 * simtime.Millisecond,
+		simtime.Second, 2 * simtime.Second, 4 * simtime.Second}
+	band := spectrum.Band{FMin: 25, FMax: 100, DeltaF: 0.1}
+	series := report.NewSeries("Figure 10: normalised spectrum vs tracing time",
+		"freq_Hz", "t200ms", "t500ms", "t1000ms", "t2000ms", "t4000ms")
+	norms := make([][]float64, len(times))
+	res := Fig10Result{PeakSharpness: make(map[int]float64)}
+	for i, h := range times {
+		events := mp3Trace(seed, h, noLoad)
+		s := spectrum.Compute(events, band)
+		norms[i] = s.Normalized()
+		if mean := s.Mean(); mean > 0 {
+			res.PeakSharpness[int(h.Milliseconds())] = s.Amp[band.Bin(32.5)] / mean
+		}
+	}
+	for bin := 0; bin < band.Bins(); bin++ {
+		series.Add(band.Freq(bin), norms[0][bin], norms[1][bin], norms[2][bin], norms[3][bin], norms[4][bin])
+	}
+	res.Series = series
+	return res
+}
+
+// Fig11Result reproduces Figure 11: the PMF of the detected frequency
+// at short vs long tracing times.
+type Fig11Result struct {
+	ShortPMF []stats.PMFBin // H = 200ms
+	LongPMF  []stats.PMFBin // H = 2s
+	// Fraction of detections within 1 Hz of the true 32.5 Hz.
+	ShortHit, LongHit float64
+	// Fraction of detections at the higher harmonics (>60 Hz).
+	ShortHarmonic, LongHarmonic float64
+}
+
+// Fig11 repeats trace+detect `reps` times (the paper uses 100) at
+// H = 200ms and H = 2s.
+func Fig11(seed uint64, reps int) Fig11Result {
+	if reps <= 0 {
+		reps = 100
+	}
+	collect := func(h simtime.Duration) []float64 {
+		var freqs []float64
+		for rep := 0; rep < reps; rep++ {
+			d, _ := detectOn(seed+uint64(rep)*389, h, spectrum.DefaultBand, spectrum.DefaultDetect)
+			if d.Periodic {
+				freqs = append(freqs, d.Frequency)
+			}
+		}
+		return freqs
+	}
+	short := collect(200 * simtime.Millisecond)
+	long := collect(2 * simtime.Second)
+	frac := func(fs []float64, pred func(float64) bool) float64 {
+		if len(fs) == 0 {
+			return 0
+		}
+		n := 0
+		for _, f := range fs {
+			if pred(f) {
+				n++
+			}
+		}
+		return float64(n) / float64(len(fs))
+	}
+	near := func(f float64) bool { return f > 31.5 && f < 33.5 }
+	harm := func(f float64) bool { return f > 60 }
+	return Fig11Result{
+		ShortPMF:      stats.PMF(short, 0.5),
+		LongPMF:       stats.PMF(long, 0.5),
+		ShortHit:      frac(short, near),
+		LongHit:       frac(long, near),
+		ShortHarmonic: frac(short, harm),
+		LongHarmonic:  frac(long, harm),
+	}
+}
+
+// Series renders both PMFs.
+func (r Fig11Result) Series() (*report.Series, *report.Series) {
+	s1 := report.NewSeries("Figure 11a: PMF of detected frequency, H=200ms", "freq_Hz", "mass")
+	for _, b := range r.ShortPMF {
+		s1.Add(b.Center, b.Mass)
+	}
+	s2 := report.NewSeries("Figure 11b: PMF of detected frequency, H=2s", "freq_Hz", "mass")
+	for _, b := range r.LongPMF {
+		s2.Add(b.Center, b.Mass)
+	}
+	return s1, s2
+}

@@ -1,0 +1,207 @@
+package feedback
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Sample is the scheduler-state snapshot a controller receives at each
+// activation. The paper's point is that everything here comes from
+// *inside* the kernel — the application contributes nothing.
+type Sample struct {
+	Now simtime.Time
+	// Consumed is the cumulative CPU time delivered through the task's
+	// server (the qres_get_time sensor).
+	Consumed simtime.Duration
+	// Exhaustions is the cumulative count of server budget
+	// exhaustions (the binary sensor the original LFS relies on).
+	Exhaustions int
+	// Period is the current task-period estimate from the analyser.
+	Period simtime.Duration
+	// Sampling is the controller activation period S.
+	Sampling simtime.Duration
+	// Budget is the server's currently configured budget.
+	Budget simtime.Duration
+}
+
+// Controller computes the budget to request for the next sampling
+// interval; the reservation period is set to the task period by the
+// surrounding machinery (Sec. 4.4: "the reservation period is set
+// equal to the task period").
+type Controller interface {
+	// Tick consumes one sample and returns the requested budget for a
+	// reservation of period Sample.Period.
+	Tick(s Sample) simtime.Duration
+	// Reset discards controller state (e.g. after a period change).
+	Reset()
+	// Name identifies the controller in reports and benchmarks.
+	Name() string
+}
+
+// Bounds clamp requested bandwidth to a sane operating range.
+type Bounds struct {
+	MinBandwidth float64 // lower bound on Q/T
+	MaxBandwidth float64 // upper bound on Q/T
+}
+
+// DefaultBounds keeps requests within [1%, 95%] of the CPU.
+var DefaultBounds = Bounds{MinBandwidth: 0.01, MaxBandwidth: 0.95}
+
+func (b Bounds) clamp(q, period simtime.Duration) simtime.Duration {
+	if b.MaxBandwidth > 0 {
+		if max := simtime.Duration(b.MaxBandwidth * float64(period)); q > max {
+			q = max
+		}
+	}
+	if min := simtime.Duration(b.MinBandwidth * float64(period)); q < min {
+		q = min
+	}
+	if q < simtime.Microsecond {
+		q = simtime.Microsecond
+	}
+	return q
+}
+
+// LFSPP is the paper's new controller (Sec. 4.4): it differences the
+// consumed-CPU-time sensor across sampling periods, rescales the
+// difference to a per-task-period computation time, feeds it to a
+// predictor, and requests (1+x) times the prediction.
+//
+// One subtlety the sensor forces on the design: while the server is
+// saturated (backlogged through the whole sampling interval), the
+// measured consumption equals the *granted* bandwidth, not the demand,
+// so the prediction alone can never climb out of under-allocation
+// faster than (1+x) per tick. When saturation is detected the request
+// therefore grows by CatchUp on top — the mechanism behind the
+// "almost immediate" adaptation visible in the paper's Figure 13.
+type LFSPP struct {
+	// Spread is the factor x, "usually between 10% and 20%".
+	Spread float64
+	// CatchUp is the extra multiplicative growth applied while the
+	// server is saturated end to end.
+	CatchUp float64
+	// Predictor estimates the next per-period computation time; nil
+	// selects the paper's quantile predictor with p=0.9375, N=16.
+	Predictor Predictor
+	// Bounds clamp the requested bandwidth.
+	Bounds Bounds
+
+	lastW  simtime.Duration
+	primed bool
+}
+
+// NewLFSPP returns the controller with the paper's defaults
+// (x = 0.15, quantile predictor p = 0.9375 over N = 16 samples).
+func NewLFSPP() *LFSPP {
+	return &LFSPP{
+		Spread:    0.15,
+		CatchUp:   0.5,
+		Predictor: NewQuantilePredictor(0.9375, 16),
+		Bounds:    DefaultBounds,
+	}
+}
+
+// Tick implements Controller.
+func (c *LFSPP) Tick(s Sample) simtime.Duration {
+	if c.Predictor == nil {
+		c.Predictor = NewQuantilePredictor(0.9375, 16)
+	}
+	w := s.Consumed
+	if !c.primed {
+		c.primed = true
+		c.lastW = w
+		// Nothing to predict from yet: hold the current budget.
+		return c.Bounds.clamp(s.Budget, s.Period)
+	}
+	delta := w - c.lastW
+	c.lastW = w
+	var supplyCap float64
+	if s.Period > 0 && s.Sampling > 0 {
+		// Scale the interval consumption to one task period:
+		// (Wk - Wk-1) * P / S.
+		perPeriod := simtime.Duration(float64(delta) * float64(s.Period) / float64(s.Sampling))
+		c.Predictor.Observe(perPeriod)
+		supplyCap = float64(s.Budget) * float64(s.Sampling) / float64(s.Period)
+	}
+	pred := c.Predictor.Predict()
+	q := simtime.Duration((1 + c.Spread) * float64(pred))
+	if c.CatchUp > 0 && supplyCap > 0 && float64(delta) >= 0.9*supplyCap {
+		// The task ate (nearly) everything it was given for the whole
+		// interval: its demand is unknown but at least the budget.
+		if grown := simtime.Duration((1 + c.CatchUp) * float64(s.Budget)); grown > q {
+			q = grown
+		}
+	}
+	return c.Bounds.clamp(q, s.Period)
+}
+
+// Reset implements Controller.
+func (c *LFSPP) Reset() {
+	c.primed = false
+	if c.Predictor != nil {
+		c.Predictor.Reset()
+	}
+}
+
+// Name implements Controller.
+func (c *LFSPP) Name() string {
+	pname := "quantile(p=0.9375,N=16)"
+	if c.Predictor != nil {
+		pname = c.Predictor.Name()
+	}
+	return fmt.Sprintf("lfs++(x=%.2g,%s)", c.Spread, pname)
+}
+
+// LFS is the baseline controller of [2], reconstructed from its
+// description in the paper: the scheduler exposes only "a binary
+// variable that simply says whether the task received enough
+// computation in the last period or not", and the budget takes a
+// fixed additive step up when the server saturated and a smaller step
+// down otherwise. The one-bit sensor admits no faster law — the
+// controller cannot tell *how far* off it is — which is what makes
+// its convergence slow (Fig. 13: the reserved fraction "starts from a
+// low value and grows quite slowly").
+type LFS struct {
+	// Up is the bandwidth step (fraction of the reservation period)
+	// added per saturated sample.
+	Up float64
+	// Down is the bandwidth step subtracted per idle sample.
+	Down float64
+	// Bounds clamp the requested bandwidth.
+	Bounds Bounds
+
+	lastExhaust int
+	primed      bool
+}
+
+// NewLFS returns the baseline controller with steps chosen to
+// reproduce the >100-frame convergence visible in Fig. 13 at a
+// 200ms sampling period.
+func NewLFS() *LFS {
+	return &LFS{Up: 0.004, Down: 0.0015, Bounds: DefaultBounds}
+}
+
+// Tick implements Controller.
+func (c *LFS) Tick(s Sample) simtime.Duration {
+	saturated := false
+	if !c.primed {
+		c.primed = true
+	} else {
+		saturated = s.Exhaustions > c.lastExhaust
+	}
+	c.lastExhaust = s.Exhaustions
+	q := float64(s.Budget)
+	if saturated {
+		q += c.Up * float64(s.Period)
+	} else {
+		q -= c.Down * float64(s.Period)
+	}
+	return c.Bounds.clamp(simtime.Duration(q), s.Period)
+}
+
+// Reset implements Controller.
+func (c *LFS) Reset() { c.primed = false; c.lastExhaust = 0 }
+
+// Name implements Controller.
+func (c *LFS) Name() string { return fmt.Sprintf("lfs(up=%.2g,down=%.2g)", c.Up, c.Down) }

@@ -1,0 +1,212 @@
+package ktrace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func ev(ms int64, pid, nr int) (simtime.Time, int, int) {
+	return simtime.Time(ms * int64(simtime.Millisecond)), pid, nr
+}
+
+func TestRecordAndDrain(t *testing.T) {
+	b := NewBuffer(QTrace, 16)
+	for i := int64(0); i < 5; i++ {
+		b.Syscall(ev(i, 100, 1))
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	events := b.Drain()
+	if len(events) != 5 {
+		t.Fatalf("drained %d", len(events))
+	}
+	for i, e := range events {
+		if e.At != simtime.Time(int64(i)*int64(simtime.Millisecond)) {
+			t.Errorf("event %d at %v", i, e.At)
+		}
+	}
+	if b.Len() != 0 {
+		t.Error("Drain did not empty the buffer")
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	b := NewBuffer(QTrace, 4)
+	for i := int64(0); i < 10; i++ {
+		b.Syscall(ev(i, 1, 1))
+	}
+	if b.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", b.Dropped())
+	}
+	events := b.Drain()
+	if len(events) != 4 {
+		t.Fatalf("drained %d, want 4", len(events))
+	}
+	// The most recent 4 must survive, in order.
+	for i, e := range events {
+		want := simtime.Time(int64(6+i) * int64(simtime.Millisecond))
+		if e.At != want {
+			t.Errorf("event %d at %v, want %v", i, e.At, want)
+		}
+	}
+}
+
+func TestPIDFilter(t *testing.T) {
+	b := NewBuffer(QTrace, 16)
+	b.FilterPIDs(7)
+	b.Syscall(ev(1, 7, 1))
+	b.Syscall(ev(2, 8, 1))
+	b.Syscall(ev(3, 7, 2))
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+	if b.Discarded() != 1 {
+		t.Errorf("Discarded = %d, want 1", b.Discarded())
+	}
+	b.FilterPIDs() // clear
+	b.Syscall(ev(4, 8, 1))
+	if b.Len() != 3 {
+		t.Error("cleared PID filter still filtering")
+	}
+}
+
+func TestSyscallFilter(t *testing.T) {
+	b := NewBuffer(QTrace, 16)
+	b.FilterSyscalls(5)
+	b.Syscall(ev(1, 1, 5))
+	b.Syscall(ev(2, 1, 6))
+	if b.Len() != 1 {
+		t.Errorf("Len = %d, want 1", b.Len())
+	}
+}
+
+func TestOverheadPerKind(t *testing.T) {
+	var prev simtime.Duration = -1
+	for _, k := range []Kind{NoTrace, QTrace, QOSTrace, STrace} {
+		ov := k.PerEventOverhead()
+		if ov <= prev {
+			t.Errorf("overhead of %v (%v) not greater than previous (%v)", k, ov, prev)
+		}
+		prev = ov
+		b := NewBuffer(k, 8)
+		got := b.Syscall(ev(1, 1, 1))
+		if got != ov {
+			t.Errorf("%v Syscall overhead %v, want %v", k, got, ov)
+		}
+	}
+	if NoTrace.Records() || !QTrace.Records() {
+		t.Error("Records() wrong")
+	}
+}
+
+func TestNoTraceRecordsNothing(t *testing.T) {
+	b := NewBuffer(NoTrace, 8)
+	if ov := b.Syscall(ev(1, 1, 1)); ov != 0 {
+		t.Errorf("NoTrace charged %v", ov)
+	}
+	if b.Len() != 0 || b.Recorded() != 0 {
+		t.Error("NoTrace recorded events")
+	}
+}
+
+func TestPtraceChargesFilteredCalls(t *testing.T) {
+	// ptrace-based tracers stop the tracee on every syscall, so even
+	// filtered-out calls cost; the in-kernel tracer filters for free.
+	for _, k := range []Kind{QOSTrace, STrace} {
+		b := NewBuffer(k, 8)
+		b.FilterPIDs(42)
+		if ov := b.Syscall(ev(1, 1, 1)); ov != k.PerEventOverhead() {
+			t.Errorf("%v filtered call charged %v", k, ov)
+		}
+	}
+	b := NewBuffer(QTrace, 8)
+	b.FilterPIDs(42)
+	if ov := b.Syscall(ev(1, 1, 1)); ov != 0 {
+		t.Errorf("QTrace filtered call charged %v", ov)
+	}
+}
+
+func TestDrainPID(t *testing.T) {
+	b := NewBuffer(QTrace, 16)
+	b.Syscall(ev(1, 7, 1))
+	b.Syscall(ev(2, 8, 1))
+	b.Syscall(ev(3, 7, 1))
+	b.Syscall(ev(4, 9, 1))
+	mine := b.DrainPID(7)
+	if len(mine) != 2 {
+		t.Fatalf("DrainPID(7) returned %d", len(mine))
+	}
+	rest := b.Drain()
+	if len(rest) != 2 {
+		t.Fatalf("remaining %d, want 2", len(rest))
+	}
+	if rest[0].PID != 8 || rest[1].PID != 9 {
+		t.Errorf("remaining PIDs %d,%d", rest[0].PID, rest[1].PID)
+	}
+}
+
+func TestSnapshotDoesNotConsume(t *testing.T) {
+	b := NewBuffer(QTrace, 8)
+	b.Syscall(ev(1, 1, 1))
+	if len(b.Snapshot()) != 1 || b.Len() != 1 {
+		t.Error("Snapshot consumed events")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	b := NewBuffer(QTrace, 32)
+	for i := 0; i < 10; i++ {
+		b.Syscall(ev(int64(i), 1, 16)) // ioctl-ish
+	}
+	for i := 0; i < 3; i++ {
+		b.Syscall(ev(int64(20+i), 1, 0))
+	}
+	h := b.Histogram()
+	if h[16] != 10 || h[0] != 3 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestTimestamps(t *testing.T) {
+	events := []Event{{At: 5}, {At: 9}}
+	ts := Timestamps(events)
+	if len(ts) != 2 || ts[0] != 5 || ts[1] != 9 {
+		t.Errorf("Timestamps = %v", ts)
+	}
+}
+
+func TestInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBuffer(0) did not panic")
+		}
+	}()
+	NewBuffer(QTrace, 0)
+}
+
+func TestQuickDrainPreservesChronology(t *testing.T) {
+	check := func(capSeed, n uint8) bool {
+		capacity := int(capSeed%63) + 1
+		b := NewBuffer(QTrace, capacity)
+		for i := 0; i < int(n); i++ {
+			b.Syscall(simtime.Time(i), 1, 1)
+		}
+		events := b.Drain()
+		for i := 1; i < len(events); i++ {
+			if events[i].At <= events[i-1].At {
+				return false
+			}
+		}
+		wantLen := int(n)
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		return len(events) == wantLen
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

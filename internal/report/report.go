@@ -1,0 +1,166 @@
+// Package report renders experiment results as aligned text tables and
+// CSV series, the two output forms of the experiment drivers: tables
+// mirror the paper's tables, CSV series regenerate its figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned-text table builder.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped,
+// missing cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells; each argument is rendered
+// with %v.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.4g", v))
+		case string:
+			row = append(row, v)
+		default:
+			row = append(row, fmt.Sprintf("%v", c))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// AddNote appends a footnote line rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.headers)
+	seps := make([]string, len(t.headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.rows {
+		line(row)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a named multi-column numeric series, rendered as CSV: the
+// figure-regeneration format (one column per plotted curve).
+type Series struct {
+	title   string
+	columns []string
+	rows    [][]float64
+}
+
+// NewSeries returns a series with the given title and column names.
+func NewSeries(title string, columns ...string) *Series {
+	return &Series{title: title, columns: columns}
+}
+
+// Add appends one row of values; its length must match the columns.
+func (s *Series) Add(values ...float64) {
+	if len(values) != len(s.columns) {
+		panic(fmt.Sprintf("report: series %q row has %d values, want %d",
+			s.title, len(values), len(s.columns)))
+	}
+	row := make([]float64, len(values))
+	copy(row, values)
+	s.rows = append(s.rows, row)
+}
+
+// Len returns the number of rows.
+func (s *Series) Len() int { return len(s.rows) }
+
+// Column returns a copy of column i's values.
+func (s *Series) Column(i int) []float64 {
+	out := make([]float64, len(s.rows))
+	for k, row := range s.rows {
+		out[k] = row[i]
+	}
+	return out
+}
+
+// RenderCSV writes the series as CSV with a comment header.
+func (s *Series) RenderCSV(w io.Writer) {
+	if s.title != "" {
+		fmt.Fprintf(w, "# %s\n", s.title)
+	}
+	fmt.Fprintln(w, strings.Join(s.columns, ","))
+	for _, row := range s.rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%g", v)
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+}
+
+// String renders the series to a CSV string.
+func (s *Series) String() string {
+	var b strings.Builder
+	s.RenderCSV(&b)
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Overhead", "Tracer", "Average (s)", "Relative")
+	tb.AddRow("NOTRACE", "21.0916", "-")
+	tb.AddRow("QTRACE", "21.2253", "0.63%")
+	tb.AddNote("10 runs each")
+	out := tb.String()
+	if !strings.Contains(out, "== Overhead ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "NOTRACE") || !strings.Contains(out, "0.63%") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "note: 10 runs each") {
+		t.Error("missing note")
+	}
+	// Alignment: all data lines should start columns at the same offset.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count:\n%s", out)
+	}
+	header := lines[1]
+	if !strings.HasPrefix(header, "Tracer ") {
+		t.Errorf("header misaligned: %q", header)
+	}
+}
+
+func TestTableRowPaddingAndTruncation(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1")           // short row: pads
+	tb.AddRow("1", "2", "3") // long row: drops the extra
+	out := tb.String()
+	if strings.Contains(out, "3") {
+		t.Errorf("extra cell leaked:\n%s", out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("t", "x", "y")
+	tb.AddRowf(1.23456789, 42)
+	out := tb.String()
+	if !strings.Contains(out, "1.235") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Errorf("int formatting wrong:\n%s", out)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := NewSeries("fig1", "period_ms", "bandwidth")
+	s.Add(1, 0.2)
+	s.Add(2, 0.25)
+	out := s.String()
+	want := "# fig1\nperiod_ms,bandwidth\n1,0.2\n2,0.25\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	col := s.Column(1)
+	if len(col) != 2 || col[0] != 0.2 || col[1] != 0.25 {
+		t.Errorf("Column(1) = %v", col)
+	}
+}
+
+func TestSeriesPanicsOnWidthMismatch(t *testing.T) {
+	s := NewSeries("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Add did not panic")
+		}
+	}()
+	s.Add(1)
+}

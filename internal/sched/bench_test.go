@@ -1,0 +1,65 @@
+package sched_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// BenchmarkPeriodicSecond measures simulating one second of a system
+// with eight periodic reservations (a realistic tuner deployment).
+func BenchmarkPeriodicSecond(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		sd := sched.New(sched.Config{Engine: eng})
+		for k := 0; k < 8; k++ {
+			p := simtime.Duration(10+3*k) * ms
+			c := p / 10
+			srv := sd.NewServer(fmt.Sprintf("s%d", k), c, p, sched.HardCBS)
+			tk := sd.NewTask(fmt.Sprintf("t%d", k))
+			tk.AttachTo(srv, 0)
+			startPeriodic(eng, tk, c, p, 0)
+		}
+		eng.RunUntil(simtime.Time(simtime.Second))
+	}
+}
+
+// BenchmarkDispatchChurn stresses the dispatch path: two best-effort
+// hogs and a high-rate reservation preempting them continuously.
+func BenchmarkDispatchChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		sd := sched.New(sched.Config{Engine: eng, BEQuantum: ms})
+		srv := sd.NewServer("rt", 200*us, ms, sched.HardCBS)
+		rt := sd.NewTask("rt")
+		rt.AttachTo(srv, 0)
+		startPeriodic(eng, rt, 200*us, ms, 0)
+		for k := 0; k < 2; k++ {
+			hog := sd.NewTask(fmt.Sprintf("hog%d", k))
+			eng.At(0, func() {
+				hog.Release(sched.NewJob(0, simtime.Duration(simtime.Second), simtime.Never))
+			})
+		}
+		eng.RunUntil(simtime.Time(200 * ms))
+	}
+}
+
+// BenchmarkSetParams measures the feedback actuator.
+func BenchmarkSetParams(b *testing.B) {
+	eng := sim.New()
+	sd := sched.New(sched.Config{Engine: eng})
+	srv := sd.NewServer("s", 5*ms, 20*ms, sched.HardCBS)
+	tk := sd.NewTask("t")
+	tk.AttachTo(srv, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := simtime.Duration(1+i%10) * ms
+		srv.SetParams(q, 20*ms)
+	}
+}

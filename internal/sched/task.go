@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// ProgressHook is a callback fired when a job's cumulative execution
+// reaches Offset. Hooks model observable side effects of execution —
+// in this reproduction, system calls issued by the application — so
+// their firing *wall* time depends on how the job is scheduled, which
+// is exactly the load-dependence the paper's tracer observes.
+type ProgressHook struct {
+	Offset simtime.Duration // execution progress at which to fire
+	Fn     func(now simtime.Time)
+}
+
+// Job is one activation of a task: an execution demand plus an
+// absolute deadline and an ordered list of progress hooks.
+type Job struct {
+	Release  simtime.Time
+	Deadline simtime.Time // absolute; Never means no deadline
+	Total    simtime.Duration
+
+	done     simtime.Duration
+	hooks    []ProgressHook // must be sorted by Offset
+	nextHook int
+
+	// Filled in at completion.
+	Finish simtime.Time
+}
+
+// NewJob returns a job released at rel with execution demand total and
+// absolute deadline dl (use simtime.Never for none).
+func NewJob(rel simtime.Time, total simtime.Duration, dl simtime.Time) *Job {
+	if total < 0 {
+		panic("sched: job with negative demand")
+	}
+	return &Job{Release: rel, Deadline: dl, Total: total, Finish: simtime.Never}
+}
+
+// AddHook registers a progress hook. Hooks must be added in
+// non-decreasing Offset order before the job is released.
+func (j *Job) AddHook(off simtime.Duration, fn func(now simtime.Time)) {
+	if n := len(j.hooks); n > 0 && j.hooks[n-1].Offset > off {
+		panic("sched: job hooks must be added in offset order")
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off > j.Total {
+		off = j.Total
+	}
+	j.hooks = append(j.hooks, ProgressHook{Offset: off, Fn: fn})
+}
+
+// Done returns the execution already received by the job.
+func (j *Job) Done() simtime.Duration { return j.done }
+
+// ExtendDemand adds extra execution demand to the job. It models work
+// injected while the job runs — in this reproduction, the per-syscall
+// overhead charged by the kernel tracer. Non-positive amounts are
+// ignored. It is safe to call from a progress hook.
+func (j *Job) ExtendDemand(d simtime.Duration) {
+	if d > 0 {
+		j.Total += d
+	}
+}
+
+// Remaining returns the outstanding execution demand.
+func (j *Job) Remaining() simtime.Duration { return j.Total - j.done }
+
+// ResponseTime returns the job's completion time minus its release
+// time, or a negative value if the job has not finished.
+func (j *Job) ResponseTime() simtime.Duration {
+	if j.Finish == simtime.Never {
+		return -1
+	}
+	return j.Finish.Sub(j.Release)
+}
+
+// Missed reports whether the job finished after its deadline (or has a
+// deadline in the past and is still unfinished at the given instant).
+func (j *Job) Missed(now simtime.Time) bool {
+	if j.Deadline == simtime.Never {
+		return false
+	}
+	if j.Finish != simtime.Never {
+		return j.Finish.After(j.Deadline)
+	}
+	return now.After(j.Deadline)
+}
+
+// nextBoundary returns how much further the job may execute before the
+// next interesting point: the next hook offset or job completion.
+func (j *Job) nextBoundary() simtime.Duration {
+	if j.nextHook < len(j.hooks) {
+		return j.hooks[j.nextHook].Offset - j.done
+	}
+	return j.Total - j.done
+}
+
+// TaskStats aggregates per-task scheduling statistics.
+type TaskStats struct {
+	Released    int
+	Completed   int
+	Missed      int
+	Consumed    simtime.Duration // total CPU time received
+	MaxTardy    simtime.Duration // worst completion tardiness observed
+	Preemptions int
+}
+
+// Task is a schedulable entity: a stream of jobs served FIFO. A task
+// is attached either to a CBS server (real-time class) or to the
+// best-effort class.
+type Task struct {
+	name string
+	pid  int
+
+	sched  *Scheduler
+	server *Server
+	prio   int // fixed priority inside a server; lower value = higher priority
+
+	pending []*Job // FIFO backlog, pending[0] is the current job
+	stats   TaskStats
+
+	// OnJobComplete, if non-nil, is invoked when a job finishes.
+	OnJobComplete func(j *Job, now simtime.Time)
+	// OnJobStart, if non-nil, is invoked the first time a job runs.
+	OnJobStart func(j *Job, now simtime.Time)
+
+	started bool // current job has begun execution
+
+	beQueued bool // linked into the best-effort run queue
+}
+
+// Name returns the task's name.
+func (t *Task) Name() string { return t.name }
+
+// PID returns the task's process identifier (used by the tracer's
+// per-process filters).
+func (t *Task) PID() int { return t.pid }
+
+// Stats returns a snapshot of the task's statistics. Consumed includes
+// the in-progress slice of a currently running task.
+func (t *Task) Stats() TaskStats {
+	s := t.stats
+	if t.sched.runTask == t {
+		s.Consumed += t.sched.now().Sub(t.sched.runStart)
+	}
+	return s
+}
+
+// Server returns the CBS server the task is attached to, or nil for a
+// best-effort task.
+func (t *Task) Server() *Server { return t.server }
+
+// Priority returns the task's fixed priority inside its server.
+func (t *Task) Priority() int { return t.prio }
+
+// Backlog returns the number of unfinished jobs (including the one in
+// service).
+func (t *Task) Backlog() int { return len(t.pending) }
+
+// CurrentJob returns the job in service, or nil.
+func (t *Task) CurrentJob() *Job {
+	if len(t.pending) == 0 {
+		return nil
+	}
+	return t.pending[0]
+}
+
+func (t *Task) runnable() bool { return len(t.pending) > 0 }
+
+// Release hands a new job to the task. It must be called from within
+// the simulation (typically from a timer event); the job's Release
+// field is overwritten with the current instant.
+func (t *Task) Release(j *Job) {
+	now := t.sched.now()
+	j.Release = now
+	t.pending = append(t.pending, j)
+	t.stats.Released++
+	t.sched.trace(EvJobRelease, t, "demand=%v", j.Total)
+	if len(t.pending) == 1 {
+		t.started = false
+		if hook := t.sched.transitionHook; hook != nil {
+			hook(t, true, now)
+		}
+		// Task transitioned idle -> runnable: wake its class.
+		if t.server != nil {
+			t.server.taskWoke(now)
+		} else {
+			t.sched.beWake(t)
+		}
+	}
+	t.sched.dispatch()
+}
+
+// String implements fmt.Stringer.
+func (t *Task) String() string {
+	return fmt.Sprintf("task(%s pid=%d)", t.name, t.pid)
+}
+
+// completeCurrent finalises the job in service. Caller must have
+// verified j.done == j.Total.
+func (t *Task) completeCurrent(now simtime.Time) {
+	j := t.pending[0]
+	j.Finish = now
+	t.pending = t.pending[1:]
+	t.started = false
+	t.stats.Completed++
+	if j.Deadline != simtime.Never && now.After(j.Deadline) {
+		t.stats.Missed++
+		if tardy := now.Sub(j.Deadline); tardy > t.stats.MaxTardy {
+			t.stats.MaxTardy = tardy
+		}
+	}
+	t.sched.trace(EvJobComplete, t, "resp=%v", j.ResponseTime())
+	if len(t.pending) == 0 {
+		if hook := t.sched.transitionHook; hook != nil {
+			hook(t, false, now)
+		}
+	}
+	if t.OnJobComplete != nil {
+		t.OnJobComplete(j, now)
+	}
+}

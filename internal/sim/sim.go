@@ -1,0 +1,182 @@
+// Package sim implements the discrete-event simulation engine that
+// everything in this reproduction runs on.
+//
+// The engine is a classic event-heap design: callers schedule callbacks
+// at future instants, and Run repeatedly pops the earliest event and
+// executes it, advancing the simulated clock. Events scheduled for the
+// same instant execute in scheduling order (FIFO), which keeps runs
+// deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	when   simtime.Time
+	seq    uint64
+	fn     func()
+	index  int // position in the heap, -1 when not queued
+	cancel bool
+}
+
+// When returns the instant the event is scheduled for.
+func (e *Event) When() simtime.Time { return e.when }
+
+// Engine is a single-goroutine discrete-event simulator.
+type Engine struct {
+	now    simtime.Time
+	queue  eventQueue
+	seq    uint64
+	nsteps uint64
+}
+
+// New returns an engine with the clock at the simulation origin.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// At schedules fn to run at instant t. Scheduling in the past
+// (before Now) panics: it always indicates a simulator bug.
+func (e *Engine) At(t simtime.Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current instant.
+func (e *Engine) After(d simtime.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event with negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+	}
+}
+
+// Reschedule moves a pending event to a new instant, preserving its
+// callback. If the event already fired or was cancelled it panics.
+func (e *Engine) Reschedule(ev *Event, t simtime.Time) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		panic("sim: rescheduling dead event")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", t, e.now))
+	}
+	ev.when = t
+	ev.seq = e.seq
+	e.seq++
+	heap.Fix(&e.queue, ev.index)
+}
+
+// Empty reports whether no events are pending.
+func (e *Engine) Empty() bool { return e.queue.Len() == 0 }
+
+// Peek returns the instant of the earliest pending event,
+// or simtime.Never if none is pending.
+func (e *Engine) Peek() simtime.Time {
+	if e.queue.Len() == 0 {
+		return simtime.Never
+	}
+	return e.queue[0].when
+}
+
+// Step executes the earliest pending event and returns true, or
+// returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.when
+		e.nsteps++
+		ev.index = -1
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the clock would pass the horizon or
+// the queue drains. After it returns, Now() == horizon (the clock is
+// advanced to the horizon even if the queue drained earlier), and no
+// event strictly before the horizon remains pending. Events scheduled
+// exactly at the horizon are executed.
+func (e *Engine) RunUntil(horizon simtime.Time) {
+	for e.queue.Len() > 0 && e.queue[0].when <= horizon {
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Run executes events until the queue drains. Use with workloads that
+// naturally terminate; periodic sources never drain, so those
+// simulations must use RunUntil.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// eventQueue is a min-heap ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

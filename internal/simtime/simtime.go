@@ -1,0 +1,174 @@
+// Package simtime defines the time types used throughout the simulator.
+//
+// Simulated time is a count of nanoseconds since the start of the
+// simulation. It is deliberately distinct from the standard library's
+// time.Time so that simulator code can never accidentally observe the
+// host clock: determinism of the whole reproduction depends on it.
+package simtime
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Time is an instant in simulated time, in nanoseconds since simulation
+// start. The zero value is the simulation origin.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring the time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Never is a sentinel instant later than any instant produced by a
+// simulation. It is used for "no pending event" bookkeeping.
+const Never Time = 1<<63 - 1
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the instant as a floating-point number of seconds
+// since the simulation origin.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns the instant as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the instant as seconds with nanosecond precision.
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return fmt.Sprintf("%.9fs", t.Seconds())
+}
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Microseconds returns the duration as floating-point microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Hertz returns the frequency, in Hz, of a cycle with period d.
+// It returns 0 for non-positive durations.
+func (d Duration) Hertz() float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(Second) / float64(d)
+}
+
+// FromSeconds converts floating-point seconds to a Duration, rounding
+// to the nearest nanosecond.
+func FromSeconds(s float64) Duration {
+	if s >= 0 {
+		return Duration(s*float64(Second) + 0.5)
+	}
+	return Duration(s*float64(Second) - 0.5)
+}
+
+// FromMilliseconds converts floating-point milliseconds to a Duration.
+func FromMilliseconds(ms float64) Duration { return FromSeconds(ms / 1e3) }
+
+// FromHertz returns the period of a cycle at frequency hz.
+// It returns 0 for non-positive frequencies.
+func FromHertz(hz float64) Duration {
+	if hz <= 0 {
+		return 0
+	}
+	return FromSeconds(1 / hz)
+}
+
+// String formats the duration using the most natural unit.
+func (d Duration) String() string {
+	neg := d < 0
+	v := d
+	if neg {
+		v = -v
+	}
+	var s string
+	switch {
+	case v == 0:
+		return "0s"
+	case v < Microsecond:
+		s = strconv.FormatInt(int64(v), 10) + "ns"
+	case v < Millisecond:
+		s = trimZeros(fmt.Sprintf("%.3f", float64(v)/float64(Microsecond))) + "us"
+	case v < Second:
+		s = trimZeros(fmt.Sprintf("%.6f", float64(v)/float64(Millisecond))) + "ms"
+	default:
+		s = trimZeros(fmt.Sprintf("%.9f", float64(v)/float64(Second))) + "s"
+	}
+	if neg {
+		return "-" + s
+	}
+	return s
+}
+
+func trimZeros(s string) string {
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinDur returns the smaller of a and b.
+func MinDur(a, b Duration) Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxDur returns the larger of a and b.
+func MaxDur(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clamp restricts d to the interval [lo, hi].
+func Clamp(d, lo, hi Duration) Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}

@@ -1,0 +1,144 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationConversions(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		sec  float64
+		ms   float64
+		usec float64
+	}{
+		{Second, 1, 1000, 1e6},
+		{Millisecond, 0.001, 1, 1000},
+		{20 * Millisecond, 0.020, 20, 20000},
+		{0, 0, 0, 0},
+		{-Second, -1, -1000, -1e6},
+	}
+	for _, c := range cases {
+		if got := c.d.Seconds(); got != c.sec {
+			t.Errorf("(%d).Seconds() = %v, want %v", c.d, got, c.sec)
+		}
+		if got := c.d.Milliseconds(); got != c.ms {
+			t.Errorf("(%d).Milliseconds() = %v, want %v", c.d, got, c.ms)
+		}
+		if got := c.d.Microseconds(); got != c.usec {
+			t.Errorf("(%d).Microseconds() = %v, want %v", c.d, got, c.usec)
+		}
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	f := func(ms int32) bool {
+		d := FromMilliseconds(float64(ms))
+		return d == Duration(ms)*Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromSecondsRounding(t *testing.T) {
+	if got := FromSeconds(1e-9 * 0.4); got != 0 {
+		t.Errorf("FromSeconds(0.4ns) = %d, want 0", got)
+	}
+	if got := FromSeconds(1e-9 * 0.6); got != 1 {
+		t.Errorf("FromSeconds(0.6ns) = %d, want 1", got)
+	}
+	if got := FromSeconds(-1e-9 * 0.6); got != -1 {
+		t.Errorf("FromSeconds(-0.6ns) = %d, want -1", got)
+	}
+}
+
+func TestHertz(t *testing.T) {
+	if got := (40 * Millisecond).Hertz(); got != 25 {
+		t.Errorf("40ms.Hertz() = %v, want 25", got)
+	}
+	if got := Duration(0).Hertz(); got != 0 {
+		t.Errorf("0.Hertz() = %v, want 0", got)
+	}
+	if got := FromHertz(25); got != 40*Millisecond {
+		t.Errorf("FromHertz(25) = %v, want 40ms", got)
+	}
+	if got := FromHertz(0); got != 0 {
+		t.Errorf("FromHertz(0) = %v, want 0", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(100)
+	if got := a.Add(50); got != Time(150) {
+		t.Errorf("Add: got %d", got)
+	}
+	if got := a.Sub(Time(40)); got != Duration(60) {
+		t.Errorf("Sub: got %d", got)
+	}
+	if !a.Before(Time(101)) || a.Before(Time(100)) {
+		t.Error("Before misbehaves")
+	}
+	if !a.After(Time(99)) || a.After(Time(100)) {
+		t.Error("After misbehaves")
+	}
+}
+
+func TestMinMaxClamp(t *testing.T) {
+	if Min(Time(1), Time(2)) != Time(1) || Min(Time(3), Time(2)) != Time(2) {
+		t.Error("Min wrong")
+	}
+	if Max(Time(1), Time(2)) != Time(2) || Max(Time(3), Time(2)) != Time(3) {
+		t.Error("Max wrong")
+	}
+	if MinDur(1, 2) != 1 || MaxDur(1, 2) != 2 {
+		t.Error("MinDur/MaxDur wrong")
+	}
+	if Clamp(5, 1, 3) != 3 || Clamp(0, 1, 3) != 1 || Clamp(2, 1, 3) != 2 {
+		t.Error("Clamp wrong")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0s"},
+		{1, "1ns"},
+		{1500, "1.5us"},
+		{Millisecond, "1ms"},
+		{2500 * Microsecond, "2.5ms"},
+		{Second, "1s"},
+		{1500 * Millisecond, "1.5s"},
+		{-Millisecond, "-1ms"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Never.String(); got != "never" {
+		t.Errorf("Never.String() = %q", got)
+	}
+	if got := Time(Second).String(); got != "1.000000000s" {
+		t.Errorf("1s.String() = %q", got)
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(d, a, b int64) bool {
+		lo, hi := Duration(a), Duration(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := Clamp(Duration(d), lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

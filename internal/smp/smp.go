@@ -1,0 +1,109 @@
+// Package smp implements the paper's Sec. 6 multicore direction in its
+// simplest sound form: a partitioned multiprocessor. Each core runs
+// its own EDF+CBS scheduler with its own supervisor (so the per-core
+// Σ Q/T ≤ U_lub bound of Eq. 1 applies unchanged), and a partitioner
+// places applications on cores by worst-fit decreasing over reserved
+// bandwidth — the classic heuristic that leaves every core the most
+// headroom for the feedback loops to adapt into.
+//
+// Migration is deliberately out of scope: the paper calls the
+// cooperation between load balancing and adaptive reservations "an
+// open research issue", and partitioned EDF is the configuration its
+// own SMP reference [7] builds on.
+package smp
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/supervisor"
+)
+
+// Machine is a set of independent cores sharing one simulated clock.
+type Machine struct {
+	engine *sim.Engine
+	cores  []*sched.Scheduler
+	sups   []*supervisor.Supervisor
+	placed []float64 // bandwidth hints accepted per core
+}
+
+// New builds a machine with n cores, each supervised at ulub.
+func New(engine *sim.Engine, n int, ulub float64) *Machine {
+	if n <= 0 {
+		panic("smp: need at least one core")
+	}
+	m := &Machine{engine: engine, placed: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		m.cores = append(m.cores, sched.New(sched.Config{Engine: engine}))
+		m.sups = append(m.sups, supervisor.New(ulub))
+	}
+	return m
+}
+
+// Cores returns the number of cores.
+func (m *Machine) Cores() int { return len(m.cores) }
+
+// Core returns core i's scheduler.
+func (m *Machine) Core(i int) *sched.Scheduler { return m.cores[i] }
+
+// Supervisor returns core i's supervisor.
+func (m *Machine) Supervisor(i int) *supervisor.Supervisor { return m.sups[i] }
+
+// Engine returns the shared simulation engine.
+func (m *Machine) Engine() *sim.Engine { return m.engine }
+
+// Place picks a core for an application expected to need the given
+// bandwidth, worst-fit (the least-loaded core), and records the hint.
+// It returns the core index, or an error when no core has room. The
+// load metric combines accepted hints with the cores' actually
+// reserved bandwidth, so placement stays meaningful after the tuners
+// have adapted away from their hints.
+func (m *Machine) Place(bandwidth float64) (int, error) {
+	if bandwidth <= 0 || bandwidth > 1 {
+		return 0, fmt.Errorf("smp: bandwidth hint %v out of (0,1]", bandwidth)
+	}
+	best, bestLoad := -1, 2.0
+	for i := range m.cores {
+		load := m.load(i)
+		if load+bandwidth <= m.sups[i].ULub()+1e-9 && load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("smp: no core fits %.3f (loads %v)", bandwidth, m.loads())
+	}
+	m.placed[best] += bandwidth
+	return best, nil
+}
+
+// load returns the effective load of core i: the larger of the hint
+// account and the actually reserved bandwidth.
+func (m *Machine) load(i int) float64 {
+	reserved := m.cores[i].TotalReservedBandwidth()
+	if m.placed[i] > reserved {
+		return m.placed[i]
+	}
+	return reserved
+}
+
+// loads returns the effective load of every core.
+func (m *Machine) loads() []float64 {
+	out := make([]float64, len(m.cores))
+	for i := range m.cores {
+		out[i] = m.load(i)
+	}
+	return out
+}
+
+// Loads returns a snapshot of the per-core effective loads.
+func (m *Machine) Loads() []float64 { return m.loads() }
+
+// TotalUtilization returns the machine-wide fraction of busy CPU time.
+func (m *Machine) TotalUtilization() float64 {
+	var sum float64
+	for _, c := range m.cores {
+		sum += c.Utilization()
+	}
+	return sum / float64(len(m.cores))
+}

@@ -1,0 +1,60 @@
+package spectrum
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func benchTrain(n int) []simtime.Time {
+	r := rng.New(1)
+	return diracTrain(r, 30*simtime.Millisecond, n,
+		[]simtime.Duration{0, 28 * simtime.Millisecond}, 300*simtime.Microsecond)
+}
+
+func BenchmarkComputeReference(b *testing.B) {
+	events := benchTrain(65) // ~2s of the mp3 workload's frames
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compute(events, DefaultBand)
+	}
+}
+
+func BenchmarkComputeFast(b *testing.B) {
+	events := benchTrain(65)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ComputeFast(events, DefaultBand)
+	}
+}
+
+func BenchmarkIncrementalAdd(b *testing.B) {
+	inc := NewIncremental(DefaultBand)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		inc.Add(simtime.Time(i) * simtime.Time(simtime.Millisecond))
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	s := Compute(benchTrain(65), DefaultBand)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Detect(s, DefaultDetect)
+	}
+}
+
+func BenchmarkWindowObserve(b *testing.B) {
+	w := NewWindow(DefaultBand, 2*simtime.Second)
+	batch := make([]simtime.Time, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now := simtime.Time(i) * simtime.Time(10*simtime.Millisecond)
+		for k := range batch {
+			batch[k] = now.Add(simtime.Duration(k) * simtime.Millisecond)
+		}
+		w.Observe(now, batch)
+	}
+}

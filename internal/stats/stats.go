@@ -1,0 +1,291 @@
+// Package stats provides the descriptive statistics the experiment
+// drivers report: moments, quantiles, PMFs, CDFs and least-squares
+// linear fits (used to verify the paper's linear-complexity claims).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	Median         float64
+	P05, P95, P99  float64
+	Sum            float64
+	RelStd         float64 // Std/Mean, 0 when Mean == 0
+	StdErrOfMean   float64
+	SecondLargest  float64
+	SecondSmallest float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero value.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for _, v := range xs {
+		s.Sum += v
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var sq float64
+	for _, v := range xs {
+		d := v - s.Mean
+		sq += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(sq / float64(s.N-1))
+		s.StdErrOfMean = s.Std / math.Sqrt(float64(s.N))
+	}
+	if s.Mean != 0 {
+		s.RelStd = s.Std / s.Mean
+	}
+	s.Min = sorted[0]
+	s.Max = sorted[s.N-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.P05 = Quantile(sorted, 0.05)
+	s.P95 = Quantile(sorted, 0.95)
+	s.P99 = Quantile(sorted, 0.99)
+	if s.N > 1 {
+		s.SecondLargest = sorted[s.N-2]
+		s.SecondSmallest = sorted[1]
+	} else {
+		s.SecondLargest = s.Max
+		s.SecondSmallest = s.Min
+	}
+	return s
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of an already sorted
+// sample, with linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (0 for fewer than two
+// points).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sq float64
+	for _, v := range xs {
+		d := v - m
+		sq += d * d
+	}
+	return math.Sqrt(sq / float64(len(xs)-1))
+}
+
+// Max returns the maximum (NaN for an empty sample).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum (NaN for an empty sample).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// PMFBin is one probability-mass bin.
+type PMFBin struct {
+	Center float64
+	Mass   float64
+	Count  int
+}
+
+// PMF bins the sample into bins of the given width aligned at zero and
+// returns the non-empty bins in ascending order (Figure 11's curves).
+func PMF(xs []float64, width float64) []PMFBin {
+	if width <= 0 {
+		panic("stats: PMF bin width must be positive")
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	counts := make(map[int64]int)
+	for _, v := range xs {
+		counts[int64(math.Floor(v/width))]++
+	}
+	keys := make([]int64, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]PMFBin, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, PMFBin{
+			Center: (float64(k) + 0.5) * width,
+			Mass:   float64(counts[k]) / float64(len(xs)),
+			Count:  counts[k],
+		})
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64
+	P float64
+}
+
+// CDF returns the empirical distribution function of the sample
+// (Figure 14's curves): P(X ≤ x) evaluated at each distinct sample
+// value.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, 0, len(sorted))
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		// Collapse runs of equal values to their last index.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		out = append(out, CDFPoint{X: sorted[i], P: float64(i+1) / n})
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF at x by step interpolation.
+func CDFAt(cdf []CDFPoint, x float64) float64 {
+	p := 0.0
+	for _, pt := range cdf {
+		if pt.X > x {
+			break
+		}
+		p = pt.P
+	}
+	return p
+}
+
+// LinFit is a least-squares line y = A + B·x with goodness of fit.
+type LinFit struct {
+	A, B float64
+	R2   float64
+}
+
+// FitLine fits y = A + B·x. It panics when the lengths differ and
+// returns a zero fit for fewer than two points.
+func FitLine(x, y []float64) LinFit {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: FitLine length mismatch %d vs %d", len(x), len(y)))
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return LinFit{}
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinFit{A: sy / n}
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	// R² = 1 - SSres/SStot.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range x {
+		e := y[i] - (a + b*x[i])
+		ssRes += e * e
+		d := y[i] - meanY
+		ssTot += d * d
+	}
+	fit := LinFit{A: a, B: b}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else {
+		fit.R2 = 1
+	}
+	return fit
+}
+
+// Histogram counts string-keyed occurrences and returns keys sorted by
+// descending count (Figure 4's bar data).
+type HistEntry struct {
+	Key   string
+	Count int
+}
+
+// SortedHistogram converts a count map into entries sorted by
+// descending count, ties broken by key.
+func SortedHistogram(counts map[string]int) []HistEntry {
+	out := make([]HistEntry, 0, len(counts))
+	for k, v := range counts {
+		out = append(out, HistEntry{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !almost(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if s.SecondLargest != 4 || s.SecondSmallest != 2 {
+		t.Errorf("order stats wrong: %+v", s)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty summary wrong")
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.SecondLargest != 7 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 30}, {0.5, 15}, {1.0 / 3, 10}, {0.25, 7.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !almost(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(empty) not NaN")
+	}
+}
+
+func TestMeanStdMinMax(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Std(xs); !almost(got, 2.138, 0.001) {
+		t.Errorf("Std = %v", got)
+	}
+	if Max(xs) != 9 || Min(xs) != 2 {
+		t.Error("Max/Min wrong")
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Max(nil)) || !math.IsNaN(Min(nil)) {
+		t.Error("empty-sample sentinels wrong")
+	}
+	if Std([]float64{1}) != 0 {
+		t.Error("Std of singleton not 0")
+	}
+}
+
+func TestPMF(t *testing.T) {
+	xs := []float64{0.1, 0.2, 1.1, 1.2, 1.3, 2.5}
+	bins := PMF(xs, 1.0)
+	if len(bins) != 3 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if bins[0].Count != 2 || bins[1].Count != 3 || bins[2].Count != 1 {
+		t.Errorf("counts wrong: %v", bins)
+	}
+	var mass float64
+	for _, b := range bins {
+		mass += b.Mass
+	}
+	if !almost(mass, 1, 1e-12) {
+		t.Errorf("total mass %v", mass)
+	}
+	if bins[0].Center != 0.5 || bins[1].Center != 1.5 {
+		t.Errorf("centers wrong: %v", bins)
+	}
+}
+
+func TestPMFNegativeValuesAndPanics(t *testing.T) {
+	bins := PMF([]float64{-0.5, 0.5}, 1)
+	if len(bins) != 2 || bins[0].Center != -0.5 {
+		t.Errorf("negative binning wrong: %v", bins)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PMF with zero width did not panic")
+		}
+	}()
+	PMF([]float64{1}, 0)
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{3, 1, 2, 2}
+	cdf := CDF(xs)
+	if len(cdf) != 3 {
+		t.Fatalf("cdf = %v", cdf)
+	}
+	if cdf[0].X != 1 || !almost(cdf[0].P, 0.25, 1e-12) {
+		t.Errorf("cdf[0] = %v", cdf[0])
+	}
+	if cdf[1].X != 2 || !almost(cdf[1].P, 0.75, 1e-12) {
+		t.Errorf("cdf[1] = %v", cdf[1])
+	}
+	if cdf[2].X != 3 || cdf[2].P != 1 {
+		t.Errorf("cdf[2] = %v", cdf[2])
+	}
+	if got := CDFAt(cdf, 2.5); !almost(got, 0.75, 1e-12) {
+		t.Errorf("CDFAt(2.5) = %v", got)
+	}
+	if got := CDFAt(cdf, 0); got != 0 {
+		t.Errorf("CDFAt(0) = %v", got)
+	}
+	if CDF(nil) != nil {
+		t.Error("CDF(empty) not nil")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	check := func(xs []float64) bool {
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				xs[i] = 0
+			}
+		}
+		cdf := CDF(xs)
+		prevX := math.Inf(-1)
+		prevP := 0.0
+		for _, pt := range cdf {
+			if pt.X <= prevX || pt.P < prevP {
+				return false
+			}
+			prevX, prevP = pt.X, pt.P
+		}
+		return len(cdf) == 0 || cdf[len(cdf)-1].P == 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	fit := FitLine(x, y)
+	if !almost(fit.A, 1, 1e-12) || !almost(fit.B, 2, 1e-12) || !almost(fit.R2, 1, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+}
+
+func TestFitLineNoise(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5}
+	y := []float64{0.1, 1.1, 1.9, 3.0, 4.2, 4.9}
+	fit := FitLine(x, y)
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v for nearly linear data", fit.R2)
+	}
+	if !almost(fit.B, 1, 0.05) {
+		t.Errorf("slope = %v", fit.B)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if fit := FitLine([]float64{1}, []float64{2}); fit.B != 0 {
+		t.Errorf("singleton fit = %+v", fit)
+	}
+	// Vertical data (all x equal): slope undefined, returns mean.
+	fit := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if fit.B != 0 || !almost(fit.A, 2, 1e-12) {
+		t.Errorf("vertical fit = %+v", fit)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	FitLine([]float64{1, 2}, []float64{1})
+}
+
+func TestSortedHistogram(t *testing.T) {
+	h := SortedHistogram(map[string]int{"read": 3, "ioctl": 10, "write": 3})
+	if len(h) != 3 || h[0].Key != "ioctl" {
+		t.Fatalf("histogram = %v", h)
+	}
+	// Equal counts break ties by key.
+	if h[1].Key != "read" || h[2].Key != "write" {
+		t.Errorf("tie break wrong: %v", h)
+	}
+}
+
+func TestQuantilePredictorAgainstSummary(t *testing.T) {
+	// Cross-check Quantile against Summarize's percentiles.
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if !almost(s.P05, 5, 1e-9) || !almost(s.P95, 95, 1e-9) {
+		t.Errorf("percentiles: %+v", s)
+	}
+}

@@ -1,0 +1,251 @@
+// Package supervisor implements the paper's supervisor component
+// (Sec. 4, Fig. 3): task controllers submit reservation requests
+// (Q_req, T) and the supervisor enforces the EDF schedulability
+// condition Σ Qi/Ti ≤ U_lub, compressing requests when they would
+// saturate the CPU.
+//
+// The compression policy follows the AQuoSA architecture the paper
+// builds on [23]: each client is guaranteed a minimum bandwidth, and
+// the residual capacity is shared proportionally to the amount
+// requested above the minimum (an elastic, weight-free compression).
+package supervisor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Client identifies one task controller registered with the
+// supervisor.
+type Client struct {
+	name string
+	sup  *Supervisor
+
+	minBW     float64
+	weight    float64 // share of the residual under compression
+	requested float64 // last requested bandwidth
+	granted   float64 // last granted bandwidth
+	period    simtime.Duration
+	active    bool
+}
+
+// Name returns the client's name.
+func (c *Client) Name() string { return c.name }
+
+// Supervisor enforces the global schedulability bound.
+type Supervisor struct {
+	ulub    float64
+	clients []*Client
+
+	grants      int
+	compressed  int // requests granted at reduced bandwidth
+	rejected    int
+	lastTotal   float64
+	lastPressed bool
+}
+
+// New returns a supervisor enforcing Σ Q/T ≤ ulub. The paper uses
+// ulub = 1 (Eq. 1); practical deployments leave headroom for
+// non-reserved work, so any value in (0, 1] is accepted.
+func New(ulub float64) *Supervisor {
+	if ulub <= 0 || ulub > 1 {
+		panic(fmt.Sprintf("supervisor: U_lub %v out of (0,1]", ulub))
+	}
+	return &Supervisor{ulub: ulub}
+}
+
+// ULub returns the enforced utilisation bound.
+func (s *Supervisor) ULub() float64 { return s.ulub }
+
+// Register adds a client with the given guaranteed minimum bandwidth
+// and unit compression weight. Registration fails (returns nil and
+// false) when the minimums of all clients would alone exceed the
+// bound — the admission-control step.
+func (s *Supervisor) Register(name string, minBW float64) (*Client, bool) {
+	return s.RegisterWeighted(name, minBW, 1)
+}
+
+// RegisterWeighted is Register with an explicit compression weight:
+// under saturation the residual bandwidth above the floors is shared
+// proportionally to weight × demand-above-floor, so a weight-2 client
+// loses half as much of its request as a weight-1 client (the elastic
+// scheme of the AQuoSA architecture [23]). Non-positive weights are
+// treated as 1.
+func (s *Supervisor) RegisterWeighted(name string, minBW, weight float64) (*Client, bool) {
+	if minBW < 0 {
+		minBW = 0
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	var minSum float64
+	for _, c := range s.clients {
+		minSum += c.minBW
+	}
+	if minSum+minBW > s.ulub {
+		s.rejected++
+		return nil, false
+	}
+	c := &Client{name: name, sup: s, minBW: minBW, weight: weight}
+	s.clients = append(s.clients, c)
+	return c, true
+}
+
+// Weight returns the client's compression weight.
+func (c *Client) Weight() float64 { return c.weight }
+
+// Unregister removes a client, releasing its bandwidth.
+func (s *Supervisor) Unregister(c *Client) {
+	for i, x := range s.clients {
+		if x == c {
+			s.clients = append(s.clients[:i], s.clients[i+1:]...)
+			c.sup = nil
+			return
+		}
+	}
+}
+
+// Request submits a reservation request (budget, period) for the
+// client and returns the granted budget for the same period. If the
+// sum of requests fits under U_lub the request is granted in full
+// (Q_s = Q_req); otherwise every active client is compressed.
+//
+// Note that compression re-evaluates *all* clients; the supervisor
+// adjusts only the caller's grant here, and the surrounding machinery
+// applies other clients' new grants at their own next activation —
+// matching the asynchronous task controllers of the paper.
+func (c *Client) Request(budget, period simtime.Duration) simtime.Duration {
+	if c.sup == nil {
+		panic("supervisor: request from unregistered client")
+	}
+	if period <= 0 || budget < 0 {
+		panic(fmt.Sprintf("supervisor: invalid request Q=%v T=%v", budget, period))
+	}
+	c.requested = float64(budget) / float64(period)
+	c.period = period
+	c.active = true
+	c.sup.recompute()
+	c.sup.grants++
+	if c.granted < c.requested {
+		c.sup.compressed++
+	}
+	return simtime.Duration(c.granted * float64(period))
+}
+
+// Release marks the client inactive, freeing its bandwidth (a legacy
+// application that went quiet).
+func (c *Client) Release() {
+	c.requested = 0
+	c.granted = 0
+	c.active = false
+	if c.sup != nil {
+		c.sup.recompute()
+	}
+}
+
+// Granted returns the client's current granted bandwidth.
+func (c *Client) Granted() float64 { return c.granted }
+
+// Requested returns the client's current requested bandwidth.
+func (c *Client) Requested() float64 { return c.requested }
+
+// recompute redistributes bandwidth across all active clients:
+// grant_i = min_i + residual * (req_i - min_i) / Σ(req - min),
+// with grants never exceeding requests.
+func (s *Supervisor) recompute() {
+	var reqSum float64
+	for _, c := range s.clients {
+		if c.active {
+			reqSum += c.requested
+		}
+	}
+	s.lastTotal = reqSum
+	if reqSum <= s.ulub {
+		s.lastPressed = false
+		for _, c := range s.clients {
+			if c.active {
+				c.granted = c.requested
+			}
+		}
+		return
+	}
+	s.lastPressed = true
+	// Guaranteed floors first (capped by the request itself).
+	var floorSum float64
+	for _, c := range s.clients {
+		if !c.active {
+			continue
+		}
+		floor := c.minBW
+		if floor > c.requested {
+			floor = c.requested
+		}
+		c.granted = floor
+		floorSum += floor
+	}
+	residual := s.ulub - floorSum
+	if residual <= 0 {
+		return
+	}
+	// Distribute the residual proportionally to weight × demand above
+	// floor, iterating because a client capped at its request returns
+	// the excess to the pool. Sorting by headroom-per-weight makes one
+	// pass per saturated client sufficient.
+	type slot struct {
+		c        *Client
+		headroom float64
+		claim    float64 // weight * headroom
+	}
+	var slots []slot
+	var claimSum float64
+	for _, c := range s.clients {
+		if !c.active {
+			continue
+		}
+		h := c.requested - c.granted
+		if h > 0 {
+			sl := slot{c, h, c.weight * h}
+			slots = append(slots, sl)
+			claimSum += sl.claim
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		return slots[i].headroom/slots[i].c.weight < slots[j].headroom/slots[j].c.weight
+	})
+	for _, sl := range slots {
+		if claimSum <= 0 || residual <= 0 {
+			break
+		}
+		share := residual * sl.claim / claimSum
+		if share > sl.headroom {
+			share = sl.headroom
+		}
+		sl.c.granted += share
+		residual -= share
+		claimSum -= sl.claim
+	}
+}
+
+// TotalGranted returns the sum of granted bandwidths.
+func (s *Supervisor) TotalGranted() float64 {
+	var sum float64
+	for _, c := range s.clients {
+		if c.active {
+			sum += c.granted
+		}
+	}
+	return sum
+}
+
+// TotalRequested returns the sum of requested bandwidths.
+func (s *Supervisor) TotalRequested() float64 { return s.lastTotal }
+
+// Saturated reports whether the last recompute had to compress.
+func (s *Supervisor) Saturated() bool { return s.lastPressed }
+
+// Stats returns (grants, compressed grants, rejected registrations).
+func (s *Supervisor) Stats() (grants, compressed, rejected int) {
+	return s.grants, s.compressed, s.rejected
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+)
+
+// ReservedPeriodic is a synthetic periodic real-time application
+// running in its own hard reservation — the paper's background-load
+// generator ("a simple real-time periodic application", Sec. 5.3).
+type ReservedPeriodic struct {
+	Task   *sched.Task
+	Server *sched.Server
+}
+
+// StartReservedPeriodic creates a hard CBS (budget, period) and a
+// periodic task inside it whose jobs demand demandFrac of the budget
+// each period (with a little uniform jitter), starting at offset.
+// Table 2's load rows use e.g. (645us, 4300us) for 15% CPU.
+func StartReservedPeriodic(sd *sched.Scheduler, r *rng.Source, name string,
+	budget, period simtime.Duration, demandFrac float64, offset simtime.Time) *ReservedPeriodic {
+
+	if demandFrac <= 0 || demandFrac > 1 {
+		panic(fmt.Sprintf("workload: demandFrac %v out of (0,1]", demandFrac))
+	}
+	srv := sd.NewServer(name, budget, period, sched.HardCBS)
+	task := sd.NewTask(name)
+	task.AttachTo(srv, 0)
+	eng := sd.Engine()
+	next := offset
+	var release func()
+	release = func() {
+		d := float64(budget) * demandFrac * r.Uniform(0.95, 1.0)
+		task.Release(sched.NewJob(eng.Now(), simtime.Duration(d), eng.Now().Add(period)))
+		next = next.Add(period)
+		eng.At(next, release)
+	}
+	eng.At(next, release)
+	return &ReservedPeriodic{Task: task, Server: srv}
+}
+
+// Reservation is a (budget, period) pair for one background task.
+type Reservation struct {
+	Budget simtime.Duration
+	Period simtime.Duration
+}
+
+// Bandwidth returns Q/T.
+func (r Reservation) Bandwidth() float64 {
+	if r.Period <= 0 {
+		return 0
+	}
+	return float64(r.Budget) / float64(r.Period)
+}
+
+// LoadSpec is one background-load configuration from Table 2: the
+// total CPU utilisation and the set of reservations generating it.
+type LoadSpec struct {
+	Util         float64 // total fraction of the CPU
+	Reservations []Reservation
+}
+
+// Table2Loads are the exact background reservations of the paper's
+// Table 2 (budgets and periods in microseconds). Each row of the table
+// *adds* the reservation in its second column to the previous row's
+// set, each contributing 15% of the CPU.
+var Table2Loads = []LoadSpec{
+	{0.00, nil},
+	{0.15, []Reservation{
+		{645 * simtime.Microsecond, 4300 * simtime.Microsecond},
+	}},
+	{0.30, []Reservation{
+		{645 * simtime.Microsecond, 4300 * simtime.Microsecond},
+		{1200 * simtime.Microsecond, 8000 * simtime.Microsecond},
+	}},
+	{0.45, []Reservation{
+		{645 * simtime.Microsecond, 4300 * simtime.Microsecond},
+		{1200 * simtime.Microsecond, 8000 * simtime.Microsecond},
+		{1650 * simtime.Microsecond, 11000 * simtime.Microsecond},
+	}},
+	{0.60, []Reservation{
+		{645 * simtime.Microsecond, 4300 * simtime.Microsecond},
+		{1200 * simtime.Microsecond, 8000 * simtime.Microsecond},
+		{1650 * simtime.Microsecond, 11000 * simtime.Microsecond},
+		{2250 * simtime.Microsecond, 15000 * simtime.Microsecond},
+	}},
+}
+
+// StartLoad instantiates every reservation of a LoadSpec (no-op for
+// the zero-load row) and returns the spawned applications.
+func StartLoad(sd *sched.Scheduler, r *rng.Source, spec LoadSpec, name string) []*ReservedPeriodic {
+	out := make([]*ReservedPeriodic, 0, len(spec.Reservations))
+	for i, res := range spec.Reservations {
+		offset := simtime.Time(r.Int63n(int64(res.Period)))
+		out = append(out, StartReservedPeriodic(sd, r,
+			fmt.Sprintf("%s%d", name, i), res.Budget, res.Period, 0.97, offset))
+	}
+	return out
+}
+
+// MakeLoad builds a background load of approximately util CPU
+// utilisation out of n periodic reservations with distinct periods
+// (used by Table 3, where the paper loads the system with "some
+// periodic real-time tasks").
+func MakeLoad(sd *sched.Scheduler, r *rng.Source, util float64, n int) []*ReservedPeriodic {
+	if util <= 0 {
+		return nil
+	}
+	if n <= 0 {
+		n = 1
+	}
+	periods := []simtime.Duration{
+		4300 * simtime.Microsecond,
+		8000 * simtime.Microsecond,
+		11000 * simtime.Microsecond,
+		15000 * simtime.Microsecond,
+		21000 * simtime.Microsecond,
+	}
+	out := make([]*ReservedPeriodic, 0, n)
+	share := util / float64(n)
+	for i := 0; i < n; i++ {
+		p := periods[i%len(periods)]
+		q := simtime.Duration(share * float64(p))
+		if q < simtime.Microsecond {
+			q = simtime.Microsecond
+		}
+		offset := simtime.Time(r.Int63n(int64(p)))
+		out = append(out, StartReservedPeriodic(sd, r, fmt.Sprintf("rtload%d", i), q, p, 0.97, offset))
+	}
+	return out
+}
+
+// StartCPUHog creates a best-effort task with a single effectively
+// infinite job, useful to keep the CPU saturated in tests.
+func StartCPUHog(sd *sched.Scheduler, name string, work simtime.Duration) *sched.Task {
+	t := sd.NewTask(name)
+	sd.Engine().At(sd.Engine().Now(), func() {
+		t.Release(sched.NewJob(0, work, simtime.Never))
+	})
+	return t
+}
+
+// StartPoissonNoise creates a best-effort task receiving jobs with
+// exponential inter-arrival times and exponential demand: unstructured
+// background activity that exercises the aperiodicity path of the
+// period analyser.
+func StartPoissonNoise(sd *sched.Scheduler, r *rng.Source, name string,
+	meanInterarrival, meanDemand simtime.Duration, sink SyscallSink) *sched.Task {
+
+	t := sd.NewTask(name)
+	eng := sd.Engine()
+	var arrive func()
+	arrive = func() {
+		d := simtime.Duration(r.Exp(float64(meanDemand)))
+		if d < simtime.Microsecond {
+			d = simtime.Microsecond
+		}
+		j := sched.NewJob(eng.Now(), d, simtime.Never)
+		if sink != nil {
+			pid := t.PID()
+			j.AddHook(d, func(now simtime.Time) {
+				if ov := sink.Syscall(now, pid, int(SysRead)); ov > 0 {
+					j.ExtendDemand(ov)
+				}
+			})
+		}
+		t.Release(j)
+		gap := simtime.Duration(r.Exp(float64(meanInterarrival)))
+		if gap < simtime.Microsecond {
+			gap = simtime.Microsecond
+		}
+		eng.After(gap, arrive)
+	}
+	eng.At(eng.Now(), arrive)
+	return t
+}

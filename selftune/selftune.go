@@ -1,0 +1,189 @@
+// Package selftune is the public face of the reproduction: a
+// self-tuning reservation scheduler for legacy real-time applications,
+// after Cucinotta, Checconi, Abeni and Palopoli, "Self-tuning
+// Schedulers for Legacy Real-Time Applications" (EuroSys 2010).
+//
+// A System bundles the simulated kernel pieces — the EDF+CBS
+// scheduler, the syscall tracer and the supervisor — and lets callers
+// attach legacy application models and AutoTuners with a few calls:
+//
+//	sys := selftune.NewSystem(selftune.SystemConfig{Seed: 1})
+//	app := sys.NewVideoPlayer("mplayer", 0.25)
+//	tuner, _ := sys.Tune(app, selftune.DefaultTunerConfig())
+//	app.Start(0)
+//	sys.Run(60 * selftune.Second)
+//	fmt.Println(tuner.DetectedFrequency()) // ~25 Hz
+//
+// The heavy lifting lives in the internal packages; this package
+// re-exports the stable subset a downstream user needs.
+package selftune
+
+import (
+	"repro/internal/core"
+	"repro/internal/ktrace"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/supervisor"
+	"repro/internal/workload"
+)
+
+// Re-exported time types and units.
+type (
+	// Time is an instant in simulated time (ns since simulation start).
+	Time = simtime.Time
+	// Duration is a span of simulated time in nanoseconds.
+	Duration = simtime.Duration
+)
+
+// Convenience units.
+const (
+	Microsecond = simtime.Microsecond
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+)
+
+// Re-exported component types. These are aliases, so values returned
+// here interoperate with the internal packages inside this module.
+type (
+	// Scheduler is the uniprocessor EDF+CBS scheduling substrate.
+	Scheduler = sched.Scheduler
+	// Server is a CBS reservation.
+	Server = sched.Server
+	// Task is a schedulable entity.
+	Task = sched.Task
+	// Tracer is the in-kernel syscall event buffer.
+	Tracer = ktrace.Buffer
+	// Supervisor enforces the global bandwidth bound.
+	Supervisor = supervisor.Supervisor
+	// AutoTuner is the per-task self-tuning controller.
+	AutoTuner = core.AutoTuner
+	// MultiTuner manages a multi-threaded application in one shared
+	// reservation.
+	MultiTuner = core.MultiTuner
+	// TunerConfig parameterises an AutoTuner.
+	TunerConfig = core.Config
+	// TunerSnapshot is one controller activation record.
+	TunerSnapshot = core.Snapshot
+	// Player is the periodic multimedia application model.
+	Player = workload.Player
+	// PlayerConfig parameterises a Player.
+	PlayerConfig = workload.PlayerConfig
+)
+
+// DefaultTunerConfig returns the paper's standard tuner parameters.
+func DefaultTunerConfig() TunerConfig { return core.DefaultConfig() }
+
+// SystemConfig parameterises a System.
+type SystemConfig struct {
+	// Seed makes the whole simulation deterministic; runs with equal
+	// seeds produce identical traces.
+	Seed uint64
+	// ULub is the supervisor's utilisation bound; zero selects 1.
+	ULub float64
+	// TracerCapacity is the syscall ring size; zero selects 1<<16.
+	TracerCapacity int
+}
+
+// System is a ready-to-use simulated machine: engine, scheduler,
+// tracer and supervisor.
+type System struct {
+	engine *sim.Engine
+	sched  *sched.Scheduler
+	tracer *ktrace.Buffer
+	sup    *supervisor.Supervisor
+	rand   *rng.Source
+}
+
+// NewSystem builds a System.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.ULub <= 0 || cfg.ULub > 1 {
+		cfg.ULub = 1
+	}
+	if cfg.TracerCapacity <= 0 {
+		cfg.TracerCapacity = 1 << 16
+	}
+	eng := sim.New()
+	return &System{
+		engine: eng,
+		sched:  sched.New(sched.Config{Engine: eng}),
+		tracer: ktrace.NewBuffer(ktrace.QTrace, cfg.TracerCapacity),
+		sup:    supervisor.New(cfg.ULub),
+		rand:   rng.New(cfg.Seed),
+	}
+}
+
+// Scheduler exposes the scheduling substrate.
+func (s *System) Scheduler() *Scheduler { return s.sched }
+
+// Tracer exposes the syscall tracer.
+func (s *System) Tracer() *Tracer { return s.tracer }
+
+// Supervisor exposes the bandwidth supervisor.
+func (s *System) Supervisor() *Supervisor { return s.sup }
+
+// Now returns the current simulated time.
+func (s *System) Now() Time { return s.engine.Now() }
+
+// Run advances the simulation until the given horizon.
+func (s *System) Run(horizon Duration) {
+	s.engine.RunUntil(s.engine.Now().Add(horizon))
+}
+
+// NewVideoPlayer creates a 25 fps video player model with the given
+// mean CPU utilisation, already wired to the system tracer.
+func (s *System) NewVideoPlayer(name string, util float64) *Player {
+	cfg := workload.VideoPlayerConfig(name, util)
+	cfg.Sink = s.tracer
+	return workload.NewPlayer(s.sched, s.rand.Split(), cfg)
+}
+
+// NewMP3Player creates the paper's 32.5 Hz mp3 player model, wired to
+// the system tracer.
+func (s *System) NewMP3Player(name string) *Player {
+	cfg := workload.MP3PlayerConfig(name)
+	cfg.Sink = s.tracer
+	return workload.NewPlayer(s.sched, s.rand.Split(), cfg)
+}
+
+// NewPlayer creates a player from an explicit configuration. Set
+// cfg.Sink to s.Tracer() to make the application observable.
+func (s *System) NewPlayer(cfg PlayerConfig) *Player {
+	return workload.NewPlayer(s.sched, s.rand.Split(), cfg)
+}
+
+// StartBackgroundLoad spawns periodic real-time reservations totalling
+// roughly util of the CPU, split across n tasks.
+func (s *System) StartBackgroundLoad(util float64, n int) {
+	workload.MakeLoad(s.sched, s.rand.Split(), util, n)
+}
+
+// Tune attaches an AutoTuner to the player's task: from then on the
+// system infers the application's period from its syscalls and adapts
+// its reservation, with no cooperation from the application.
+func (s *System) Tune(p *Player, cfg TunerConfig) (*AutoTuner, error) {
+	tuner, err := core.New(s.sched, s.sup, s.tracer, p.Task(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	tuner.Start()
+	return tuner, nil
+}
+
+// TuneMulti places several players — the threads of one application —
+// into a single shared reservation with the given fixed priorities
+// (lower value = higher priority; rate-monotonic assignment is the
+// sensible default) and manages it with a MultiTuner.
+func (s *System) TuneMulti(players []*Player, prios []int, cfg TunerConfig) (*MultiTuner, error) {
+	tasks := make([]*sched.Task, len(players))
+	for i, p := range players {
+		tasks[i] = p.Task()
+	}
+	tuner, err := core.NewMulti(s.sched, s.sup, s.tracer, tasks, prios, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tuner.Start()
+	return tuner, nil
+}

@@ -1,0 +1,126 @@
+package selftune_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/selftune"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := selftune.NewSystem(selftune.SystemConfig{Seed: 1})
+	app := sys.NewVideoPlayer("mplayer", 0.25)
+	tuner, err := sys.Tune(app, selftune.DefaultTunerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Start(0)
+	sys.Run(30 * selftune.Second)
+	if f := tuner.DetectedFrequency(); math.Abs(f-25) > 0.5 {
+		t.Errorf("detected %.2f Hz, want 25", f)
+	}
+	if got := app.Task().Stats().Completed; got < 700 {
+		t.Errorf("only %d frames decoded", got)
+	}
+	if sys.Now() != selftune.Time(30*selftune.Second) {
+		t.Errorf("Now() = %v", sys.Now())
+	}
+}
+
+func TestMP3PlayerDetection(t *testing.T) {
+	sys := selftune.NewSystem(selftune.SystemConfig{Seed: 2})
+	app := sys.NewMP3Player("mp3")
+	tuner, err := sys.Tune(app, selftune.DefaultTunerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Start(0)
+	sys.Run(20 * selftune.Second)
+	if f := tuner.DetectedFrequency(); math.Abs(f-32.5) > 0.5 {
+		t.Errorf("detected %.2f Hz, want 32.5", f)
+	}
+}
+
+func TestBackgroundLoadAndSupervisor(t *testing.T) {
+	sys := selftune.NewSystem(selftune.SystemConfig{Seed: 3, ULub: 0.9})
+	sys.StartBackgroundLoad(0.3, 2)
+	app := sys.NewVideoPlayer("mplayer", 0.2)
+	if _, err := sys.Tune(app, selftune.DefaultTunerConfig()); err != nil {
+		t.Fatal(err)
+	}
+	app.Start(0)
+	sys.Run(10 * selftune.Second)
+	if u := sys.Scheduler().Utilization(); u < 0.4 {
+		t.Errorf("system utilisation %.2f suspiciously low", u)
+	}
+	if got := sys.Supervisor().TotalGranted(); got <= 0 || got > 0.9 {
+		t.Errorf("supervisor granted %.3f", got)
+	}
+}
+
+func TestSystemAccessorsAndDefaults(t *testing.T) {
+	sys := selftune.NewSystem(selftune.SystemConfig{}) // all defaults
+	if sys.Scheduler() == nil || sys.Tracer() == nil || sys.Supervisor() == nil {
+		t.Fatal("nil component accessors")
+	}
+	if got := sys.Supervisor().ULub(); got != 1 {
+		t.Errorf("default ULub = %v", got)
+	}
+	if sys.Now() != 0 {
+		t.Errorf("fresh system Now() = %v", sys.Now())
+	}
+	sys.Run(selftune.Second)
+	if sys.Now() != selftune.Time(selftune.Second) {
+		t.Errorf("Now() = %v after Run(1s)", sys.Now())
+	}
+}
+
+func TestTuneMulti(t *testing.T) {
+	sys := selftune.NewSystem(selftune.SystemConfig{Seed: 9})
+	a := sys.NewMP3Player("audio")
+	v := sys.NewVideoPlayer("video", 0.15)
+	tuner, err := sys.TuneMulti([]*selftune.Player{a, v}, []int{0, 1}, selftune.DefaultTunerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start(0)
+	v.Start(0)
+	sys.Run(30 * selftune.Second)
+	if len(tuner.ThreadPeriods()) != 2 {
+		t.Errorf("thread periods: %v", tuner.ThreadPeriods())
+	}
+	if !tuner.Frozen() {
+		t.Error("multi tuner never froze its verdicts")
+	}
+	// Error path: mismatched priorities.
+	if _, err := sys.TuneMulti([]*selftune.Player{a}, []int{0, 1}, selftune.DefaultTunerConfig()); err == nil {
+		t.Error("mismatched priorities accepted")
+	}
+}
+
+func TestCustomPlayerConfig(t *testing.T) {
+	sys := selftune.NewSystem(selftune.SystemConfig{Seed: 4})
+	cfg := selftune.PlayerConfig{
+		Name:          "cam",
+		Period:        selftune.Duration(100 * selftune.Millisecond), // 10 Hz sensor
+		MeanDemand:    5 * selftune.Millisecond,
+		StartBurstMin: 3, StartBurstMax: 5,
+		EndBurstMin: 3, EndBurstMax: 5,
+		Sink: sys.Tracer(),
+	}
+	app := sys.NewPlayer(cfg)
+	tcfg := selftune.DefaultTunerConfig()
+	tcfg.InitialPeriod = 50 * selftune.Millisecond // wrong on purpose
+	tuner, err := sys.Tune(app, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Start(0)
+	sys.Run(30 * selftune.Second)
+	if f := tuner.DetectedFrequency(); math.Abs(f-10) > 0.3 {
+		t.Errorf("detected %.2f Hz, want 10", f)
+	}
+	if p := tuner.Period(); p < 95*selftune.Millisecond || p > 105*selftune.Millisecond {
+		t.Errorf("period estimate %v, want ~100ms", p)
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	lfsppsim -app video -util 0.25 -duration 30s
 //	lfsppsim -app mp3 -load 0.45 -controller lfs -duration 60s
+//	lfsppsim -app video -cpus 4 -v
 package main
 
 import (
@@ -42,17 +43,31 @@ func main() {
 		app        = flag.String("app", "video", "application model: video | mp3")
 		util       = flag.Float64("util", 0.25, "application mean CPU utilisation (video only)")
 		load       = flag.Float64("load", 0, "background real-time load (fraction of CPU)")
+		cpus       = flag.Int("cpus", 1, "number of scheduling cores")
 		controller = flag.String("controller", "lfspp", "feedback controller: lfspp | lfs")
 		duration   = flag.Duration("duration", 30*time.Second, "simulated duration")
 		noRate     = flag.Bool("no-rate-detection", false, "disable the period analyser")
-		verbose    = flag.Bool("v", false, "print every controller activation")
+		verbose    = flag.Bool("v", false, "print every controller activation and budget exhaustion")
 		traceFile  = flag.String("trace", "", "export the app's syscall timestamps (seconds, one per line) to this file")
 	)
 	flag.Parse()
 
-	sys := selftune.NewSystem(selftune.SystemConfig{Seed: *seed})
+	sys, err := selftune.NewSystem(
+		selftune.WithSeed(*seed),
+		selftune.WithCPUs(*cpus),
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
+		os.Exit(2)
+	}
 	if *load > 0 {
-		sys.StartBackgroundLoad(*load, 3)
+		bg, err := sys.Spawn("rtload",
+			selftune.SpawnName("rtload"), selftune.SpawnUtil(*load), selftune.SpawnCount(3))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
+			os.Exit(1)
+		}
+		bg.Start(0)
 	}
 
 	var pcfg workload.PlayerConfig
@@ -71,7 +86,6 @@ func main() {
 		tee = &teeSink{inner: sys.Tracer()}
 		pcfg.Sink = tee
 	}
-	player := sys.NewPlayer(pcfg)
 
 	cfg := selftune.DefaultTunerConfig()
 	cfg.RateDetection = !*noRate
@@ -85,22 +99,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	tuner, err := sys.Tune(player, cfg)
+	h, err := sys.Spawn("player",
+		selftune.SpawnPlayer(pcfg),
+		selftune.Tuned(cfg))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
 		os.Exit(1)
 	}
+	player, tuner := h.Player(), h.Tuner()
+
 	if *verbose {
-		tuner.OnTick = func(s selftune.TunerSnapshot) {
-			fmt.Printf("%12v  period=%-10v detected=%6.2fHz  granted=%-10v bw=%.3f events=%d\n",
-				s.At, s.Period, s.Detected, s.Granted, s.Bandwidth, s.Events)
-		}
+		sys.Subscribe(selftune.ObserverFunc(func(e selftune.Event) {
+			switch e.Kind {
+			case selftune.TunerTickEvent:
+				s := e.Snapshot
+				fmt.Printf("%12v  core=%d period=%-10v detected=%6.2fHz  granted=%-10v bw=%.3f events=%d\n",
+					s.At, e.Core, s.Period, s.Detected, s.Granted, s.Bandwidth, s.Events)
+			case selftune.BudgetExhaustedEvent:
+				fmt.Printf("%12v  core=%d budget exhausted: %s\n", e.At, e.Core, e.Source)
+			}
+		}))
 	}
-	player.Start(0)
+	h.Start(0)
 	sys.Run(selftune.Duration(duration.Nanoseconds()))
 
-	fmt.Printf("application : %s (%s controller, rate detection %v)\n",
-		player.Config().Name, cfg.Controller.Name(), cfg.RateDetection)
+	fmt.Printf("application : %s on core %d (%s controller, rate detection %v)\n",
+		player.Name(), h.Core().Index, cfg.Controller.Name(), cfg.RateDetection)
 	fmt.Printf("frames      : %d released, %d decoded, %d deadline misses\n",
 		player.Frames(), player.Task().Stats().Completed, player.Task().Stats().Missed)
 	if f := tuner.DetectedFrequency(); f > 0 {
@@ -125,11 +149,15 @@ func main() {
 		fmt.Printf("inter-frame : mean=%.3fms std=%.3fms p99=%.1fms max=%.1fms  (>80ms: %d of %d)\n",
 			s.Mean, s.Std, s.P99, s.Max, over80, len(ift))
 	}
-	grants, compressed, _ := sys.Supervisor().Stats()
+	appCore := h.Core()
+	grants, compressed, _ := appCore.Supervisor().Stats()
 	fmt.Printf("supervisor  : %d grants, %d compressed, total granted %.3f\n",
-		grants, compressed, sys.Supervisor().TotalGranted())
+		grants, compressed, appCore.Supervisor().TotalGranted())
 	fmt.Printf("scheduler   : utilisation %.3f, %d context switches\n",
-		sys.Scheduler().Utilization(), sys.Scheduler().ContextSwitches())
+		appCore.Scheduler().Utilization(), appCore.Scheduler().ContextSwitches())
+	if sys.CPUs() > 1 {
+		fmt.Printf("machine     : %d cores, loads %v\n", sys.CPUs(), sys.Machine().Loads())
+	}
 
 	if tee != nil {
 		f, err := os.Create(*traceFile)

@@ -20,12 +20,9 @@ import (
 	"strings"
 
 	"repro/internal/ktrace"
-	"repro/internal/rng"
-	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/simtime"
 	"repro/internal/spectrum"
-	"repro/internal/workload"
+	"repro/selftune"
 )
 
 func main() {
@@ -174,15 +171,18 @@ func sortTimes(ts []simtime.Time) {
 	}
 }
 
-// demoTrace generates two seconds of the paper's mplayer-mp3 workload.
+// demoTrace generates two seconds of the paper's mplayer-mp3 workload
+// through the selftune registry.
 func demoTrace() []simtime.Time {
-	eng := sim.New()
-	sd := sched.New(sched.Config{Engine: eng})
-	buf := ktrace.NewBuffer(ktrace.QTrace, 1<<16)
-	cfg := workload.MP3PlayerConfig("mplayer")
-	cfg.Sink = buf
-	p := workload.NewPlayer(sd, rng.New(42), cfg)
-	p.Start(0)
-	eng.RunUntil(simtime.Time(2 * simtime.Second))
-	return ktrace.Timestamps(buf.Drain())
+	sys, err := selftune.NewSystem(selftune.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+	h, err := sys.Spawn("mp3", selftune.SpawnName("mplayer"))
+	if err != nil {
+		panic(err)
+	}
+	h.Start(0)
+	sys.Run(2 * selftune.Second)
+	return ktrace.Timestamps(sys.Tracer().Drain())
 }

@@ -22,7 +22,7 @@ import (
 	"repro/selftune"
 )
 
-func threadConfigs(sys *selftune.System) []selftune.PlayerConfig {
+func threadConfigs() []selftune.PlayerConfig {
 	return []selftune.PlayerConfig{
 		{
 			Name:          "app:audio",
@@ -32,7 +32,6 @@ func threadConfigs(sys *selftune.System) []selftune.PlayerConfig {
 			DemandJitter:  0.05,
 			StartBurstMin: 4, StartBurstMax: 7,
 			EndBurstMin: 4, EndBurstMax: 7,
-			Sink: sys.Tracer(),
 		},
 		{
 			Name:          "app:video",
@@ -42,9 +41,27 @@ func threadConfigs(sys *selftune.System) []selftune.PlayerConfig {
 			DemandJitter:  0.08,
 			StartBurstMin: 6, StartBurstMax: 10,
 			EndBurstMin: 6, EndBurstMax: 10,
-			Sink: sys.Tracer(),
 		},
 	}
+}
+
+// spawnThreads places both threads of the application on the same
+// core, as threads of one process would be.
+func spawnThreads(sys *selftune.System, opts ...selftune.SpawnOption) []*selftune.Handle {
+	var handles []*selftune.Handle
+	for _, cfg := range threadConfigs() {
+		h, err := sys.Spawn("player",
+			append([]selftune.SpawnOption{
+				selftune.SpawnName(cfg.Name),
+				selftune.SpawnPlayer(cfg),
+				selftune.OnCore(0),
+			}, opts...)...)
+		if err != nil {
+			panic(err)
+		}
+		handles = append(handles, h)
+	}
+	return handles
 }
 
 func meanIFT(p *selftune.Player) float64 {
@@ -64,46 +81,41 @@ func main() {
 
 	// Configuration 1: a reservation per thread.
 	{
-		sys := selftune.NewSystem(selftune.SystemConfig{Seed: 21})
-		var players []*selftune.Player
-		for _, cfg := range threadConfigs(sys) {
-			players = append(players, sys.NewPlayer(cfg))
+		sys, err := selftune.NewSystem(selftune.WithSeed(21))
+		if err != nil {
+			panic(err)
 		}
-		for _, p := range players {
-			if _, err := sys.Tune(p, selftune.DefaultTunerConfig()); err != nil {
-				panic(err)
-			}
-		}
-		for _, p := range players {
-			p.Start(0)
+		handles := spawnThreads(sys, selftune.Tuned(selftune.DefaultTunerConfig()))
+		for _, h := range handles {
+			h.Start(0)
 		}
 		sys.Run(horizon)
 		fmt.Printf("per-thread reservations:\n")
-		for _, p := range players {
-			fmt.Printf("  %-10s mean inter-frame %.2fms\n", p.Config().Name, meanIFT(p))
+		for _, h := range handles {
+			fmt.Printf("  %-10s mean inter-frame %.2fms\n", h.Name(), meanIFT(h.Player()))
 		}
-		fmt.Printf("  total reserved bandwidth: %.3f\n\n", sys.Supervisor().TotalGranted())
+		fmt.Printf("  total reserved bandwidth: %.3f\n\n", sys.Core(0).Supervisor().TotalGranted())
 	}
 
 	// Configuration 2: one shared reservation for the whole app.
 	{
-		sys := selftune.NewSystem(selftune.SystemConfig{Seed: 21})
-		var players []*selftune.Player
-		for _, cfg := range threadConfigs(sys) {
-			players = append(players, sys.NewPlayer(cfg))
-		}
-		// Rate-monotonic priorities: the 50Hz audio thread first.
-		tuner, err := sys.TuneMulti(players, []int{0, 1}, selftune.DefaultTunerConfig())
+		sys, err := selftune.NewSystem(selftune.WithSeed(21))
 		if err != nil {
 			panic(err)
 		}
-		for _, p := range players {
-			p.Start(0)
+		handles := spawnThreads(sys)
+		// Rate-monotonic priorities: the 50Hz audio thread first.
+		tuner, err := sys.TuneShared(handles, []int{0, 1}, selftune.DefaultTunerConfig())
+		if err != nil {
+			panic(err)
+		}
+		for _, h := range handles {
+			h.Start(0)
 		}
 		sys.Run(horizon)
 		fmt.Printf("one shared reservation (MultiTuner):\n")
-		for _, p := range players {
-			fmt.Printf("  %-10s mean inter-frame %.2fms\n", p.Config().Name, meanIFT(p))
+		for _, h := range handles {
+			fmt.Printf("  %-10s mean inter-frame %.2fms\n", h.Name(), meanIFT(h.Player()))
 		}
 		fmt.Printf("  detected thread periods: %v\n", tuner.ThreadPeriods())
 		fmt.Printf("  reservation: Q=%v every T=%v -> bandwidth %.3f\n",

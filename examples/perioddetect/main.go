@@ -15,65 +15,68 @@ import (
 	"fmt"
 
 	"repro/internal/ktrace"
-	"repro/internal/rng"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/simtime"
 	"repro/internal/spectrum"
-	"repro/internal/workload"
+	"repro/selftune"
 )
 
 func main() {
-	eng := sim.New()
-	sd := sched.New(sched.Config{Engine: eng})
-	tracer := ktrace.NewBuffer(ktrace.QTrace, 1<<16)
-	r := rng.New(11)
+	sys, err := selftune.NewSystem(selftune.WithSeed(11))
+	if err != nil {
+		panic(err)
+	}
 
 	// The application under observation: a 50 Hz control loop.
-	cfg := workload.PlayerConfig{
-		Name:          "controlloop",
-		Period:        20 * simtime.Millisecond,
-		ReleaseJitter: 200 * simtime.Microsecond,
-		MeanDemand:    3 * simtime.Millisecond,
-		DemandJitter:  0.05,
-		StartBurstMin: 4, StartBurstMax: 6, // sensor reads
-		EndBurstMin: 4, EndBurstMax: 6, // actuator writes
-		Sink: tracer,
+	loop, err := sys.Spawn("player",
+		selftune.SpawnName("controlloop"),
+		selftune.SpawnPlayer(selftune.PlayerConfig{
+			Period:        20 * selftune.Millisecond,
+			ReleaseJitter: 200 * selftune.Microsecond,
+			MeanDemand:    3 * selftune.Millisecond,
+			DemandJitter:  0.05,
+			StartBurstMin: 4, StartBurstMax: 6, // sensor reads
+			EndBurstMin: 4, EndBurstMax: 6, // actuator writes
+		}))
+	if err != nil {
+		panic(err)
 	}
-	loop := workload.NewPlayer(sd, r.Split(), cfg)
 
 	// Unrelated noise: an aperiodic background job also making
 	// syscalls. The per-PID filter is what keeps it out of the
 	// analysis — the paper's point about tracing selectively.
-	workload.StartPoissonNoise(sd, r.Split(), "cron", 50*simtime.Millisecond, 2*simtime.Millisecond, tracer)
+	noise, err := sys.Spawn("noise", selftune.SpawnName("cron"))
+	if err != nil {
+		panic(err)
+	}
 
-	tracer.FilterPIDs(loop.Task().PID())
+	pid := loop.Player().Task().PID()
+	sys.Tracer().FilterPIDs(pid)
 	loop.Start(0)
+	noise.Start(0)
 
 	// Sliding-window deployment: download a batch every 250ms, keep a
 	// 2s horizon, print the verdict as it firms up.
-	window := spectrum.NewWindow(spectrum.DefaultBand, 2*simtime.Second)
+	window := spectrum.NewWindow(spectrum.DefaultBand, 2*selftune.Second)
 	fmt.Println("time     events  verdict")
 	for step := 1; step <= 12; step++ {
-		eng.RunUntil(simtime.Time(step) * simtime.Time(250*simtime.Millisecond))
-		batch := tracer.DrainPID(loop.Task().PID())
-		window.Observe(eng.Now(), ktrace.Timestamps(batch))
+		sys.Run(250 * selftune.Millisecond)
+		batch := sys.Tracer().DrainPID(pid)
+		window.Observe(sys.Now(), ktrace.Timestamps(batch))
 		d := spectrum.Detect(window.Spectrum(), spectrum.DefaultDetect)
 		verdict := "collecting..."
 		if d.Periodic {
 			verdict = fmt.Sprintf("periodic at %.2f Hz (score %.1f, %d candidates)",
 				d.Frequency, d.Score, len(d.Candidates))
 		}
-		fmt.Printf("%-8v %6d  %s\n", eng.Now(), window.Events(), verdict)
+		fmt.Printf("%-8v %6d  %s\n", sys.Now(), window.Events(), verdict)
 	}
 
 	// Batch deployment on the full remaining trace, with the Figure 10
 	// sharpening measurement.
-	eng.RunUntil(simtime.Time(8 * simtime.Second))
-	all := ktrace.Timestamps(tracer.DrainPID(loop.Task().PID()))
-	for _, h := range []simtime.Duration{500 * simtime.Millisecond, 2 * simtime.Second, 4 * simtime.Second} {
-		cut := eng.Now().Add(-h)
-		var tail []simtime.Time
+	sys.Run(5 * selftune.Second)
+	all := ktrace.Timestamps(sys.Tracer().DrainPID(pid))
+	for _, h := range []selftune.Duration{500 * selftune.Millisecond, 2 * selftune.Second, 4 * selftune.Second} {
+		cut := sys.Now().Add(-h)
+		var tail []selftune.Time
 		for _, e := range all {
 			if e >= cut {
 				tail = append(tail, e)

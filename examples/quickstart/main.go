@@ -12,17 +12,22 @@ import (
 func main() {
 	// A simulated machine: EDF+CBS scheduler, syscall tracer,
 	// bandwidth supervisor. Same seed, same run — always.
-	sys := selftune.NewSystem(selftune.SystemConfig{Seed: 1})
+	sys, err := selftune.NewSystem(selftune.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
 
-	// A "legacy" application: a 25 fps video player that uses ~25% of
-	// the CPU. It knows nothing about reservations or tuning APIs; it
-	// just decodes frames and makes system calls.
-	app := sys.NewVideoPlayer("mplayer", 0.25)
-
-	// The paper's machinery: trace the app's syscalls, infer its
-	// period with the spectrum analyser, and adapt its CBS reservation
-	// with the LFS++ feedback controller.
-	tuner, err := sys.Tune(app, selftune.DefaultTunerConfig())
+	// A "legacy" application from the workload registry: a 25 fps
+	// video player that uses ~25% of the CPU. It knows nothing about
+	// reservations or tuning APIs; it just decodes frames and makes
+	// system calls. The Tuned option attaches the paper's machinery:
+	// trace the app's syscalls, infer its period with the spectrum
+	// analyser, and adapt its CBS reservation with the LFS++ feedback
+	// controller.
+	app, err := sys.Spawn("video",
+		selftune.SpawnName("mplayer"),
+		selftune.SpawnUtil(0.25),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
 	if err != nil {
 		panic(err)
 	}
@@ -30,14 +35,15 @@ func main() {
 	app.Start(0)
 	sys.Run(30 * selftune.Second)
 
+	tuner := app.Tuner()
 	fmt.Printf("after 30s of playback:\n")
 	fmt.Printf("  detected activation rate : %.2f Hz (true: 25 Hz)\n", tuner.DetectedFrequency())
 	fmt.Printf("  inferred period          : %v (true: 40ms)\n", tuner.Period())
 	fmt.Printf("  reservation              : Q=%v every T=%v (%.1f%% of the CPU)\n",
 		tuner.Server().Budget(), tuner.Server().Period(), 100*tuner.Server().Bandwidth())
-	fmt.Printf("  frames decoded           : %d\n", app.Task().Stats().Completed)
+	fmt.Printf("  frames decoded           : %d\n", app.Player().Task().Stats().Completed)
 
-	ift := app.InterFrameTimes()
+	ift := app.Player().InterFrameTimes()
 	late := 0
 	for _, d := range ift {
 		if d > 80*selftune.Millisecond {

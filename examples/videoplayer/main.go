@@ -15,7 +15,6 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/selftune"
 )
@@ -35,14 +34,16 @@ type outcome struct {
 	bw      float64
 }
 
-func run(label string, configure func(sys *selftune.System, app *selftune.Player) func() float64) outcome {
-	sys := selftune.NewSystem(selftune.SystemConfig{Seed: seed})
-	app := sys.NewVideoPlayer("mplayer", utilTrue)
-	bwAtEnd := configure(sys, app)
+func run(label string, spawn func(sys *selftune.System) (*selftune.Handle, func() float64)) outcome {
+	sys, err := selftune.NewSystem(selftune.WithSeed(seed))
+	if err != nil {
+		panic(err)
+	}
+	app, bwAtEnd := spawn(sys)
 	app.Start(0)
 	sys.Run(duration)
 
-	ift := app.InterFrameTimes()
+	ift := app.Player().InterFrameTimes()
 	xs := make([]float64, len(ift))
 	late := 0
 	for i, d := range ift {
@@ -62,24 +63,34 @@ func run(label string, configure func(sys *selftune.System, app *selftune.Player
 	}
 }
 
+// static spawns the player untuned and pins it into a hand-configured
+// reservation — the sysadmin's guess the self-tuning scheduler makes
+// obsolete.
+func static(budget selftune.Duration) func(sys *selftune.System) (*selftune.Handle, func() float64) {
+	return func(sys *selftune.System) (*selftune.Handle, func() float64) {
+		app, err := sys.Spawn("video",
+			selftune.SpawnName("mplayer"), selftune.SpawnUtil(utilTrue))
+		if err != nil {
+			panic(err)
+		}
+		srv := app.Core().Scheduler().NewServer("static", budget, 40*selftune.Millisecond, selftune.HardCBS)
+		app.Player().Task().AttachTo(srv, 0)
+		return app, srv.Bandwidth
+	}
+}
+
 func main() {
 	results := []outcome{
-		run("static, too small (Q=6ms/T=40ms)", func(sys *selftune.System, app *selftune.Player) func() float64 {
-			srv := sys.Scheduler().NewServer("static", 6*selftune.Millisecond, 40*selftune.Millisecond, sched.HardCBS)
-			app.Task().AttachTo(srv, 0)
-			return srv.Bandwidth
-		}),
-		run("static, generous (Q=30ms/T=40ms)", func(sys *selftune.System, app *selftune.Player) func() float64 {
-			srv := sys.Scheduler().NewServer("static", 30*selftune.Millisecond, 40*selftune.Millisecond, sched.HardCBS)
-			app.Task().AttachTo(srv, 0)
-			return srv.Bandwidth
-		}),
-		run("self-tuning (LFS++ + analyser)", func(sys *selftune.System, app *selftune.Player) func() float64 {
-			tuner, err := sys.Tune(app, selftune.DefaultTunerConfig())
+		run("static, too small (Q=6ms/T=40ms)", static(6*selftune.Millisecond)),
+		run("static, generous (Q=30ms/T=40ms)", static(30*selftune.Millisecond)),
+		run("self-tuning (LFS++ + analyser)", func(sys *selftune.System) (*selftune.Handle, func() float64) {
+			app, err := sys.Spawn("video",
+				selftune.SpawnName("mplayer"), selftune.SpawnUtil(utilTrue),
+				selftune.Tuned(selftune.DefaultTunerConfig()))
 			if err != nil {
 				panic(err)
 			}
-			return tuner.Server().Bandwidth
+			return app, app.Tuner().Server().Bandwidth
 		}),
 	}
 

@@ -137,8 +137,27 @@ type AutoTuner struct {
 	pendingPeriod simtime.Duration
 	pendingCount  int
 
-	// OnTick, if non-nil, observes every activation.
+	// OnTick, if non-nil, observes every activation. It belongs to
+	// the end user; embedding layers must use BusTick.
 	OnTick func(Snapshot)
+	// BusTick, if non-nil, also observes every activation. It is
+	// reserved for the observation bus of an embedding system (the
+	// selftune observer API), so user code assigning OnTick cannot
+	// sever it.
+	BusTick func(Snapshot)
+}
+
+// Validate checks the invariants New and NewMulti enforce on a
+// configuration, letting callers fail before committing resources.
+func (c Config) Validate() error {
+	if c.Sampling <= 0 || c.Horizon <= 0 {
+		return fmt.Errorf("core: sampling and horizon must be positive")
+	}
+	if c.InitialBudget <= 0 || c.InitialPeriod <= 0 || c.InitialBudget > c.InitialPeriod {
+		return fmt.Errorf("core: invalid initial reservation Q=%v T=%v",
+			c.InitialBudget, c.InitialPeriod)
+	}
+	return nil
 }
 
 // New creates an AutoTuner managing the given task: it builds the
@@ -149,12 +168,8 @@ type AutoTuner struct {
 func New(sd *sched.Scheduler, sup *supervisor.Supervisor, tracer *ktrace.Buffer,
 	task *sched.Task, cfg Config) (*AutoTuner, error) {
 
-	if cfg.Sampling <= 0 || cfg.Horizon <= 0 {
-		return nil, fmt.Errorf("core: sampling and horizon must be positive")
-	}
-	if cfg.InitialBudget <= 0 || cfg.InitialPeriod <= 0 || cfg.InitialBudget > cfg.InitialPeriod {
-		return nil, fmt.Errorf("core: invalid initial reservation Q=%v T=%v",
-			cfg.InitialBudget, cfg.InitialPeriod)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Controller == nil {
 		cfg.Controller = feedback.NewLFSPP()
@@ -174,17 +189,20 @@ func New(sd *sched.Scheduler, sup *supervisor.Supervisor, tracer *ktrace.Buffer,
 		ctrl:   cfg.Controller,
 		period: cfg.InitialPeriod,
 	}
-	a.server = sd.NewServer("tuner:"+task.Name(), cfg.InitialBudget, cfg.InitialPeriod, cfg.Mode)
-	task.AttachTo(a.server, 0)
-	if cfg.RateDetection {
-		a.window = spectrum.NewWindow(cfg.Band, cfg.Horizon)
-	}
+	// Register with the supervisor before creating the server: a
+	// rejected registration must not leave an orphan reservation on
+	// the scheduler.
 	if sup != nil {
 		client, ok := sup.Register("tuner:"+task.Name(), cfg.MinBandwidth)
 		if !ok {
 			return nil, fmt.Errorf("core: supervisor rejected registration of %s", task.Name())
 		}
 		a.client = client
+	}
+	a.server = sd.NewServer("tuner:"+task.Name(), cfg.InitialBudget, cfg.InitialPeriod, cfg.Mode)
+	task.AttachTo(a.server, 0)
+	if cfg.RateDetection {
+		a.window = spectrum.NewWindow(cfg.Band, cfg.Horizon)
 	}
 	return a, nil
 }
@@ -379,6 +397,9 @@ func (a *AutoTuner) recordSnapshot(now simtime.Time, req, granted simtime.Durati
 		snap.Events = a.window.Events()
 	}
 	a.snapshots = append(a.snapshots, snap)
+	if a.BusTick != nil {
+		a.BusTick(snap)
+	}
 	if a.OnTick != nil {
 		a.OnTick(snap)
 	}

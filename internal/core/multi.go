@@ -43,6 +43,13 @@ type MultiTuner struct {
 	holdGrowths int
 	snapshots   []Snapshot
 	running     bool
+
+	// OnTick, if non-nil, observes every activation. It belongs to
+	// the end user; embedding layers must use BusTick.
+	OnTick func(Snapshot)
+	// BusTick, if non-nil, also observes every activation; reserved
+	// for an embedding system's observation bus.
+	BusTick func(Snapshot)
 }
 
 // threadVerdict tracks the per-thread period estimate until it is
@@ -67,11 +74,8 @@ func NewMulti(sd *sched.Scheduler, sup *supervisor.Supervisor, tracer *ktrace.Bu
 	if len(prios) != len(tasks) {
 		return nil, fmt.Errorf("core: %d priorities for %d tasks", len(prios), len(tasks))
 	}
-	if cfg.Sampling <= 0 || cfg.Horizon <= 0 {
-		return nil, fmt.Errorf("core: sampling and horizon must be positive")
-	}
-	if cfg.InitialBudget <= 0 || cfg.InitialPeriod <= 0 || cfg.InitialBudget > cfg.InitialPeriod {
-		return nil, fmt.Errorf("core: invalid initial reservation")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Controller == nil {
 		cfg.Controller = feedback.NewLFSPP()
@@ -90,19 +94,22 @@ func NewMulti(sd *sched.Scheduler, sup *supervisor.Supervisor, tracer *ktrace.Bu
 		ctrl:    cfg.Controller,
 		period:  cfg.InitialPeriod,
 	}
-	m.server = sd.NewServer("multituner:"+tasks[0].Name(), cfg.InitialBudget, cfg.InitialPeriod, cfg.Mode)
-	for i, t := range tasks {
-		t.AttachTo(m.server, prios[i])
-		if cfg.RateDetection {
-			m.windows[t.PID()] = spectrum.NewWindow(cfg.Band, cfg.Horizon)
-		}
-	}
+	// Register with the supervisor before creating the server: a
+	// rejected registration must not leave an orphan reservation on
+	// the scheduler.
 	if sup != nil {
 		client, ok := sup.Register("multituner:"+tasks[0].Name(), cfg.MinBandwidth)
 		if !ok {
 			return nil, fmt.Errorf("core: supervisor rejected registration")
 		}
 		m.client = client
+	}
+	m.server = sd.NewServer("multituner:"+tasks[0].Name(), cfg.InitialBudget, cfg.InitialPeriod, cfg.Mode)
+	for i, t := range tasks {
+		t.AttachTo(m.server, prios[i])
+		if cfg.RateDetection {
+			m.windows[t.PID()] = spectrum.NewWindow(cfg.Band, cfg.Horizon)
+		}
 	}
 	return m, nil
 }
@@ -274,4 +281,10 @@ func (m *MultiTuner) actuate(now simtime.Time, req simtime.Duration) {
 		Bandwidth: m.server.Bandwidth(),
 	}
 	m.snapshots = append(m.snapshots, snap)
+	if m.BusTick != nil {
+		m.BusTick(snap)
+	}
+	if m.OnTick != nil {
+		m.OnTick(snap)
+	}
 }

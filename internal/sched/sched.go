@@ -27,6 +27,11 @@ type Config struct {
 	BEQuantum simtime.Duration
 	// LogCapacity bounds the scheduler event log; zero disables logging.
 	LogCapacity int
+	// PIDBase is the first PID this scheduler hands out; zero selects
+	// 1000. Schedulers sharing one syscall tracer (the cores of an
+	// smp.Machine) must use disjoint PID ranges, or per-PID trace
+	// drains mix tasks that happen to share a number.
+	PIDBase int
 }
 
 // Scheduler owns the simulated CPU.
@@ -60,6 +65,16 @@ type Scheduler struct {
 	// equivalent of the ftrace sched_wakeup/sched_switch events the
 	// paper's Sec. 6 proposes as an alternative tracing source.
 	transitionHook func(t *Task, ready bool, now simtime.Time)
+
+	// exhaustHook, if set, observes every server budget exhaustion,
+	// before the CBS-mode recovery (throttle or postpone) runs. It is
+	// the simulated qres budget-overrun notification and belongs to
+	// the end user; embedding layers must use exhaustBus.
+	exhaustHook func(srv *Server, now simtime.Time)
+	// exhaustBus is a second exhaustion observer reserved for the
+	// observation bus of an embedding system, so user code calling
+	// SetExhaustHook cannot sever it.
+	exhaustBus func(srv *Server, now simtime.Time)
 }
 
 // New returns a scheduler bound to the given engine.
@@ -71,10 +86,14 @@ func New(cfg Config) *Scheduler {
 	if q <= 0 {
 		q = 10 * simtime.Millisecond
 	}
+	pidBase := cfg.PIDBase
+	if pidBase <= 0 {
+		pidBase = 1000
+	}
 	sd := &Scheduler{
 		engine:    cfg.Engine,
 		beQuantum: q,
-		nextPID:   1000,
+		nextPID:   pidBase,
 	}
 	if cfg.LogCapacity > 0 {
 		sd.log = NewLog(cfg.LogCapacity)
@@ -149,6 +168,24 @@ func (sd *Scheduler) NewTask(name string) *Task {
 	return t
 }
 
+// RemoveTask unregisters a freshly created task that never ran: it
+// must be unattached, have no backlog, and not be queued. It returns
+// false (leaving the task registered) otherwise. This is the undo for
+// NewTask on construction paths that fail after creating the task.
+func (sd *Scheduler) RemoveTask(t *Task) bool {
+	if t == nil || t.sched != sd || t.server != nil || len(t.pending) > 0 || t.beQueued || sd.runTask == t {
+		return false
+	}
+	for i, x := range sd.tasks {
+		if x == t {
+			sd.tasks = append(sd.tasks[:i], sd.tasks[i+1:]...)
+			t.sched = nil
+			return true
+		}
+	}
+	return false
+}
+
 // AttachTo places the task inside the given server with the given
 // fixed priority (lower value = higher priority). Attaching must
 // happen before the task's first job release. Passing a nil server
@@ -178,6 +215,19 @@ func (sd *Scheduler) TotalReservedBandwidth() float64 {
 		u += s.Bandwidth()
 	}
 	return u
+}
+
+// SetExhaustHook installs fn as the budget-exhaustion observer, fired
+// before the CBS-mode recovery runs. The hook must only read scheduler
+// state; mutating it re-entrantly is a bug. Passing nil clears it.
+func (sd *Scheduler) SetExhaustHook(fn func(srv *Server, now simtime.Time)) {
+	sd.exhaustHook = fn
+}
+
+// SetExhaustBus installs the embedding system's exhaustion observer.
+// It fires alongside (before) the user hook and survives SetExhaustHook.
+func (sd *Scheduler) SetExhaustBus(fn func(srv *Server, now simtime.Time)) {
+	sd.exhaustBus = fn
 }
 
 // SetTransitionHook registers a callback fired on every task

@@ -219,6 +219,12 @@ func (s *Server) pairSafe(now simtime.Time) bool {
 func (s *Server) exhaust(now simtime.Time) {
 	s.stats.Exhaustions++
 	s.sched.trace(EvExhaust, nil, "srv=%s d=%v", s.name, s.d)
+	if s.sched.exhaustBus != nil {
+		s.sched.exhaustBus(s, now)
+	}
+	if s.sched.exhaustHook != nil {
+		s.sched.exhaustHook(s, now)
+	}
 	switch s.mode {
 	case SoftCBS:
 		s.q = s.budget

@@ -35,7 +35,10 @@ func New(engine *sim.Engine, n int, ulub float64) *Machine {
 	}
 	m := &Machine{engine: engine, placed: make([]float64, n)}
 	for i := 0; i < n; i++ {
-		m.cores = append(m.cores, sched.New(sched.Config{Engine: engine}))
+		// Disjoint PID ranges per core: the cores share one syscall
+		// tracer, and per-PID trace drains must never mix tasks from
+		// different cores. Core 0 keeps the uniprocessor default base.
+		m.cores = append(m.cores, sched.New(sched.Config{Engine: engine, PIDBase: 1000 + i*1_000_000}))
 		m.sups = append(m.sups, supervisor.New(ulub))
 	}
 	return m
@@ -77,6 +80,37 @@ func (m *Machine) Place(bandwidth float64) (int, error) {
 	return best, nil
 }
 
+// Reserve records a bandwidth hint against a specific core, for
+// callers that pin placement instead of letting Place choose. Like
+// Place it rejects hints the core has no room for.
+func (m *Machine) Reserve(core int, bandwidth float64) error {
+	if core < 0 || core >= len(m.cores) {
+		return fmt.Errorf("smp: core %d out of [0,%d)", core, len(m.cores))
+	}
+	if bandwidth <= 0 || bandwidth > 1 {
+		return fmt.Errorf("smp: bandwidth hint %v out of (0,1]", bandwidth)
+	}
+	if load := m.load(core); load+bandwidth > m.sups[core].ULub()+1e-9 {
+		return fmt.Errorf("smp: core %d at load %.3f cannot fit %.3f", core, load, bandwidth)
+	}
+	m.placed[core] += bandwidth
+	return nil
+}
+
+// Release returns a previously accepted bandwidth hint (from Place or
+// Reserve) to core i, for callers whose placement fell through before
+// the application materialised. Out-of-range arguments are ignored;
+// the hint account never goes negative.
+func (m *Machine) Release(core int, bandwidth float64) {
+	if core < 0 || core >= len(m.cores) || bandwidth <= 0 {
+		return
+	}
+	m.placed[core] -= bandwidth
+	if m.placed[core] < 0 {
+		m.placed[core] = 0
+	}
+}
+
 // load returns the effective load of core i: the larger of the hint
 // account and the actually reserved bandwidth.
 func (m *Machine) load(i int) float64 {
@@ -98,6 +132,9 @@ func (m *Machine) loads() []float64 {
 
 // Loads returns a snapshot of the per-core effective loads.
 func (m *Machine) Loads() []float64 { return m.loads() }
+
+// Load returns core i's effective load.
+func (m *Machine) Load(i int) float64 { return m.load(i) }
 
 // TotalUtilization returns the machine-wide fraction of busy CPU time.
 func (m *Machine) TotalUtilization() float64 {

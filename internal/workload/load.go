@@ -106,6 +106,13 @@ func StartLoad(sd *sched.Scheduler, r *rng.Source, spec LoadSpec, name string) [
 // (used by Table 3, where the paper loads the system with "some
 // periodic real-time tasks").
 func MakeLoad(sd *sched.Scheduler, r *rng.Source, util float64, n int) []*ReservedPeriodic {
+	return MakeLoadAt(sd, r, util, n, 0)
+}
+
+// MakeLoadAt is MakeLoad with every task's release offset shifted to
+// start from base, so deferred-start callers can bring the load up
+// mid-run.
+func MakeLoadAt(sd *sched.Scheduler, r *rng.Source, util float64, n int, base simtime.Time) []*ReservedPeriodic {
 	if util <= 0 {
 		return nil
 	}
@@ -127,11 +134,50 @@ func MakeLoad(sd *sched.Scheduler, r *rng.Source, util float64, n int) []*Reserv
 		if q < simtime.Microsecond {
 			q = simtime.Microsecond
 		}
-		offset := simtime.Time(r.Int63n(int64(p)))
+		offset := base.Add(simtime.Duration(r.Int63n(int64(p))))
 		out = append(out, StartReservedPeriodic(sd, r, fmt.Sprintf("rtload%d", i), q, p, 0.97, offset))
 	}
 	return out
 }
+
+// Background is a deferred MakeLoad: the reservations are created only
+// when Start fires, so a background load can sit behind the same
+// create-then-start contract as the application models.
+type Background struct {
+	name    string
+	sd      *sched.Scheduler
+	r       *rng.Source
+	util    float64
+	n       int
+	started bool
+	apps    []*ReservedPeriodic
+}
+
+// NewBackground prepares a background load of approximately util CPU
+// utilisation split across n reserved periodic tasks.
+func NewBackground(sd *sched.Scheduler, r *rng.Source, name string, util float64, n int) *Background {
+	return &Background{name: name, sd: sd, r: r, util: util, n: n}
+}
+
+// Name returns the load's configured name.
+func (b *Background) Name() string { return b.name }
+
+// Start creates the reservations with release offsets from at
+// (clamped to the present, so a mid-run start of a deferred load
+// cannot schedule into the past).
+func (b *Background) Start(at simtime.Time) {
+	if b.started {
+		panic("workload: Background started twice")
+	}
+	b.started = true
+	if now := b.sd.Engine().Now(); at < now {
+		at = now
+	}
+	b.apps = MakeLoadAt(b.sd, b.r, b.util, b.n, at)
+}
+
+// Apps returns the spawned reserved periodic tasks (nil before Start).
+func (b *Background) Apps() []*ReservedPeriodic { return b.apps }
 
 // StartCPUHog creates a best-effort task with a single effectively
 // infinite job, useful to keep the CPU saturated in tests.
@@ -143,37 +189,83 @@ func StartCPUHog(sd *sched.Scheduler, name string, work simtime.Duration) *sched
 	return t
 }
 
-// StartPoissonNoise creates a best-effort task receiving jobs with
-// exponential inter-arrival times and exponential demand: unstructured
-// background activity that exercises the aperiodicity path of the
-// period analyser.
-func StartPoissonNoise(sd *sched.Scheduler, r *rng.Source, name string,
-	meanInterarrival, meanDemand simtime.Duration, sink SyscallSink) *sched.Task {
+// Noise is a best-effort task receiving jobs with exponential
+// inter-arrival times and exponential demand: unstructured background
+// activity that exercises the aperiodicity path of the period
+// analyser. The task exists from construction (so PID filters can be
+// installed), but no jobs arrive until Start.
+type Noise struct {
+	name             string
+	sd               *sched.Scheduler
+	r                *rng.Source
+	meanInterarrival simtime.Duration
+	meanDemand       simtime.Duration
+	sink             SyscallSink
+	task             *sched.Task
+	started          bool
+}
 
-	t := sd.NewTask(name)
-	eng := sd.Engine()
+// NewNoise prepares a Poisson noise source.
+func NewNoise(sd *sched.Scheduler, r *rng.Source, name string,
+	meanInterarrival, meanDemand simtime.Duration, sink SyscallSink) *Noise {
+
+	return &Noise{
+		name: name, sd: sd, r: r,
+		meanInterarrival: meanInterarrival,
+		meanDemand:       meanDemand,
+		sink:             sink,
+		task:             sd.NewTask(name),
+	}
+}
+
+// Name returns the noise source's configured name.
+func (n *Noise) Name() string { return n.name }
+
+// Task returns the underlying scheduler task.
+func (n *Noise) Task() *sched.Task { return n.task }
+
+// Start begins the arrival process at the given instant.
+func (n *Noise) Start(at simtime.Time) {
+	if n.started {
+		panic("workload: Noise started twice")
+	}
+	n.started = true
+	eng := n.sd.Engine()
+	t := n.task
 	var arrive func()
 	arrive = func() {
-		d := simtime.Duration(r.Exp(float64(meanDemand)))
+		d := simtime.Duration(n.r.Exp(float64(n.meanDemand)))
 		if d < simtime.Microsecond {
 			d = simtime.Microsecond
 		}
 		j := sched.NewJob(eng.Now(), d, simtime.Never)
-		if sink != nil {
+		if n.sink != nil {
 			pid := t.PID()
 			j.AddHook(d, func(now simtime.Time) {
-				if ov := sink.Syscall(now, pid, int(SysRead)); ov > 0 {
+				if ov := n.sink.Syscall(now, pid, int(SysRead)); ov > 0 {
 					j.ExtendDemand(ov)
 				}
 			})
 		}
 		t.Release(j)
-		gap := simtime.Duration(r.Exp(float64(meanInterarrival)))
+		gap := simtime.Duration(n.r.Exp(float64(n.meanInterarrival)))
 		if gap < simtime.Microsecond {
 			gap = simtime.Microsecond
 		}
 		eng.After(gap, arrive)
 	}
-	eng.At(eng.Now(), arrive)
-	return t
+	if at < eng.Now() {
+		at = eng.Now()
+	}
+	eng.At(at, arrive)
+}
+
+// StartPoissonNoise creates a Poisson noise source whose arrivals
+// begin immediately.
+func StartPoissonNoise(sd *sched.Scheduler, r *rng.Source, name string,
+	meanInterarrival, meanDemand simtime.Duration, sink SyscallSink) *sched.Task {
+
+	n := NewNoise(sd, r, name, meanInterarrival, meanDemand, sink)
+	n.Start(sd.Engine().Now())
+	return n.Task()
 }

@@ -96,6 +96,8 @@ type Player struct {
 	task *sched.Task
 	r    *rng.Source
 
+	startedRun bool
+
 	frame    int
 	finishes []simtime.Time
 	displays []simtime.Time
@@ -191,11 +193,23 @@ func NewPlayer(sd *sched.Scheduler, r *rng.Source, cfg PlayerConfig) *Player {
 // Task returns the underlying scheduler task.
 func (p *Player) Task() *sched.Task { return p.task }
 
+// Name returns the player's configured name.
+func (p *Player) Name() string { return p.cfg.Name }
+
 // Config returns the player configuration.
 func (p *Player) Config() PlayerConfig { return p.cfg }
 
-// Start begins releasing frames at the given instant.
+// Start begins releasing frames at the given instant (clamped to the
+// present, so a mid-run start cannot schedule into the past). Starting
+// twice panics: a second release loop would corrupt the frame grid.
 func (p *Player) Start(at simtime.Time) {
+	if p.startedRun {
+		panic("workload: Player started twice")
+	}
+	p.startedRun = true
+	if now := p.eng.Now(); at < now {
+		at = now
+	}
 	p.gridBase = at
 	next := at
 	var release func()

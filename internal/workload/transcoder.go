@@ -38,12 +38,13 @@ func DefaultTranscoderConfig(name string) TranscoderConfig {
 // Transcoder is a single CPU-bound batch job that emits syscalls at
 // regular execution-progress intervals.
 type Transcoder struct {
-	cfg    TranscoderConfig
-	eng    *sim.Engine
-	task   *sched.Task
-	r      *rng.Source
-	calls  int
-	finish simtime.Time
+	cfg     TranscoderConfig
+	eng     *sim.Engine
+	task    *sched.Task
+	r       *rng.Source
+	calls   int
+	finish  simtime.Time
+	started bool
 }
 
 // NewTranscoder creates the transcoder's task in the best-effort class.
@@ -62,8 +63,20 @@ func NewTranscoder(sd *sched.Scheduler, r *rng.Source, cfg TranscoderConfig) *Tr
 // Task returns the underlying scheduler task.
 func (tr *Transcoder) Task() *sched.Task { return tr.task }
 
-// Start releases the transcode job at the given instant.
+// Name returns the transcoder's configured name.
+func (tr *Transcoder) Name() string { return tr.cfg.Name }
+
+// Start releases the transcode job at the given instant (clamped to
+// the present, so a mid-run start cannot schedule into the past).
+// Starting twice panics, like every other workload.
 func (tr *Transcoder) Start(at simtime.Time) {
+	if tr.started {
+		panic("workload: Transcoder started twice")
+	}
+	tr.started = true
+	if now := tr.eng.Now(); at < now {
+		at = now
+	}
 	tr.eng.At(at, func() {
 		work := float64(tr.cfg.TotalWork)
 		if tr.cfg.WorkJitter > 0 {

@@ -1,0 +1,137 @@
+package selftune
+
+// The observer API replaces direct poking at Scheduler()/Tracer()
+// internals: callers subscribe once and receive tuner activation
+// snapshots, budget-exhaustion notifications and periodic per-core
+// load samples as a single typed event stream.
+
+// EventKind discriminates the events a System publishes.
+type EventKind int
+
+const (
+	// TunerTickEvent is one controller activation; Event.Snapshot
+	// carries the activation record and Event.Source the task name.
+	TunerTickEvent EventKind = iota
+	// BudgetExhaustedEvent fires when a CBS server depletes its budget
+	// with work still pending; Event.Source names the server.
+	BudgetExhaustedEvent
+	// CoreLoadEvent is a periodic sample of the per-core effective
+	// loads (Event.Loads, one entry per core). Published every
+	// WithLoadSampling interval once an observer is subscribed.
+	CoreLoadEvent
+)
+
+// String returns the kind's name.
+func (k EventKind) String() string {
+	switch k {
+	case TunerTickEvent:
+		return "tuner-tick"
+	case BudgetExhaustedEvent:
+		return "budget-exhausted"
+	case CoreLoadEvent:
+		return "core-load"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observation published by a System.
+type Event struct {
+	// Kind discriminates which of the payload fields are valid.
+	Kind EventKind
+	// At is the instant of the event on the System's observation
+	// clock (every event kind uses the same timebase, including under
+	// WithClock).
+	At Time
+	// Core is the index of the originating core, or -1 for
+	// system-wide events (core-load samples).
+	Core int
+	// Source names the originating component: the tuned task for
+	// tuner ticks, the server for exhaustions.
+	Source string
+	// Snapshot is the activation record of a TunerTickEvent.
+	Snapshot TunerSnapshot
+	// Loads is the per-core effective load of a CoreLoadEvent.
+	Loads []float64
+}
+
+// Observer receives System events.
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe calls f(e).
+func (f ObserverFunc) Observe(e Event) { f(e) }
+
+// subscription is one live observer registration.
+type subscription struct {
+	obs       Observer
+	cancelled bool
+}
+
+// Subscribe registers an observer and returns its cancel function.
+// The first subscription starts the per-core load sampler, so systems
+// that never subscribe run exactly the event sequence they always did.
+// Subscribe and cancel are not safe for concurrent use with Run — the
+// whole simulation is single-goroutine.
+func (s *System) Subscribe(o Observer) (cancel func()) {
+	if o == nil {
+		panic("selftune: Subscribe(nil)")
+	}
+	sub := &subscription{obs: o}
+	s.observers = append(s.observers, sub)
+	s.startSampler()
+	return func() { sub.cancelled = true }
+}
+
+// publish delivers an event to every observer live at publish time.
+// Observers subscribed from inside an Observe callback start receiving
+// from the next event; cancelled ones are compacted away afterwards.
+func (s *System) publish(e Event) {
+	if len(s.observers) == 0 {
+		return
+	}
+	snapshot := s.observers
+	for _, sub := range snapshot {
+		if !sub.cancelled {
+			sub.obs.Observe(e)
+		}
+	}
+	// Re-read s.observers: Observe callbacks may have subscribed.
+	live := s.observers[:0]
+	for _, sub := range s.observers {
+		if !sub.cancelled {
+			live = append(live, sub)
+		}
+	}
+	s.observers = live
+}
+
+// startSampler schedules the periodic per-core load sample on the
+// System clock. Idempotent; the sampler retires itself once every
+// observer has cancelled (publish compacts the list), and the next
+// Subscribe restarts it.
+func (s *System) startSampler() {
+	if s.samplerOn {
+		return
+	}
+	s.samplerOn = true
+	var tick func()
+	tick = func() {
+		s.publish(Event{
+			Kind:  CoreLoadEvent,
+			At:    s.clock.Now(),
+			Core:  -1,
+			Loads: s.machine.Loads(),
+		})
+		if len(s.observers) == 0 {
+			s.samplerOn = false
+			return
+		}
+		s.clock.After(s.loadSample, tick)
+	}
+	s.clock.After(s.loadSample, tick)
+}

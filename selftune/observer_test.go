@@ -1,0 +1,252 @@
+package selftune_test
+
+import (
+	"testing"
+
+	"repro/selftune"
+)
+
+func TestObserverDelivery(t *testing.T) {
+	sys := newSystem(t, selftune.WithSeed(6), selftune.WithCPUs(2))
+	// A player hungrier than the tuner's generous initial budget, so
+	// exhaustions are guaranteed during the hold phase.
+	app, err := sys.Spawn("video",
+		selftune.SpawnName("mplayer"),
+		selftune.SpawnUtil(0.4),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counts := map[selftune.EventKind]int{}
+	var lastLoads []float64
+	sys.Subscribe(selftune.ObserverFunc(func(e selftune.Event) {
+		counts[e.Kind]++
+		switch e.Kind {
+		case selftune.TunerTickEvent:
+			if e.Source != "mplayer" {
+				t.Errorf("tuner tick source %q", e.Source)
+			}
+			if e.Core != app.Core().Index {
+				t.Errorf("tuner tick core %d, want %d", e.Core, app.Core().Index)
+			}
+			if e.Snapshot.At != e.At {
+				t.Errorf("snapshot At %v != event At %v", e.Snapshot.At, e.At)
+			}
+		case selftune.BudgetExhaustedEvent:
+			if e.Source == "" {
+				t.Error("exhaustion event without source")
+			}
+		case selftune.CoreLoadEvent:
+			if e.Core != -1 {
+				t.Errorf("core-load event pinned to core %d", e.Core)
+			}
+			lastLoads = e.Loads
+		}
+	}))
+
+	app.Start(0)
+	sys.Run(10 * selftune.Second)
+
+	if counts[selftune.TunerTickEvent] == 0 {
+		t.Error("no tuner tick events delivered")
+	}
+	if counts[selftune.BudgetExhaustedEvent] == 0 {
+		t.Error("no budget exhaustion events delivered")
+	}
+	if counts[selftune.CoreLoadEvent] == 0 {
+		t.Error("no core load events delivered")
+	}
+	if len(lastLoads) != sys.CPUs() {
+		t.Errorf("load sample has %d entries for %d CPUs", len(lastLoads), sys.CPUs())
+	}
+	// The tuner ticks every 200ms; 10s of simulation is ~50 ticks.
+	if got := counts[selftune.TunerTickEvent]; got < 40 {
+		t.Errorf("only %d tuner ticks in 10s", got)
+	}
+	// Snapshots() and the event stream must agree.
+	if got, want := counts[selftune.TunerTickEvent], len(app.Tuner().Snapshots()); got != want {
+		t.Errorf("%d tick events vs %d snapshots", got, want)
+	}
+}
+
+func TestObserverCancel(t *testing.T) {
+	sys := newSystem(t, selftune.WithSeed(6))
+	app, err := sys.Spawn("video", selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Start(0)
+
+	var before, after int
+	cancel := sys.Subscribe(selftune.ObserverFunc(func(e selftune.Event) { before++ }))
+	sys.Run(2 * selftune.Second)
+	cancel()
+	snapshot := before
+	sys.Subscribe(selftune.ObserverFunc(func(e selftune.Event) { after++ }))
+	sys.Run(2 * selftune.Second)
+
+	if before != snapshot {
+		t.Errorf("cancelled observer still received %d events", before-snapshot)
+	}
+	if after == 0 {
+		t.Error("second observer received nothing")
+	}
+}
+
+// TestSubscribeFromObserverCallback subscribes a second observer from
+// inside the first one's callback; the newcomer must survive the
+// publish cycle and receive subsequent events.
+func TestSubscribeFromObserverCallback(t *testing.T) {
+	sys := newSystem(t, selftune.WithSeed(6))
+	app, err := sys.Spawn("video", selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nested int
+	attached := false
+	sys.Subscribe(selftune.ObserverFunc(func(e selftune.Event) {
+		if !attached {
+			attached = true
+			sys.Subscribe(selftune.ObserverFunc(func(selftune.Event) { nested++ }))
+		}
+	}))
+	app.Start(0)
+	sys.Run(2 * selftune.Second)
+	if nested == 0 {
+		t.Error("observer subscribed from a callback never received events")
+	}
+}
+
+// TestUnobservedSystemsMatchObservedOnes checks the sampler starts
+// only on subscription and does not perturb the simulation: the same
+// seeded scenario with and without an observer produces identical
+// tuning results.
+func TestUnobservedSystemsMatchObservedOnes(t *testing.T) {
+	run := func(observe bool) (float64, selftune.Duration) {
+		sys := newSystem(t, selftune.WithSeed(12))
+		app, err := sys.Spawn("video", selftune.Tuned(selftune.DefaultTunerConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if observe {
+			sys.Subscribe(selftune.ObserverFunc(func(selftune.Event) {}))
+		}
+		app.Start(0)
+		sys.Run(15 * selftune.Second)
+		return app.Tuner().DetectedFrequency(), app.Tuner().Server().Budget()
+	}
+	fPlain, qPlain := run(false)
+	fObs, qObs := run(true)
+	if fPlain != fObs || qPlain != qObs {
+		t.Errorf("observer perturbed the run: (%.4f, %v) vs (%.4f, %v)",
+			fPlain, qPlain, fObs, qObs)
+	}
+}
+
+// fakeClock is a manually driven Clock, the injection seam WithClock
+// exists for.
+type fakeClock struct {
+	now     selftune.Time
+	pending []func()
+	delays  []selftune.Duration
+}
+
+func (c *fakeClock) Now() selftune.Time { return c.now }
+func (c *fakeClock) After(d selftune.Duration, fn func()) {
+	c.delays = append(c.delays, d)
+	c.pending = append(c.pending, fn)
+}
+
+// TestUserExhaustHookDoesNotSeverBus installs a user exhaust hook on
+// the core's scheduler and checks observers still receive
+// BudgetExhaustedEvents (the bus uses its own slot).
+func TestUserExhaustHookDoesNotSeverBus(t *testing.T) {
+	sys := newSystem(t, selftune.WithSeed(6))
+	app, err := sys.Spawn("video",
+		selftune.SpawnUtil(0.4),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var busEvents, userEvents int
+	sys.Subscribe(selftune.ObserverFunc(func(e selftune.Event) {
+		if e.Kind == selftune.BudgetExhaustedEvent {
+			busEvents++
+		}
+	}))
+	sys.Core(0).Scheduler().SetExhaustHook(func(srv *selftune.Server, now selftune.Time) {
+		userEvents++
+	})
+	app.Start(0)
+	sys.Run(5 * selftune.Second)
+	if busEvents == 0 {
+		t.Error("user SetExhaustHook severed observer exhaustion events")
+	}
+	if userEvents == 0 {
+		t.Error("user exhaust hook never fired")
+	}
+	if busEvents != userEvents {
+		t.Errorf("bus saw %d exhaustions, user hook %d", busEvents, userEvents)
+	}
+}
+
+// TestSamplerRetiresWithoutObservers cancels the only observer and
+// checks the load sampler stops rescheduling itself, then restarts on
+// the next subscription.
+func TestSamplerRetiresWithoutObservers(t *testing.T) {
+	clk := &fakeClock{}
+	sys := newSystem(t, selftune.WithClock(clk), selftune.WithLoadSampling(selftune.Second))
+	cancel := sys.Subscribe(selftune.ObserverFunc(func(selftune.Event) {}))
+	if len(clk.pending) != 1 {
+		t.Fatalf("pending after subscribe: %d", len(clk.pending))
+	}
+	cancel()
+	tick := clk.pending[0]
+	clk.pending = clk.pending[:0]
+	tick()
+	if len(clk.pending) != 0 {
+		t.Fatal("sampler kept rescheduling with zero observers")
+	}
+	// A new subscription brings it back.
+	sys.Subscribe(selftune.ObserverFunc(func(selftune.Event) {}))
+	if len(clk.pending) != 1 {
+		t.Fatal("sampler did not restart on resubscription")
+	}
+}
+
+func TestClockInjection(t *testing.T) {
+	clk := &fakeClock{now: selftune.Time(42 * selftune.Second)}
+	sys := newSystem(t,
+		selftune.WithClock(clk),
+		selftune.WithLoadSampling(selftune.Second))
+	if sys.Clock() != selftune.Clock(clk) {
+		t.Fatal("Clock() is not the injected clock")
+	}
+	// Now() reads the injected clock, not the engine.
+	if got := sys.Now(); got != selftune.Time(42*selftune.Second) {
+		t.Errorf("Now() = %v, want 42s", got)
+	}
+
+	// The load sampler runs on the injected clock: subscription
+	// schedules a sample at the configured interval, and firing it
+	// stamps the event with the fake time.
+	var events []selftune.Event
+	sys.Subscribe(selftune.ObserverFunc(func(e selftune.Event) { events = append(events, e) }))
+	if len(clk.pending) != 1 || clk.delays[0] != selftune.Second {
+		t.Fatalf("sampler scheduling: %d pending, delays %v", len(clk.pending), clk.delays)
+	}
+	clk.now = clk.now.Add(selftune.Second)
+	tick := clk.pending[0]
+	clk.pending = clk.pending[:0]
+	tick()
+	if len(events) != 1 || events[0].Kind != selftune.CoreLoadEvent {
+		t.Fatalf("events after manual tick: %+v", events)
+	}
+	if events[0].At != selftune.Time(43*selftune.Second) {
+		t.Errorf("event stamped %v, want 43s", events[0].At)
+	}
+	if len(clk.pending) != 1 {
+		t.Errorf("sampler did not reschedule (pending %d)", len(clk.pending))
+	}
+}

@@ -1,0 +1,123 @@
+package selftune
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// Clock is the System's observation time source: it stamps observer
+// events and answers System.Now, and it paces the per-core load
+// sampler. The simulation itself always advances on the discrete-event
+// engine; injecting a Clock (the uber-go/ratelimit idiom) lets tests
+// and embedding harnesses control what "now" means to observers
+// without touching the engine.
+type Clock interface {
+	// Now returns the current instant.
+	Now() Time
+	// After schedules fn to run d from now.
+	After(d Duration, fn func())
+}
+
+// engineClock is the default Clock: the simulation engine itself.
+type engineClock struct{ eng *sim.Engine }
+
+func (c engineClock) Now() Time                   { return c.eng.Now() }
+func (c engineClock) After(d Duration, fn func()) { c.eng.After(d, fn) }
+
+// options collects the configuration assembled by functional options.
+type options struct {
+	seed       uint64
+	cpus       int
+	ulub       float64
+	tracerCap  int
+	clock      Clock
+	loadSample Duration
+}
+
+func defaultOptions() options {
+	return options{
+		cpus:       1,
+		ulub:       1,
+		tracerCap:  1 << 16,
+		loadSample: 250 * simtime.Millisecond,
+	}
+}
+
+// Option configures a System under construction. Options validate
+// eagerly: NewSystem reports the first option error instead of
+// silently clamping, unlike the deprecated SystemConfig path.
+type Option func(*options) error
+
+// WithSeed makes the whole simulation deterministic; runs with equal
+// seeds produce identical traces.
+func WithSeed(seed uint64) Option {
+	return func(o *options) error {
+		o.seed = seed
+		return nil
+	}
+}
+
+// WithCPUs backs the System with an n-core machine. Each core runs its
+// own EDF+CBS scheduler and supervisor, and Spawn places workloads
+// across cores worst-fit by bandwidth (smp.Machine.Place). n = 1 is
+// the paper's uniprocessor configuration and the default.
+func WithCPUs(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("selftune: WithCPUs(%d): need at least one CPU", n)
+		}
+		o.cpus = n
+		return nil
+	}
+}
+
+// WithULub sets every core's supervisor utilisation bound. Values
+// outside (0, 1] are rejected — the schedulability condition
+// Σ Q/T ≤ U_lub (Eq. 1) is meaningless beyond full utilisation.
+func WithULub(u float64) Option {
+	return func(o *options) error {
+		if u <= 0 || u > 1 {
+			return fmt.Errorf("selftune: WithULub(%v): bound must be in (0,1]", u)
+		}
+		o.ulub = u
+		return nil
+	}
+}
+
+// WithTracerCapacity sets the syscall ring size shared by all cores.
+func WithTracerCapacity(n int) Option {
+	return func(o *options) error {
+		if n <= 0 {
+			return fmt.Errorf("selftune: WithTracerCapacity(%d): capacity must be positive", n)
+		}
+		o.tracerCap = n
+		return nil
+	}
+}
+
+// WithClock injects the System's observation clock. The default reads
+// the simulation engine.
+func WithClock(c Clock) Option {
+	return func(o *options) error {
+		if c == nil {
+			return fmt.Errorf("selftune: WithClock(nil)")
+		}
+		o.clock = c
+		return nil
+	}
+}
+
+// WithLoadSampling sets the interval at which per-core load events are
+// published to observers (the sampler only runs once an observer has
+// subscribed). The default is 250ms of simulated time.
+func WithLoadSampling(every Duration) Option {
+	return func(o *options) error {
+		if every <= 0 {
+			return fmt.Errorf("selftune: WithLoadSampling(%v): interval must be positive", every)
+		}
+		o.loadSample = every
+		return nil
+	}
+}

@@ -3,27 +3,36 @@
 // after Cucinotta, Checconi, Abeni and Palopoli, "Self-tuning
 // Schedulers for Legacy Real-Time Applications" (EuroSys 2010).
 //
-// A System bundles the simulated kernel pieces — the EDF+CBS
-// scheduler, the syscall tracer and the supervisor — and lets callers
-// attach legacy application models and AutoTuners with a few calls:
+// A System bundles the simulated kernel pieces — one or more EDF+CBS
+// scheduling cores, the syscall tracer and the per-core supervisors —
+// and is built from functional options. Workloads are spawned from a
+// named registry and tuned transparently:
 //
-//	sys := selftune.NewSystem(selftune.SystemConfig{Seed: 1})
-//	app := sys.NewVideoPlayer("mplayer", 0.25)
-//	tuner, _ := sys.Tune(app, selftune.DefaultTunerConfig())
+//	sys, _ := selftune.NewSystem(selftune.WithSeed(1))
+//	app, _ := sys.Spawn("video",
+//		selftune.SpawnName("mplayer"),
+//		selftune.SpawnUtil(0.25),
+//		selftune.Tuned(selftune.DefaultTunerConfig()))
 //	app.Start(0)
 //	sys.Run(60 * selftune.Second)
-//	fmt.Println(tuner.DetectedFrequency()) // ~25 Hz
+//	fmt.Println(app.Tuner().DetectedFrequency()) // ~25 Hz
+//
+// Multi-core machines are one option away — WithCPUs(4) backs the
+// System with a partitioned multiprocessor and Spawn places each
+// workload worst-fit over per-core bandwidth. New scenario kinds are
+// one Register call away. Run-time observation goes through Subscribe
+// rather than poking at scheduler internals.
 //
 // The heavy lifting lives in the internal packages; this package
 // re-exports the stable subset a downstream user needs.
 package selftune
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/ktrace"
-	"repro/internal/rng"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/simtime"
 	"repro/internal/supervisor"
 	"repro/internal/workload"
@@ -47,15 +56,17 @@ const (
 // Re-exported component types. These are aliases, so values returned
 // here interoperate with the internal packages inside this module.
 type (
-	// Scheduler is the uniprocessor EDF+CBS scheduling substrate.
+	// Scheduler is the per-core EDF+CBS scheduling substrate.
 	Scheduler = sched.Scheduler
 	// Server is a CBS reservation.
 	Server = sched.Server
 	// Task is a schedulable entity.
 	Task = sched.Task
+	// Mode selects a CBS flavour (HardCBS or SoftCBS).
+	Mode = sched.Mode
 	// Tracer is the in-kernel syscall event buffer.
 	Tracer = ktrace.Buffer
-	// Supervisor enforces the global bandwidth bound.
+	// Supervisor enforces a core's bandwidth bound.
 	Supervisor = supervisor.Supervisor
 	// AutoTuner is the per-task self-tuning controller.
 	AutoTuner = core.AutoTuner
@@ -72,118 +83,142 @@ type (
 	PlayerConfig = workload.PlayerConfig
 )
 
+// Re-exported CBS modes.
+const (
+	// HardCBS throttles a depleted server until its deadline.
+	HardCBS = sched.HardCBS
+	// SoftCBS replenishes immediately and postpones the deadline.
+	SoftCBS = sched.SoftCBS
+)
+
 // DefaultTunerConfig returns the paper's standard tuner parameters.
 func DefaultTunerConfig() TunerConfig { return core.DefaultConfig() }
 
 // SystemConfig parameterises a System.
+//
+// Deprecated: build Systems with NewSystem and functional options
+// (WithSeed, WithCPUs, WithULub, WithTracerCapacity, WithClock), which
+// validate instead of clamping. SystemConfig remains for one release.
 type SystemConfig struct {
 	// Seed makes the whole simulation deterministic; runs with equal
 	// seeds produce identical traces.
 	Seed uint64
-	// ULub is the supervisor's utilisation bound; zero selects 1.
+	// ULub is the supervisor's utilisation bound; values outside (0,1]
+	// (including zero) select 1. Prefer WithULub, which rejects them.
 	ULub float64
 	// TracerCapacity is the syscall ring size; zero selects 1<<16.
 	TracerCapacity int
 }
 
-// System is a ready-to-use simulated machine: engine, scheduler,
-// tracer and supervisor.
-type System struct {
-	engine *sim.Engine
-	sched  *sched.Scheduler
-	tracer *ktrace.Buffer
-	sup    *supervisor.Supervisor
-	rand   *rng.Source
+// NewSystemFromConfig builds a uniprocessor System from the legacy
+// configuration struct, preserving its clamping behaviour.
+//
+// Deprecated: use NewSystem with functional options.
+func NewSystemFromConfig(cfg SystemConfig) *System {
+	opts := []Option{WithSeed(cfg.Seed)}
+	if cfg.ULub > 0 && cfg.ULub <= 1 {
+		opts = append(opts, WithULub(cfg.ULub))
+	}
+	if cfg.TracerCapacity > 0 {
+		opts = append(opts, WithTracerCapacity(cfg.TracerCapacity))
+	}
+	sys, err := NewSystem(opts...)
+	if err != nil {
+		// Unreachable: every option above is pre-validated.
+		panic(err)
+	}
+	return sys
 }
 
-// NewSystem builds a System.
-func NewSystem(cfg SystemConfig) *System {
-	if cfg.ULub <= 0 || cfg.ULub > 1 {
-		cfg.ULub = 1
-	}
-	if cfg.TracerCapacity <= 0 {
-		cfg.TracerCapacity = 1 << 16
-	}
-	eng := sim.New()
-	return &System{
-		engine: eng,
-		sched:  sched.New(sched.Config{Engine: eng}),
-		tracer: ktrace.NewBuffer(ktrace.QTrace, cfg.TracerCapacity),
-		sup:    supervisor.New(cfg.ULub),
-		rand:   rng.New(cfg.Seed),
-	}
-}
+// Scheduler exposes core 0's scheduling substrate.
+//
+// Deprecated: use Core(i).Scheduler(); on a multi-core System this is
+// only the first core.
+func (s *System) Scheduler() *Scheduler { return s.machine.Core(0) }
 
-// Scheduler exposes the scheduling substrate.
-func (s *System) Scheduler() *Scheduler { return s.sched }
-
-// Tracer exposes the syscall tracer.
-func (s *System) Tracer() *Tracer { return s.tracer }
-
-// Supervisor exposes the bandwidth supervisor.
-func (s *System) Supervisor() *Supervisor { return s.sup }
-
-// Now returns the current simulated time.
-func (s *System) Now() Time { return s.engine.Now() }
-
-// Run advances the simulation until the given horizon.
-func (s *System) Run(horizon Duration) {
-	s.engine.RunUntil(s.engine.Now().Add(horizon))
-}
+// Supervisor exposes core 0's bandwidth supervisor.
+//
+// Deprecated: use Core(i).Supervisor(); on a multi-core System this is
+// only the first core.
+func (s *System) Supervisor() *Supervisor { return s.machine.Supervisor(0) }
 
 // NewVideoPlayer creates a 25 fps video player model with the given
-// mean CPU utilisation, already wired to the system tracer.
+// mean CPU utilisation on core 0, already wired to the system tracer.
+//
+// Deprecated: use Spawn("video", SpawnName(name), SpawnUtil(util)).
 func (s *System) NewVideoPlayer(name string, util float64) *Player {
 	cfg := workload.VideoPlayerConfig(name, util)
 	cfg.Sink = s.tracer
-	return workload.NewPlayer(s.sched, s.rand.Split(), cfg)
+	return workload.NewPlayer(s.machine.Core(0), s.split(), cfg)
 }
 
-// NewMP3Player creates the paper's 32.5 Hz mp3 player model, wired to
-// the system tracer.
+// NewMP3Player creates the paper's 32.5 Hz mp3 player model on core 0,
+// wired to the system tracer.
+//
+// Deprecated: use Spawn("mp3", SpawnName(name)).
 func (s *System) NewMP3Player(name string) *Player {
 	cfg := workload.MP3PlayerConfig(name)
 	cfg.Sink = s.tracer
-	return workload.NewPlayer(s.sched, s.rand.Split(), cfg)
+	return workload.NewPlayer(s.machine.Core(0), s.split(), cfg)
 }
 
-// NewPlayer creates a player from an explicit configuration. Set
-// cfg.Sink to s.Tracer() to make the application observable.
+// NewPlayer creates a player from an explicit configuration on core 0.
+// Set cfg.Sink to s.Tracer() to make the application observable.
+//
+// Deprecated: use Spawn("player", SpawnPlayer(cfg)), which wires the
+// tracer by default.
 func (s *System) NewPlayer(cfg PlayerConfig) *Player {
-	return workload.NewPlayer(s.sched, s.rand.Split(), cfg)
+	return workload.NewPlayer(s.machine.Core(0), s.split(), cfg)
 }
 
 // StartBackgroundLoad spawns periodic real-time reservations totalling
-// roughly util of the CPU, split across n tasks.
+// roughly util of core 0, split across n tasks, starting immediately.
+//
+// Deprecated: use Spawn("rtload", SpawnUtil(util), SpawnCount(n)) and
+// Start the returned handle.
 func (s *System) StartBackgroundLoad(util float64, n int) {
-	workload.MakeLoad(s.sched, s.rand.Split(), util, n)
+	workload.MakeLoad(s.machine.Core(0), s.split(), util, n)
 }
 
-// Tune attaches an AutoTuner to the player's task: from then on the
-// system infers the application's period from its syscalls and adapts
-// its reservation, with no cooperation from the application.
-func (s *System) Tune(p *Player, cfg TunerConfig) (*AutoTuner, error) {
-	tuner, err := core.New(s.sched, s.sup, s.tracer, p.Task(), cfg)
-	if err != nil {
-		return nil, err
+// coreOfTask resolves which core a task was spawned on by scanning the
+// spawn handles; legacy-constructed tasks default to core 0.
+func (s *System) coreOfTask(task *Task) int {
+	for _, h := range s.handles {
+		if tn, ok := h.w.(Tunable); ok && tn.Task() == task {
+			return h.core
+		}
 	}
-	tuner.Start()
-	return tuner, nil
+	return 0
+}
+
+// Tune attaches an AutoTuner to the player's task on the player's core
+// (core 0 for players built with the deprecated constructors): from
+// then on the system infers the application's period from its syscalls
+// and adapts its reservation, with no cooperation from the
+// application.
+//
+// Deprecated: spawn the player with the Tuned option instead.
+func (s *System) Tune(p *Player, cfg TunerConfig) (*AutoTuner, error) {
+	return s.attachTuner(s.coreOfTask(p.Task()), p.Task(), cfg)
 }
 
 // TuneMulti places several players — the threads of one application —
-// into a single shared reservation with the given fixed priorities
-// (lower value = higher priority; rate-monotonic assignment is the
-// sensible default) and manages it with a MultiTuner.
+// into a single shared reservation on core 0 with the given fixed
+// priorities (lower value = higher priority; rate-monotonic assignment
+// is the sensible default) and manages it with a MultiTuner.
+//
+// Deprecated: spawn the players and use TuneShared on their handles.
 func (s *System) TuneMulti(players []*Player, prios []int, cfg TunerConfig) (*MultiTuner, error) {
+	if len(players) == 0 {
+		return nil, fmt.Errorf("selftune: TuneMulti needs at least one player")
+	}
+	coreIdx := s.coreOfTask(players[0].Task())
 	tasks := make([]*sched.Task, len(players))
 	for i, p := range players {
+		if c := s.coreOfTask(p.Task()); c != coreIdx {
+			return nil, fmt.Errorf("selftune: TuneMulti across cores %d and %d", coreIdx, c)
+		}
 		tasks[i] = p.Task()
 	}
-	tuner, err := core.NewMulti(s.sched, s.sup, s.tracer, tasks, prios, cfg)
-	if err != nil {
-		return nil, err
-	}
-	tuner.Start()
-	return tuner, nil
+	return s.attachMultiTuner(coreIdx, tasks, prios, cfg)
 }

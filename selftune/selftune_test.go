@@ -7,19 +7,30 @@ import (
 	"repro/selftune"
 )
 
+func newSystem(t *testing.T, opts ...selftune.Option) *selftune.System {
+	t.Helper()
+	sys, err := selftune.NewSystem(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
 func TestQuickstartFlow(t *testing.T) {
-	sys := selftune.NewSystem(selftune.SystemConfig{Seed: 1})
-	app := sys.NewVideoPlayer("mplayer", 0.25)
-	tuner, err := sys.Tune(app, selftune.DefaultTunerConfig())
+	sys := newSystem(t, selftune.WithSeed(1))
+	app, err := sys.Spawn("video",
+		selftune.SpawnName("mplayer"),
+		selftune.SpawnUtil(0.25),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	app.Start(0)
 	sys.Run(30 * selftune.Second)
-	if f := tuner.DetectedFrequency(); math.Abs(f-25) > 0.5 {
+	if f := app.Tuner().DetectedFrequency(); math.Abs(f-25) > 0.5 {
 		t.Errorf("detected %.2f Hz, want 25", f)
 	}
-	if got := app.Task().Stats().Completed; got < 700 {
+	if got := app.Player().Task().Stats().Completed; got < 700 {
 		t.Errorf("only %d frames decoded", got)
 	}
 	if sys.Now() != selftune.Time(30*selftune.Second) {
@@ -28,42 +39,54 @@ func TestQuickstartFlow(t *testing.T) {
 }
 
 func TestMP3PlayerDetection(t *testing.T) {
-	sys := selftune.NewSystem(selftune.SystemConfig{Seed: 2})
-	app := sys.NewMP3Player("mp3")
-	tuner, err := sys.Tune(app, selftune.DefaultTunerConfig())
+	sys := newSystem(t, selftune.WithSeed(2))
+	app, err := sys.Spawn("mp3",
+		selftune.SpawnName("mp3"),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	app.Start(0)
 	sys.Run(20 * selftune.Second)
-	if f := tuner.DetectedFrequency(); math.Abs(f-32.5) > 0.5 {
+	if f := app.Tuner().DetectedFrequency(); math.Abs(f-32.5) > 0.5 {
 		t.Errorf("detected %.2f Hz, want 32.5", f)
 	}
 }
 
 func TestBackgroundLoadAndSupervisor(t *testing.T) {
-	sys := selftune.NewSystem(selftune.SystemConfig{Seed: 3, ULub: 0.9})
-	sys.StartBackgroundLoad(0.3, 2)
-	app := sys.NewVideoPlayer("mplayer", 0.2)
-	if _, err := sys.Tune(app, selftune.DefaultTunerConfig()); err != nil {
+	sys := newSystem(t, selftune.WithSeed(3), selftune.WithULub(0.9))
+	bg, err := sys.Spawn("rtload", selftune.SpawnUtil(0.3), selftune.SpawnCount(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg.Start(0)
+	app, err := sys.Spawn("video",
+		selftune.SpawnName("mplayer"),
+		selftune.SpawnUtil(0.2),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
 		t.Fatal(err)
 	}
 	app.Start(0)
 	sys.Run(10 * selftune.Second)
-	if u := sys.Scheduler().Utilization(); u < 0.4 {
+	core := sys.Core(0)
+	if u := core.Scheduler().Utilization(); u < 0.4 {
 		t.Errorf("system utilisation %.2f suspiciously low", u)
 	}
-	if got := sys.Supervisor().TotalGranted(); got <= 0 || got > 0.9 {
+	if got := core.Supervisor().TotalGranted(); got <= 0 || got > 0.9 {
 		t.Errorf("supervisor granted %.3f", got)
 	}
 }
 
 func TestSystemAccessorsAndDefaults(t *testing.T) {
-	sys := selftune.NewSystem(selftune.SystemConfig{}) // all defaults
-	if sys.Scheduler() == nil || sys.Tracer() == nil || sys.Supervisor() == nil {
+	sys := newSystem(t) // all defaults
+	if sys.Tracer() == nil || sys.Machine() == nil || sys.Clock() == nil {
 		t.Fatal("nil component accessors")
 	}
-	if got := sys.Supervisor().ULub(); got != 1 {
+	if sys.CPUs() != 1 {
+		t.Errorf("default CPUs = %d", sys.CPUs())
+	}
+	if got := sys.Core(0).Supervisor().ULub(); got != 1 {
 		t.Errorf("default ULub = %v", got)
 	}
 	if sys.Now() != 0 {
@@ -75,11 +98,19 @@ func TestSystemAccessorsAndDefaults(t *testing.T) {
 	}
 }
 
-func TestTuneMulti(t *testing.T) {
-	sys := selftune.NewSystem(selftune.SystemConfig{Seed: 9})
-	a := sys.NewMP3Player("audio")
-	v := sys.NewVideoPlayer("video", 0.15)
-	tuner, err := sys.TuneMulti([]*selftune.Player{a, v}, []int{0, 1}, selftune.DefaultTunerConfig())
+func TestTuneShared(t *testing.T) {
+	sys := newSystem(t, selftune.WithSeed(9))
+	a, err := sys.Spawn("mp3", selftune.SpawnName("audio"), selftune.OnCore(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sys.Spawn("video",
+		selftune.SpawnName("video"), selftune.SpawnUtil(0.15), selftune.OnCore(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := []*selftune.Handle{a, v}
+	tuner, err := sys.TuneShared(handles, []int{0, 1}, selftune.DefaultTunerConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,34 +124,126 @@ func TestTuneMulti(t *testing.T) {
 		t.Error("multi tuner never froze its verdicts")
 	}
 	// Error path: mismatched priorities.
-	if _, err := sys.TuneMulti([]*selftune.Player{a}, []int{0, 1}, selftune.DefaultTunerConfig()); err == nil {
+	if _, err := sys.TuneShared([]*selftune.Handle{a}, []int{0, 1}, selftune.DefaultTunerConfig()); err == nil {
 		t.Error("mismatched priorities accepted")
 	}
 }
 
+// TestTuneSharedRejectsCrossCore pins two players to different cores
+// and checks that a shared reservation across them is refused.
+func TestTuneSharedRejectsCrossCore(t *testing.T) {
+	sys := newSystem(t, selftune.WithSeed(9), selftune.WithCPUs(2))
+	a, err := sys.Spawn("mp3", selftune.OnCore(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Spawn("mp3", selftune.OnCore(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.TuneShared([]*selftune.Handle{a, b}, []int{0, 1}, selftune.DefaultTunerConfig()); err == nil {
+		t.Error("cross-core shared reservation accepted")
+	}
+}
+
 func TestCustomPlayerConfig(t *testing.T) {
-	sys := selftune.NewSystem(selftune.SystemConfig{Seed: 4})
+	sys := newSystem(t, selftune.WithSeed(4))
 	cfg := selftune.PlayerConfig{
 		Name:          "cam",
 		Period:        selftune.Duration(100 * selftune.Millisecond), // 10 Hz sensor
 		MeanDemand:    5 * selftune.Millisecond,
 		StartBurstMin: 3, StartBurstMax: 5,
 		EndBurstMin: 3, EndBurstMax: 5,
-		Sink: sys.Tracer(),
 	}
-	app := sys.NewPlayer(cfg)
 	tcfg := selftune.DefaultTunerConfig()
 	tcfg.InitialPeriod = 50 * selftune.Millisecond // wrong on purpose
-	tuner, err := sys.Tune(app, tcfg)
+	app, err := sys.Spawn("player", selftune.SpawnPlayer(cfg), selftune.Tuned(tcfg))
 	if err != nil {
 		t.Fatal(err)
 	}
 	app.Start(0)
 	sys.Run(30 * selftune.Second)
-	if f := tuner.DetectedFrequency(); math.Abs(f-10) > 0.3 {
+	if f := app.Tuner().DetectedFrequency(); math.Abs(f-10) > 0.3 {
 		t.Errorf("detected %.2f Hz, want 10", f)
 	}
-	if p := tuner.Period(); p < 95*selftune.Millisecond || p > 105*selftune.Millisecond {
+	if p := app.Tuner().Period(); p < 95*selftune.Millisecond || p > 105*selftune.Millisecond {
 		t.Errorf("period estimate %v, want ~100ms", p)
+	}
+}
+
+// TestDeprecatedWrappers drives the legacy constructor surface — the
+// SystemConfig struct and the direct System methods — and checks it
+// still behaves like the seed release.
+func TestDeprecatedWrappers(t *testing.T) {
+	sys := selftune.NewSystemFromConfig(selftune.SystemConfig{Seed: 1, ULub: 1.5}) // 1.5 clamps to 1
+	if got := sys.Supervisor().ULub(); got != 1 {
+		t.Errorf("clamped ULub = %v, want 1", got)
+	}
+	if sys.Scheduler() == nil || sys.Supervisor() == nil {
+		t.Fatal("nil legacy accessors")
+	}
+	app := sys.NewVideoPlayer("mplayer", 0.25)
+	tuner, err := sys.Tune(app, selftune.DefaultTunerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.StartBackgroundLoad(0.1, 1)
+	app.Start(0)
+	sys.Run(30 * selftune.Second)
+	if f := tuner.DetectedFrequency(); math.Abs(f-25) > 0.5 {
+		t.Errorf("legacy path detected %.2f Hz, want 25", f)
+	}
+	mp3sys := selftune.NewSystemFromConfig(selftune.SystemConfig{Seed: 2})
+	a := mp3sys.NewMP3Player("audio")
+	v := mp3sys.NewPlayer(selftune.PlayerConfig{
+		Name:       "video",
+		Period:     40 * selftune.Millisecond,
+		MeanDemand: 4 * selftune.Millisecond,
+		Sink:       mp3sys.Tracer(),
+	})
+	if _, err := mp3sys.TuneMulti([]*selftune.Player{a, v}, []int{0, 1}, selftune.DefaultTunerConfig()); err != nil {
+		t.Fatal(err)
+	}
+	a.Start(0)
+	v.Start(0)
+	mp3sys.Run(5 * selftune.Second)
+}
+
+// TestLegacyAndRegistryPathsAgree runs the same seeded tuned-video
+// scenario through the deprecated method surface and through the
+// registry, and requires identical results: the redesigned n=1 System
+// must behave exactly like the old uniprocessor path.
+func TestLegacyAndRegistryPathsAgree(t *testing.T) {
+	legacy := selftune.NewSystemFromConfig(selftune.SystemConfig{Seed: 17})
+	lp := legacy.NewVideoPlayer("mplayer", 0.25)
+	lt, err := legacy.Tune(lp, selftune.DefaultTunerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp.Start(0)
+	legacy.Run(20 * selftune.Second)
+
+	reg := newSystem(t, selftune.WithSeed(17))
+	h, err := reg.Spawn("video",
+		selftune.SpawnName("mplayer"),
+		selftune.SpawnUtil(0.25),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start(0)
+	reg.Run(20 * selftune.Second)
+
+	if a, b := lt.DetectedFrequency(), h.Tuner().DetectedFrequency(); a != b {
+		t.Errorf("detected frequency: legacy %.4f vs registry %.4f", a, b)
+	}
+	if a, b := lt.Server().Budget(), h.Tuner().Server().Budget(); a != b {
+		t.Errorf("final budget: legacy %v vs registry %v", a, b)
+	}
+	if a, b := lp.Task().Stats().Completed, h.Player().Task().Stats().Completed; a != b {
+		t.Errorf("frames: legacy %d vs registry %d", a, b)
+	}
+	if a, b := len(lt.Snapshots()), len(h.Tuner().Snapshots()); a != b {
+		t.Errorf("snapshots: legacy %d vs registry %d", a, b)
 	}
 }

@@ -1,0 +1,203 @@
+package selftune
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ktrace"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/smp"
+)
+
+// System is a ready-to-use simulated machine: engine, one or more
+// scheduling cores with their supervisors, and a shared syscall
+// tracer. Build one with NewSystem and functional options, spawn
+// workloads from the registry, and watch it through Subscribe.
+type System struct {
+	engine  *sim.Engine
+	machine *smp.Machine
+	tracer  *ktrace.Buffer
+	rand    *rng.Source
+	clock   Clock
+
+	loadSample Duration
+	samplerOn  bool
+	observers  []*subscription
+
+	handles  []*Handle
+	spawnSeq int
+}
+
+// NewSystem builds a System from functional options:
+//
+//	sys, err := selftune.NewSystem(
+//		selftune.WithSeed(1),
+//		selftune.WithCPUs(4),
+//		selftune.WithULub(0.95),
+//	)
+//
+// With no options it is the paper's machine: one CPU, U_lub = 1, a
+// 64Ki-event tracer, seed 0.
+func NewSystem(opts ...Option) (*System, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	eng := sim.New()
+	s := &System{
+		engine:     eng,
+		machine:    smp.New(eng, o.cpus, o.ulub),
+		tracer:     ktrace.NewBuffer(ktrace.QTrace, o.tracerCap),
+		rand:       rng.New(o.seed),
+		clock:      o.clock,
+		loadSample: o.loadSample,
+	}
+	if s.clock == nil {
+		s.clock = engineClock{eng}
+	}
+	for i := 0; i < s.machine.Cores(); i++ {
+		s.installExhaustHook(i)
+	}
+	return s, nil
+}
+
+// installExhaustHook points core i's exhaustion bus slot at the
+// observer bus (the user-facing SetExhaustHook slot stays free). The
+// hook is a no-op until someone subscribes.
+func (s *System) installExhaustHook(i int) {
+	core := i
+	s.machine.Core(i).SetExhaustBus(func(srv *sched.Server, now Time) {
+		s.publish(Event{
+			Kind:   BudgetExhaustedEvent,
+			At:     s.clock.Now(),
+			Core:   core,
+			Source: srv.Name(),
+		})
+	})
+}
+
+// Core is one CPU of the System: an EDF+CBS scheduler and the
+// supervisor enforcing its bandwidth bound.
+type Core struct {
+	// Index is the core's position in [0, System.CPUs()).
+	Index int
+	sys   *System
+}
+
+// Scheduler returns the core's scheduling substrate.
+func (c Core) Scheduler() *Scheduler { return c.sys.machine.Core(c.Index) }
+
+// Supervisor returns the core's bandwidth supervisor.
+func (c Core) Supervisor() *Supervisor { return c.sys.machine.Supervisor(c.Index) }
+
+// Load returns the core's effective load: the larger of the placement
+// hints accepted for it and its actually reserved bandwidth.
+func (c Core) Load() float64 { return c.sys.machine.Load(c.Index) }
+
+// CPUs returns the number of cores.
+func (s *System) CPUs() int { return s.machine.Cores() }
+
+// Core returns core i.
+func (s *System) Core(i int) Core {
+	if i < 0 || i >= s.machine.Cores() {
+		panic(fmt.Sprintf("selftune: core %d out of [0,%d)", i, s.machine.Cores()))
+	}
+	return Core{Index: i, sys: s}
+}
+
+// Machine exposes the underlying multiprocessor, for placement-aware
+// callers (per-core loads, total utilisation).
+func (s *System) Machine() *smp.Machine { return s.machine }
+
+// Tracer exposes the system-wide syscall tracer.
+func (s *System) Tracer() *Tracer { return s.tracer }
+
+// Clock returns the System's observation clock.
+func (s *System) Clock() Clock { return s.clock }
+
+// Now returns the current instant of the observation clock (the
+// simulated time, unless WithClock injected something else).
+func (s *System) Now() Time { return s.clock.Now() }
+
+// Run advances the simulation until the given horizon.
+func (s *System) Run(horizon Duration) {
+	s.engine.RunUntil(s.engine.Now().Add(horizon))
+}
+
+// Handles returns every workload spawned so far, in spawn order.
+func (s *System) Handles() []*Handle { return s.handles }
+
+// tickPublisher returns the OnTick hook that routes a tuner's
+// activation snapshots onto the observer bus.
+func (s *System) tickPublisher(coreIdx int, source string) func(TunerSnapshot) {
+	return func(snap TunerSnapshot) {
+		s.publish(Event{
+			Kind:     TunerTickEvent,
+			At:       s.clock.Now(),
+			Core:     coreIdx,
+			Source:   source,
+			Snapshot: snap,
+		})
+	}
+}
+
+// attachTuner builds an AutoTuner for task on the given core, wires
+// its snapshots into the observer bus and starts it.
+func (s *System) attachTuner(coreIdx int, task *Task, cfg TunerConfig) (*AutoTuner, error) {
+	tuner, err := core.New(s.machine.Core(coreIdx), s.machine.Supervisor(coreIdx),
+		s.tracer, task, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tuner.BusTick = s.tickPublisher(coreIdx, task.Name())
+	tuner.Start()
+	return tuner, nil
+}
+
+// TuneShared places the tasks of several player-backed handles — the
+// threads of one application — into a single shared reservation with
+// the given fixed priorities (lower value = higher priority;
+// rate-monotonic assignment is the sensible default) and manages it
+// with a MultiTuner. All handles must live on the same core.
+func (s *System) TuneShared(handles []*Handle, prios []int, cfg TunerConfig) (*MultiTuner, error) {
+	if len(handles) == 0 {
+		return nil, fmt.Errorf("selftune: TuneShared needs at least one handle")
+	}
+	coreIdx := handles[0].core
+	tasks := make([]*sched.Task, len(handles))
+	for i, h := range handles {
+		if h.core != coreIdx {
+			return nil, fmt.Errorf("selftune: TuneShared across cores %d and %d", coreIdx, h.core)
+		}
+		tn, ok := h.w.(Tunable)
+		if !ok {
+			return nil, fmt.Errorf("selftune: workload %q (%s) has no single task to tune",
+				h.Name(), h.Kind())
+		}
+		tasks[i] = tn.Task()
+	}
+	return s.attachMultiTuner(coreIdx, tasks, prios, cfg)
+}
+
+// attachMultiTuner builds a MultiTuner for the tasks on the given
+// core, wires its snapshots into the observer bus and starts it.
+func (s *System) attachMultiTuner(coreIdx int, tasks []*sched.Task, prios []int, cfg TunerConfig) (*MultiTuner, error) {
+	tuner, err := core.NewMulti(s.machine.Core(coreIdx), s.machine.Supervisor(coreIdx),
+		s.tracer, tasks, prios, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tuner.BusTick = s.tickPublisher(coreIdx, tasks[0].Name())
+	tuner.Start()
+	return tuner, nil
+}
+
+// split hands out a private deterministic rng stream.
+func (s *System) split() *rng.Source { return s.rand.Split() }

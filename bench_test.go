@@ -178,6 +178,17 @@ func BenchmarkAblationScoring(b *testing.B) {
 	b.ReportMetric(last.Rows[0].Exact, "wm_clean_exact")
 }
 
+func BenchmarkMigrationContention8Core(b *testing.B) {
+	var last experiments.MigrationResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.MigrationContention(uint64(i+1), 8, 2*simtime.Second)
+	}
+	b.ReportMetric(float64(last.AdmittedStatic), "admitted_static")
+	b.ReportMetric(float64(last.AdmittedRebalance), "admitted_rebalance")
+	b.ReportMetric(float64(last.AdmissionMigrations+last.RecoveryMigrations), "migrations")
+	b.ReportMetric(last.RecoverySpreadEnd, "spread_after")
+}
+
 func BenchmarkAblationDenseGrid(b *testing.B) {
 	var last experiments.DenseGridResult
 	for i := 0; i < b.N; i++ {

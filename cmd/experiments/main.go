@@ -48,7 +48,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|fig2|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|fig12|fig13|fig14|table3|ablations|all>...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|fig2|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|fig12|fig13|fig14|table3|migration|ablations|all>...")
 		os.Exit(2)
 	}
 	want := make(map[string]bool)
@@ -168,6 +168,10 @@ func main() {
 	if run("table3") {
 		ran++
 		fmt.Fprintln(out, experiments.Table3(*seed, *frames).Table())
+	}
+	if run("migration") {
+		ran++
+		fmt.Fprintln(out, experiments.MigrationContention(*seed, 8, 4*simtime.Second).Table())
 	}
 	if run("ablations") {
 		ran++

@@ -1,0 +1,168 @@
+// Migration: cross-core load balancing over adaptive reservations —
+// the cooperation the paper's Sec. 6 leaves as an open research issue.
+//
+// A four-core machine boots consolidated: every tenant starts pinned
+// on core 0 (the state a suspend/resume or a core-onlining event
+// leaves behind). Under -policy none that imbalance is permanent —
+// partitioned EDF never revisits placement. Under -policy periodic the
+// balancer pushes the biggest reservation of the hottest core to the
+// coldest one on a fixed period; under -policy reactive the per-core
+// load samples of the observer bus trigger pull migration once the
+// imbalance is sustained. Each migration carries the CBS server's
+// remaining budget and deadline across schedulers, and the tuner
+// re-registers with the destination supervisor — playback never
+// stops.
+//
+// The example ends with machine-wide admission: a tenant whose
+// bandwidth fits the machine but not any single core is rejected by
+// frozen worst-fit placement and admitted once the balancer may
+// defragment with one migration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/selftune"
+)
+
+func main() {
+	var (
+		policyName = flag.String("policy", "periodic", "balancer policy: none | periodic | reactive")
+		cpus       = flag.Int("cpus", 4, "number of scheduling cores")
+		duration   = flag.Duration("duration", 0, "simulated run time (wall-clock syntax, e.g. 8s)")
+		seed       = flag.Uint64("seed", 17, "simulation seed")
+	)
+	flag.Parse()
+	policies := map[string]selftune.BalancerPolicy{
+		"none":     selftune.BalanceNone,
+		"periodic": selftune.BalancePeriodic,
+		"reactive": selftune.BalanceReactive,
+	}
+	policy, ok := policies[*policyName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+	horizon := selftune.Duration(*duration)
+	if horizon <= 0 {
+		horizon = 8 * selftune.Second
+	}
+
+	sys, err := selftune.NewSystem(
+		selftune.WithSeed(*seed),
+		selftune.WithCPUs(*cpus),
+		selftune.WithBalancer(policy),
+		selftune.WithBalanceInterval(500*selftune.Millisecond),
+		selftune.WithBalanceThreshold(0.15),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	// Narrate every migration as it happens.
+	sys.Subscribe(selftune.ObserverFunc(func(e selftune.Event) {
+		if e.Kind == selftune.MigrationEvent {
+			fmt.Printf("%8v  %-12s core %d -> core %d  (%s)\n",
+				e.At, e.Source, e.From, e.Core, e.Reason)
+		}
+	}))
+
+	// Consolidated boot: four tuned tenants, all pinned on core 0.
+	lean := selftune.DefaultTunerConfig()
+	lean.InitialBudget = 2 * selftune.Millisecond
+	tenants := make([]*selftune.Handle, 0, 4)
+	for i := 0; i < 4; i++ {
+		h, err := sys.Spawn("video",
+			selftune.SpawnName(fmt.Sprintf("tenant-%c", 'a'+i)),
+			selftune.OnCore(0),
+			selftune.SpawnHint(0.20),
+			selftune.SpawnUtil(0.15),
+			selftune.Tuned(lean))
+		if err != nil {
+			panic(err)
+		}
+		h.Start(0)
+		tenants = append(tenants, h)
+	}
+
+	fmt.Printf("policy=%v cpus=%d\n", sys.Balancer(), sys.CPUs())
+	fmt.Printf("loads at boot:  %s\n", fmtLoads(sys.Machine().Loads()))
+	sys.Run(horizon)
+	fmt.Printf("loads after %v: %s\n", horizon, fmtLoads(sys.Machine().Loads()))
+	fmt.Printf("migrations: %d\n\n", sys.Migrations())
+
+	for _, h := range tenants {
+		st := h.Player().Task().Stats()
+		fmt.Printf("  %-10s core %d  frames=%4d missed=%3d\n",
+			h.Name(), h.Core().Index, st.Completed, st.Missed)
+	}
+
+	// Machine-wide admission, on a fresh machine driven into
+	// fragmentation: worst-fit leaves every core but the last at 0.85
+	// of placement hints and the last at 0.45, so a late 0.50 tenant
+	// fits the machine's total slack but no single core. Under
+	// -policy none that tenant is rejected; any balancing policy
+	// defragments with one migration before giving up.
+	frag, err := selftune.NewSystem(
+		selftune.WithSeed(*seed+1),
+		selftune.WithCPUs(*cpus),
+		selftune.WithULub(0.90),
+		selftune.WithBalancer(policy),
+	)
+	if err != nil {
+		panic(err)
+	}
+	frag.Subscribe(selftune.ObserverFunc(func(e selftune.Event) {
+		if e.Kind == selftune.MigrationEvent {
+			fmt.Printf("%8v  %-12s core %d -> core %d  (%s)\n",
+				e.At, e.Source, e.From, e.Core, e.Reason)
+		}
+	}))
+	hints := make([]float64, 0, 2**cpus)
+	for i := 0; i < *cpus; i++ {
+		hints = append(hints, 0.45)
+	}
+	for i := 0; i < *cpus-1; i++ {
+		hints = append(hints, 0.40)
+	}
+	for i, hint := range hints {
+		h, err := frag.Spawn("video",
+			selftune.SpawnName(fmt.Sprintf("base-%02d", i)),
+			selftune.SpawnHint(hint),
+			selftune.SpawnUtil(0.10),
+			selftune.Tuned(selftune.DefaultTunerConfig()))
+		if err != nil {
+			panic(err)
+		}
+		h.Start(0)
+	}
+	fmt.Printf("\nfragmented machine: %s\n", fmtLoads(frag.Machine().Loads()))
+	late, err := frag.Spawn("video",
+		selftune.SpawnName("late-big"),
+		selftune.SpawnHint(0.50),
+		selftune.SpawnUtil(0.10),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		fmt.Printf("late 0.50 tenant rejected: %v\n", err)
+		fmt.Println("(re-run with -policy periodic or -policy reactive: one migration makes room)")
+		return
+	}
+	late.Start(frag.Now())
+	frag.Run(2 * selftune.Second)
+	fmt.Printf("late 0.50 tenant admitted on core %d, frames=%d\n",
+		late.Core().Index, late.Player().Frames())
+	fmt.Printf("defragmented machine: %s\n", fmtLoads(frag.Machine().Loads()))
+}
+
+func fmtLoads(loads []float64) string {
+	s := ""
+	for i, l := range loads {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.2f", l)
+	}
+	return s
+}

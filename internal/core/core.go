@@ -207,6 +207,50 @@ func New(sd *sched.Scheduler, sup *supervisor.Supervisor, tracer *ktrace.Buffer,
 	return a, nil
 }
 
+// Rehome points the tuner at a new core after its managed server has
+// been migrated there (smp.Machine.Migrate): it registers a client
+// with the new core's supervisor under the configured bandwidth floor,
+// releases the old core's claim, and re-submits the current
+// reservation so the new supervisor's admission accounts for it
+// (applying any compression the new core's contention forces). The
+// controller history, period estimate and analyser window all survive
+// — the application did not change, only where it runs. Rehome fails
+// without side effects when the new supervisor rejects the
+// registration; the caller is expected to migrate the server back.
+func (a *AutoTuner) Rehome(newSched *sched.Scheduler, newSup *supervisor.Supervisor) error {
+	if newSched == nil {
+		return fmt.Errorf("core: Rehome to a nil scheduler")
+	}
+	if !newSched.Owns(a.server) {
+		return fmt.Errorf("core: Rehome of %s before its server moved", a.task.Name())
+	}
+	var client *supervisor.Client
+	if newSup != nil {
+		c, ok := newSup.Register("tuner:"+a.task.Name(), a.cfg.MinBandwidth)
+		if !ok {
+			return fmt.Errorf("core: new supervisor rejected registration of %s", a.task.Name())
+		}
+		client = c
+	}
+	if a.client != nil {
+		a.client.Release()
+		a.sup.Unregister(a.client)
+	}
+	a.sd = newSched
+	a.sup = newSup
+	a.client = client
+	if a.client != nil {
+		granted := a.client.Request(a.server.Budget(), a.server.Period())
+		if granted <= 0 {
+			granted = simtime.Microsecond
+		}
+		if granted != a.server.Budget() {
+			a.server.SetParams(granted, a.server.Period())
+		}
+	}
+	return nil
+}
+
 // Task returns the managed task.
 func (a *AutoTuner) Task() *sched.Task { return a.task }
 

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/supervisor"
+)
+
+func TestRehomeMovesSupervisorClaim(t *testing.T) {
+	rg := newRig(7)
+	player := rg.newVideoPlayer(0.25)
+	tuner, err := core.New(rg.sd, rg.sup, rg.tracer, player.Task(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner.Start()
+	player.Start(0)
+	rg.eng.RunUntil(simtime.Time(5 * simtime.Second))
+	if tuner.DetectedFrequency() == 0 {
+		t.Fatal("tuner never locked; test setup broken")
+	}
+	claimed := rg.sup.TotalGranted()
+	if claimed <= 0 {
+		t.Fatal("no bandwidth claimed on the old supervisor")
+	}
+
+	// Move the server to a fresh core, then rehome the tuner.
+	newSd := sched.New(sched.Config{Engine: rg.eng, PIDBase: 1_001_000})
+	newSup := supervisor.New(1)
+	if err := rg.sd.Detach(tuner.Server()); err != nil {
+		t.Fatal(err)
+	}
+	if err := newSd.Adopt(tuner.Server()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner.Rehome(newSd, newSup); err != nil {
+		t.Fatalf("Rehome: %v", err)
+	}
+	if got := rg.sup.TotalGranted(); got != 0 {
+		t.Errorf("old supervisor still holds %.3f after Rehome", got)
+	}
+	if got := newSup.TotalGranted(); got <= 0 {
+		t.Error("new supervisor holds no claim after Rehome")
+	}
+	// The loop keeps adapting on the new core.
+	freq := tuner.DetectedFrequency()
+	rg.eng.RunUntil(simtime.Time(10 * simtime.Second))
+	if got := tuner.DetectedFrequency(); got != freq && got == 0 {
+		t.Errorf("tuner lost its lock after Rehome")
+	}
+	if ticks := len(tuner.Snapshots()); ticks < 40 {
+		t.Errorf("only %d activations after 10s", ticks)
+	}
+}
+
+func TestRehomeRejectionLeavesOldClaim(t *testing.T) {
+	rg := newRig(8)
+	player := rg.newVideoPlayer(0.25)
+	tuner, err := core.New(rg.sd, rg.sup, rg.tracer, player.Task(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A supervisor already saturated at the floor level rejects the
+	// registration; the old claim must survive untouched.
+	newSd := sched.New(sched.Config{Engine: rg.eng, PIDBase: 1_001_000})
+	crowded := supervisor.New(0.015)
+	if _, ok := crowded.Register("squatter", 0.01); !ok {
+		t.Fatal("setup: squatter rejected")
+	}
+	if err := rg.sd.Detach(tuner.Server()); err != nil {
+		t.Fatal(err)
+	}
+	if err := newSd.Adopt(tuner.Server()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner.Rehome(newSd, crowded); err == nil {
+		t.Fatal("Rehome onto a saturated supervisor succeeded")
+	}
+	// Old registration still in place: a request through it still works.
+	if err := tuner.Rehome(rg.sd, rg.sup); err == nil {
+		t.Error("Rehome back while server is elsewhere succeeded")
+	}
+	if err := newSd.Detach(tuner.Server()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sd.Adopt(tuner.Server()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner.Rehome(rg.sd, rg.sup); err != nil {
+		t.Fatalf("Rehome home again: %v", err)
+	}
+}

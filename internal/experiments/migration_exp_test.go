@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestMigrationContentionRebalanceAdmitsWhatStaticRejects(t *testing.T) {
+	// The acceptance scenario of the cross-core work: on 8 cores the
+	// fragmenting spawn sequence overflows frozen worst-fit placement,
+	// and a single admission-triggered migration packs it.
+	r := MigrationContention(42, 8, 2*simtime.Second)
+	if r.AdmittedStatic >= r.Offered {
+		t.Fatalf("static placement admitted the whole sequence (%d/%d); the scenario lost its teeth",
+			r.AdmittedStatic, r.Offered)
+	}
+	if r.AdmittedRebalance != r.Offered {
+		t.Errorf("rebalancing admission took %d/%d workloads, want all",
+			r.AdmittedRebalance, r.Offered)
+	}
+	if r.AdmittedRebalance <= r.AdmittedStatic {
+		t.Errorf("rebalance admitted %d, static %d: no win", r.AdmittedRebalance, r.AdmittedStatic)
+	}
+	if r.AdmissionMigrations != 1 {
+		t.Errorf("admission used %d migrations, want exactly 1", r.AdmissionMigrations)
+	}
+	if r.RecoveryMigrations == 0 {
+		t.Error("periodic policy performed no recovery migrations")
+	}
+	if r.RecoverySpreadEnd >= r.RecoverySpreadStart/2 {
+		t.Errorf("recovery left spread %.3f of initial %.3f",
+			r.RecoverySpreadEnd, r.RecoverySpreadStart)
+	}
+	if r.FramesDecoded == 0 {
+		t.Error("no frames decoded during recovery")
+	}
+}
+
+func TestMigrationContentionScalesDown(t *testing.T) {
+	// The same sequence keeps its shape on smaller machines.
+	r := MigrationContention(7, 4, simtime.Second)
+	if r.AdmittedRebalance <= r.AdmittedStatic {
+		t.Errorf("4 cores: rebalance admitted %d, static %d", r.AdmittedRebalance, r.AdmittedStatic)
+	}
+}

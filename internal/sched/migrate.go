@@ -1,0 +1,133 @@
+package sched
+
+// Cross-scheduler server migration. The paper leaves the cooperation
+// between load balancing and adaptive reservations as an open research
+// issue (Sec. 6); this file supplies the mechanism half of an answer:
+// a CBS server — together with its attached tasks — can be detached
+// from one per-core scheduler and adopted by another without losing
+// its reservation state. The remaining budget q and the absolute
+// deadline d carry over unchanged (all cores of an smp.Machine share
+// one simulated clock, so the deadline stays meaningful), a throttled
+// server stays throttled and replenishes at the same instant on the
+// new core, and tasks keep their PIDs: PID ranges are disjoint per
+// core, so a migrated task remains unique machine-wide and the shared
+// syscall tracer's per-PID drains never mix tasks.
+//
+// Carrying (q, d) across is the standard push-migration rule of
+// partitioned EDF: the server arrives on the new core with exactly the
+// bandwidth claim it held on the old one, so the per-core Σ Q/T bound
+// (checked by the caller, smp.Machine.Migrate) is preserved.
+
+import "fmt"
+
+// Owns reports whether srv currently belongs to this scheduler.
+func (sd *Scheduler) Owns(srv *Server) bool {
+	return srv != nil && srv.sched == sd
+}
+
+// Detached reports whether the server currently belongs to no
+// scheduler (it has been Detached and not yet Adopted).
+func (s *Server) Detached() bool { return s.sched == nil }
+
+// Detach removes the server and its attached tasks from the
+// scheduler, preserving the CBS state (remaining budget, absolute
+// deadline, throttling) so Adopt can re-install it elsewhere. The
+// in-progress slice is settled first, so consumed-time accounting is
+// exact up to the migration instant. Detach must be called from plain
+// simulation context (a timer event), never from inside a scheduling
+// hook: re-entering the dispatcher mid-decision is an error.
+func (sd *Scheduler) Detach(srv *Server) error {
+	if srv == nil || srv.sched != sd {
+		return fmt.Errorf("sched: Detach of a server not owned by this scheduler")
+	}
+	if sd.busy {
+		return fmt.Errorf("sched: Detach from inside dispatch")
+	}
+	// Settle the running slice. This may complete a job, exhaust the
+	// migrating server (throttling it or postponing its deadline), or
+	// idle it — all of which must happen on the old core's account.
+	sd.suspend()
+	if srv.heapIndex >= 0 {
+		sd.edfRemove(srv)
+	}
+	if srv.replenishEv != nil {
+		// A throttled server keeps state srvThrottled and its deadline;
+		// Adopt re-arms the replenishment timer at the same instant.
+		sd.engine.Cancel(srv.replenishEv)
+		srv.replenishEv = nil
+	}
+	for i, x := range sd.servers {
+		if x == srv {
+			sd.servers = append(sd.servers[:i], sd.servers[i+1:]...)
+			break
+		}
+	}
+	for _, t := range srv.tasks {
+		for i, x := range sd.tasks {
+			if x == t {
+				sd.tasks = append(sd.tasks[:i], sd.tasks[i+1:]...)
+				break
+			}
+		}
+		if sd.lastTask == t {
+			sd.lastTask = nil
+		}
+		t.sched = nil
+	}
+	srv.sched = nil
+	sd.trace(EvParamChange, nil, "srv=%s detached q=%v d=%v", srv.name, srv.q, srv.d)
+	// The old core moves on to its next-best entity.
+	sd.dispatch()
+	return nil
+}
+
+// Adopt installs a detached server (and its tasks) on this scheduler,
+// resuming it exactly where Detach left it: a ready server re-enters
+// the EDF heap with its preserved (q, d) pair, a throttled one
+// replenishes at its preserved deadline, an idle one waits for the
+// next job release. The server is assigned a fresh id from this
+// scheduler's sequence (ids are per-scheduler EDF tie-breakers); tasks
+// keep their PIDs.
+func (sd *Scheduler) Adopt(srv *Server) error {
+	if srv == nil {
+		return fmt.Errorf("sched: Adopt(nil)")
+	}
+	if srv.sched != nil {
+		return fmt.Errorf("sched: Adopt of a server still owned by a scheduler")
+	}
+	if sd.busy {
+		return fmt.Errorf("sched: Adopt from inside dispatch")
+	}
+	srv.id = sd.nextSrvID
+	sd.nextSrvID++
+	srv.sched = sd
+	sd.servers = append(sd.servers, srv)
+	for _, t := range srv.tasks {
+		t.sched = sd
+		sd.tasks = append(sd.tasks, t)
+	}
+	now := sd.now()
+	switch srv.state {
+	case srvThrottled:
+		when := srv.d
+		if when <= now {
+			// The replenishment instant passed while detached: postpone
+			// one period from now, as throttle does after a shrink.
+			when = now.Add(srv.period)
+			srv.d = when
+		}
+		srv.replenishEv = sd.engine.At(when, func() {
+			srv.replenishEv = nil
+			srv.replenish()
+		})
+	case srvReady:
+		if srv.runnableTask() != nil {
+			sd.edfPush(srv)
+		} else {
+			srv.state = srvIdle
+		}
+	}
+	sd.trace(EvParamChange, nil, "srv=%s adopted q=%v d=%v", srv.name, srv.q, srv.d)
+	sd.dispatch()
+	return nil
+}

@@ -1,0 +1,177 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// twoCores builds two schedulers sharing one engine, with disjoint PID
+// ranges, like the cores of an smp.Machine.
+func twoCores(t *testing.T) (*sim.Engine, *sched.Scheduler, *sched.Scheduler) {
+	t.Helper()
+	eng := sim.New()
+	a := sched.New(sched.Config{Engine: eng, PIDBase: 1000})
+	b := sched.New(sched.Config{Engine: eng, PIDBase: 1_001_000})
+	return eng, a, b
+}
+
+func TestMigratePreservesBudgetAndDeadline(t *testing.T) {
+	eng, a, b := twoCores(t)
+	srv := a.NewServer("mig", 20*ms, 100*ms, sched.HardCBS)
+	task := a.NewTask("mig")
+	task.AttachTo(srv, 0)
+	startPeriodic(eng, task, 20*ms, 100*ms, 0)
+
+	// Stop mid-period: the task has consumed part of its budget and the
+	// server holds a live (q, d) pair.
+	eng.RunUntil(simtime.Time(210 * ms))
+	qBefore, dBefore := srv.RemainingBudget(), srv.Deadline()
+	bwBefore := srv.Bandwidth()
+
+	if err := a.Detach(srv); err != nil {
+		t.Fatalf("Detach: %v", err)
+	}
+	if !srv.Detached() {
+		t.Fatal("server not marked detached")
+	}
+	if a.Owns(srv) {
+		t.Fatal("old scheduler still owns the server")
+	}
+	if err := b.Adopt(srv); err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	if !b.Owns(srv) || srv.Detached() {
+		t.Fatal("new scheduler does not own the server after Adopt")
+	}
+	if got := srv.RemainingBudget(); got != qBefore {
+		t.Errorf("remaining budget changed across migration: %v -> %v", qBefore, got)
+	}
+	if got := srv.Deadline(); got != dBefore {
+		t.Errorf("deadline changed across migration: %v -> %v", dBefore, got)
+	}
+	if got := srv.Bandwidth(); got != bwBefore {
+		t.Errorf("bandwidth changed across migration: %v -> %v", bwBefore, got)
+	}
+
+	// The task keeps meeting deadlines on the new core.
+	missedBefore := task.Stats().Missed
+	eng.RunUntil(simtime.Time(2 * simtime.Second))
+	st := task.Stats()
+	if st.Missed != missedBefore {
+		t.Errorf("missed %d deadlines after migration", st.Missed-missedBefore)
+	}
+	if st.Completed < 18 {
+		t.Errorf("completed %d jobs, want >= 18", st.Completed)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("old core: %v", err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("new core: %v", err)
+	}
+	// PID invariant: the task kept its PID from the old core's range.
+	if task.PID() >= 1_001_000 || task.PID() < 1000 {
+		t.Errorf("task PID %d left its original range", task.PID())
+	}
+}
+
+func TestMigrateThrottledServerReplenishesOnNewCore(t *testing.T) {
+	eng, a, b := twoCores(t)
+	// A tiny hard reservation that a heavy task exhausts immediately.
+	srv := a.NewServer("starved", 5*ms, 100*ms, sched.HardCBS)
+	task := a.NewTask("starved")
+	task.AttachTo(srv, 0)
+	eng.At(0, func() {
+		task.Release(sched.NewJob(0, 50*ms, simtime.Never))
+	})
+	// By t=10ms the 5ms budget is long gone and the server throttled.
+	eng.RunUntil(simtime.Time(10 * ms))
+	if srv.Stats().Exhaustions == 0 {
+		t.Fatal("server never exhausted; test setup broken")
+	}
+	if err := a.Detach(srv); err != nil {
+		t.Fatalf("Detach: %v", err)
+	}
+	if err := b.Adopt(srv); err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	// The job (50ms total at 5ms/100ms) finishes on the new core.
+	eng.RunUntil(simtime.Time(2 * simtime.Second))
+	if got := task.Stats().Completed; got != 1 {
+		t.Fatalf("job not completed on new core: completed=%d", got)
+	}
+	if got := b.BusyTime(); got < 40*ms {
+		t.Errorf("new core delivered only %v of CPU time", got)
+	}
+	if err := b.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMigrateWhileRunningSettlesAccounting(t *testing.T) {
+	eng, a, b := twoCores(t)
+	srv := a.NewServer("run", 50*ms, 100*ms, sched.HardCBS)
+	task := a.NewTask("run")
+	task.AttachTo(srv, 0)
+	eng.At(0, func() {
+		task.Release(sched.NewJob(0, 40*ms, simtime.Never))
+	})
+	// Migrate mid-slice: the task is executing right now.
+	var migErr error
+	eng.At(simtime.Time(13*ms), func() {
+		if err := a.Detach(srv); err != nil {
+			migErr = err
+			return
+		}
+		migErr = b.Adopt(srv)
+	})
+	eng.RunUntil(simtime.Time(simtime.Second))
+	if migErr != nil {
+		t.Fatalf("migration: %v", migErr)
+	}
+	if got := task.Stats().Completed; got != 1 {
+		t.Fatalf("job did not complete, completed=%d", got)
+	}
+	// Exactly 13ms ran on the old core, the remaining 27ms on the new.
+	if got := a.BusyTime(); got != 13*ms {
+		t.Errorf("old core busy %v, want 13ms", got)
+	}
+	if got := b.BusyTime(); got != 27*ms {
+		t.Errorf("new core busy %v, want 27ms", got)
+	}
+	if got := task.Stats().Consumed; got != 40*ms {
+		t.Errorf("task consumed %v, want 40ms", got)
+	}
+}
+
+func TestDetachErrors(t *testing.T) {
+	_, a, b := twoCores(t)
+	srv := a.NewServer("s", 10*ms, 100*ms, sched.HardCBS)
+	if err := b.Detach(srv); err == nil {
+		t.Error("Detach from a foreign scheduler succeeded")
+	}
+	if err := a.Detach(nil); err == nil {
+		t.Error("Detach(nil) succeeded")
+	}
+	if err := b.Adopt(srv); err == nil {
+		t.Error("Adopt of a still-attached server succeeded")
+	}
+	if err := a.Detach(srv); err != nil {
+		t.Fatalf("Detach: %v", err)
+	}
+	if err := a.Detach(srv); err == nil {
+		t.Error("double Detach succeeded")
+	}
+	if err := b.Adopt(nil); err == nil {
+		t.Error("Adopt(nil) succeeded")
+	}
+	if err := b.Adopt(srv); err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	if err := b.Adopt(srv); err == nil {
+		t.Error("double Adopt succeeded")
+	}
+}

@@ -6,14 +6,26 @@
 // bandwidth — the classic heuristic that leaves every core the most
 // headroom for the feedback loops to adapt into.
 //
-// Migration is deliberately out of scope: the paper calls the
-// cooperation between load balancing and adaptive reservations "an
-// open research issue", and partitioned EDF is the configuration its
-// own SMP reference [7] builds on.
+// On top of the partitioned baseline the machine supports migration:
+// Migrate atomically releases a reservation (a CBS server and its
+// placement hint) from one core and re-places it on another, using the
+// sched package's Detach/Adopt to carry the budget/deadline state
+// across. The paper calls the cooperation between load balancing and
+// adaptive reservations "an open research issue"; the policies built
+// on this mechanism live in the selftune balancer.
+//
+// Concurrency: the placement accounts are mutex-guarded, so
+// interleaved Place/Reserve/Release calls never corrupt each other or
+// leak an orphaned hint. The effective-load reads underneath them also
+// consult live scheduler state, which only the simulation goroutine
+// may touch — so admission, like everything else here, must be driven
+// from the simulation goroutine (or while the engine is idle); the
+// mutex is about account integrity, not about racing the simulation.
 package smp
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -25,7 +37,10 @@ type Machine struct {
 	engine *sim.Engine
 	cores  []*sched.Scheduler
 	sups   []*supervisor.Supervisor
-	placed []float64 // bandwidth hints accepted per core
+
+	mu         sync.Mutex
+	placed     []float64 // bandwidth hints accepted per core
+	migrations int
 }
 
 // New builds a machine with n cores, each supervised at ulub.
@@ -66,6 +81,8 @@ func (m *Machine) Place(bandwidth float64) (int, error) {
 	if bandwidth <= 0 || bandwidth > 1 {
 		return 0, fmt.Errorf("smp: bandwidth hint %v out of (0,1]", bandwidth)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	best, bestLoad := -1, 2.0
 	for i := range m.cores {
 		load := m.load(i)
@@ -90,6 +107,8 @@ func (m *Machine) Reserve(core int, bandwidth float64) error {
 	if bandwidth <= 0 || bandwidth > 1 {
 		return fmt.Errorf("smp: bandwidth hint %v out of (0,1]", bandwidth)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if load := m.load(core); load+bandwidth > m.sups[core].ULub()+1e-9 {
 		return fmt.Errorf("smp: core %d at load %.3f cannot fit %.3f", core, load, bandwidth)
 	}
@@ -105,10 +124,131 @@ func (m *Machine) Release(core int, bandwidth float64) {
 	if core < 0 || core >= len(m.cores) || bandwidth <= 0 {
 		return
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.placed[core] -= bandwidth
 	if m.placed[core] < 0 {
 		m.placed[core] = 0
 	}
+}
+
+// CanFit reports whether core i currently has room for the given
+// additional bandwidth under its supervisor's bound.
+func (m *Machine) CanFit(core int, bandwidth float64) bool {
+	if core < 0 || core >= len(m.cores) || bandwidth <= 0 {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.load(core)+bandwidth <= m.sups[core].ULub()+1e-9
+}
+
+// Migrate atomically releases the reservation of srv from core `from`
+// and re-places it on core `to`: the server (with its attached tasks
+// and live budget/deadline state) moves between the per-core
+// schedulers, and `hint` of placement-account bandwidth moves with it.
+// The move is admission-checked against the target core first — the
+// server arrives with the larger of its hint and its actually reserved
+// bandwidth, and that must fit under the target supervisor's bound —
+// and on any error the machine is left exactly as it was. The caller
+// is responsible for moving any supervisor *client* of the reservation
+// (selftune does this through AutoTuner.Rehome).
+func (m *Machine) Migrate(srv *sched.Server, from, to int, hint float64) error {
+	return m.migrate(srv, from, to, hint, true)
+}
+
+// ForceMigrate moves srv like Migrate but skips the target admission
+// check. It exists for rollback paths that restore a reservation to a
+// core it just vacated: a state that was legal moments ago must be
+// restorable even if the accounts shifted meanwhile, and re-running
+// admission there could strand the reservation.
+func (m *Machine) ForceMigrate(srv *sched.Server, from, to int, hint float64) error {
+	return m.migrate(srv, from, to, hint, false)
+}
+
+func (m *Machine) migrate(srv *sched.Server, from, to int, hint float64, admit bool) error {
+	if from < 0 || from >= len(m.cores) || to < 0 || to >= len(m.cores) {
+		return fmt.Errorf("smp: migrate cores %d -> %d out of [0,%d)", from, to, len(m.cores))
+	}
+	if from == to {
+		return fmt.Errorf("smp: migrate within core %d", from)
+	}
+	if srv == nil || !m.cores[from].Owns(srv) {
+		return fmt.Errorf("smp: migrating server not owned by core %d", from)
+	}
+	if hint < 0 {
+		hint = 0
+	}
+	charge := hint
+	if bw := srv.Bandwidth(); bw > charge {
+		charge = bw
+	}
+	// Check admission and charge the target in one critical section:
+	// the full admission charge lands on the target's account up front
+	// — the reserved-bandwidth half only materialises at Adopt — so an
+	// interleaved Place cannot fill the just-checked room; the charge
+	// shrinks back to the lasting hint once the server has arrived.
+	m.mu.Lock()
+	if admit {
+		if load := m.load(to); load+charge > m.sups[to].ULub()+1e-9 {
+			m.mu.Unlock()
+			return fmt.Errorf("smp: core %d at load %.3f cannot fit %.3f migrating from core %d",
+				to, load, charge, from)
+		}
+	}
+	m.moveHint(from, to, hint)
+	m.placed[to] += charge - hint
+	m.mu.Unlock()
+	undoCharge := func() {
+		m.mu.Lock()
+		m.placed[to] -= charge - hint
+		m.moveHint(to, from, hint)
+		m.mu.Unlock()
+	}
+	if err := m.cores[from].Detach(srv); err != nil {
+		undoCharge()
+		return fmt.Errorf("smp: migrate %s: %w", srv.Name(), err)
+	}
+	if err := m.cores[to].Adopt(srv); err != nil {
+		// Unreachable in practice (the server was just detached and the
+		// simulation is single-goroutine); put it back rather than
+		// strand the reservation.
+		if rb := m.cores[from].Adopt(srv); rb != nil {
+			panic(fmt.Sprintf("smp: migration stranded server %s: %v after %v", srv.Name(), rb, err))
+		}
+		undoCharge()
+		return fmt.Errorf("smp: migrate %s: %w", srv.Name(), err)
+	}
+	m.mu.Lock()
+	m.placed[to] -= charge - hint
+	if m.placed[to] < 0 {
+		m.placed[to] = 0
+	}
+	m.migrations++
+	m.mu.Unlock()
+	return nil
+}
+
+// moveHint transfers placement-account bandwidth between cores. The
+// caller must hold m.mu.
+func (m *Machine) moveHint(from, to int, hint float64) {
+	if hint <= 0 {
+		return
+	}
+	m.placed[from] -= hint
+	if m.placed[from] < 0 {
+		m.placed[from] = 0
+	}
+	m.placed[to] += hint
+}
+
+// Migrations returns the number of successful Migrate calls (a
+// rolled-back migration counts each direction; selftune's
+// System.Migrations counts workload moves instead).
+func (m *Machine) Migrations() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.migrations
 }
 
 // load returns the effective load of core i: the larger of the hint
@@ -131,10 +271,18 @@ func (m *Machine) loads() []float64 {
 }
 
 // Loads returns a snapshot of the per-core effective loads.
-func (m *Machine) Loads() []float64 { return m.loads() }
+func (m *Machine) Loads() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.loads()
+}
 
 // Load returns core i's effective load.
-func (m *Machine) Load(i int) float64 { return m.load(i) }
+func (m *Machine) Load(i int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.load(i)
+}
 
 // TotalUtilization returns the machine-wide fraction of busy CPU time.
 func (m *Machine) TotalUtilization() float64 {

@@ -1,0 +1,329 @@
+package selftune
+
+// Cross-core load balancing. The paper's Sec. 6 names the cooperation
+// between load balancing and adaptive reservations an open research
+// issue; this file supplies three policies over the migration
+// mechanism of internal/sched and internal/smp:
+//
+//   - BalanceNone: the paper's configuration — placement at spawn time
+//     is final (partitioned EDF, worst-fit decreasing).
+//   - BalancePeriodic: push migration on a fixed period. When the load
+//     spread between the most- and least-loaded cores exceeds the
+//     threshold, the highest-bandwidth migratable workload of the hot
+//     core that fits on the cold one is pushed across.
+//   - BalanceReactive: pull migration on evidence of trouble. The
+//     balancer watches the observer bus's periodic core-load samples;
+//     a sustained imbalance (three consecutive samples over the
+//     threshold) makes the cold core pull load from the hot one.
+//
+// Under every policy except BalanceNone, admission is machine-wide: a
+// spawn that fails worst-fit placement triggers one rebalance pass
+// (migrating a reservation out of the best candidate core) before the
+// spawn is rejected — so the machine admits task sets that frozen
+// spawn-time placement cannot.
+//
+// Only tuned single-reservation workloads (spawned with Tuned) are
+// migratable: they own exactly one CBS server whose budget/deadline
+// state the scheduler can carry across cores, and one supervisor
+// client the tuner re-registers on arrival (AutoTuner.Rehome).
+
+import "fmt"
+
+// BalancerPolicy selects the cross-core load-balancing behaviour.
+type BalancerPolicy int
+
+const (
+	// BalanceNone freezes placement at spawn time (the default).
+	BalanceNone BalancerPolicy = iota
+	// BalancePeriodic rebalances by push migration on a fixed period
+	// (WithBalanceInterval).
+	BalancePeriodic
+	// BalanceReactive rebalances by pull migration when the observer
+	// bus's load samples show sustained imbalance.
+	BalanceReactive
+)
+
+// String returns the policy's name.
+func (p BalancerPolicy) String() string {
+	switch p {
+	case BalanceNone:
+		return "none"
+	case BalancePeriodic:
+		return "periodic"
+	case BalanceReactive:
+		return "reactive"
+	default:
+		return fmt.Sprintf("BalancerPolicy(%d)", int(p))
+	}
+}
+
+// balancer drives one System's migration policy.
+type balancer struct {
+	sys       *System
+	policy    BalancerPolicy
+	every     Duration
+	threshold float64
+
+	streak int // consecutive imbalanced load samples (reactive)
+}
+
+// sustainedSamples is how many consecutive imbalanced load samples the
+// reactive policy requires before pulling: one noisy sample (e.g. a
+// workload's cold-start reservation) must not bounce tasks around.
+const sustainedSamples = 3
+
+// start arms the policy's trigger. Periodic runs on its own engine
+// timer; reactive subscribes to the observer bus (which starts the
+// per-core load sampler).
+func (b *balancer) start() {
+	switch b.policy {
+	case BalancePeriodic:
+		// Ticks run on the System clock, like the load sampler, so an
+		// injected WithClock drives both.
+		var tick func()
+		tick = func() {
+			b.rebalanceOnce("periodic")
+			b.sys.clock.After(b.every, tick)
+		}
+		b.sys.clock.After(b.every, tick)
+	case BalanceReactive:
+		b.sys.Subscribe(ObserverFunc(func(e Event) {
+			if e.Kind != CoreLoadEvent {
+				return
+			}
+			if spread(e.Loads) > b.threshold {
+				b.streak++
+				if b.streak >= sustainedSamples {
+					b.streak = 0
+					b.rebalanceOnce("imbalance")
+				}
+			} else {
+				b.streak = 0
+			}
+		}))
+	}
+}
+
+// spread returns max(loads) - min(loads).
+func spread(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	lo, hi := loads[0], loads[0]
+	for _, l := range loads[1:] {
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	return hi - lo
+}
+
+// migrationCharge is the bandwidth a handle carries across cores: the
+// larger of its placement hint and its actually reserved bandwidth.
+func (h *Handle) migrationCharge() float64 {
+	charge := h.hint
+	if h.tuner != nil {
+		if bw := h.tuner.Server().Bandwidth(); bw > charge {
+			charge = bw
+		}
+	}
+	return charge
+}
+
+// Migratable reports whether the handle can move between cores: only
+// tuned single-reservation workloads can (their one CBS server and
+// supervisor client move together).
+func (h *Handle) Migratable() bool { return h.tuner != nil }
+
+// rebalanceOnce performs at most one migration from the most- to the
+// least-loaded core, if the spread exceeds the threshold and a
+// migratable workload fits. It reports whether a migration happened.
+func (b *balancer) rebalanceOnce(reason string) bool {
+	loads := b.sys.machine.Loads()
+	hi, lo := 0, 0
+	for i, l := range loads {
+		if l > loads[hi] {
+			hi = i
+		}
+		if l < loads[lo] {
+			lo = i
+		}
+	}
+	gap := loads[hi] - loads[lo]
+	if hi == lo || gap <= b.threshold {
+		return false
+	}
+	// Highest-bandwidth migratable handle on the hot core that fits on
+	// the cold one without overshooting (moving more than the gap would
+	// just invert the imbalance).
+	var best *Handle
+	var bestCharge float64
+	for _, h := range b.sys.handles {
+		if h.core != hi || !h.Migratable() {
+			continue
+		}
+		charge := h.migrationCharge()
+		if charge <= bestCharge || charge >= gap {
+			continue
+		}
+		if !b.sys.machine.CanFit(lo, charge) {
+			continue
+		}
+		best, bestCharge = h, charge
+	}
+	if best == nil {
+		return false
+	}
+	if err := b.sys.migrate(best, lo, reason); err != nil {
+		return false
+	}
+	return true
+}
+
+// makeRoom attempts to admit a spawn whose worst-fit placement failed:
+// one rebalance pass that migrates a reservation out of some core so
+// the new hint fits there. Targets are tried from least loaded up, and
+// the smallest sufficient reservation is moved — least disruption
+// first. It reports whether a migration happened (the caller then
+// retries placement).
+func (b *balancer) makeRoom(hint float64) bool {
+	m := b.sys.machine
+	loads := m.Loads()
+	order := make([]int, len(loads))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by load ascending: core counts are small.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && loads[order[j]] < loads[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, target := range order {
+		needed := loads[target] + hint - b.sys.machine.Supervisor(target).ULub()
+		if needed <= 0 {
+			// Place would have taken this core already; stale account.
+			continue
+		}
+		// Smallest migratable reservation on target that frees enough
+		// room and fits somewhere else. "Frees enough" must hold on
+		// both halves of the effective-load account: the handle's hint
+		// is what actually leaves the placement account, and the
+		// reserved side must also end up under the bound once the
+		// handle's server is gone — a bigger migration charge alone can
+		// free less room than it suggests.
+		reservedAfterSpawn := b.sys.machine.Core(target).TotalReservedBandwidth() + hint
+		var pick *Handle
+		var pickCharge float64
+		var pickDest int
+		for _, h := range b.sys.handles {
+			if h.core != target || !h.Migratable() {
+				continue
+			}
+			if h.hint < needed-1e-9 {
+				continue
+			}
+			if reservedAfterSpawn-h.tuner.Server().Bandwidth() > b.sys.machine.Supervisor(target).ULub()+1e-9 {
+				continue
+			}
+			charge := h.migrationCharge()
+			if pick != nil && charge >= pickCharge {
+				continue
+			}
+			// Destination with the most room that can take it.
+			dest, destRoom := -1, 0.0
+			for d := range loads {
+				if d == target {
+					continue
+				}
+				room := b.sys.machine.Supervisor(d).ULub() - m.Load(d)
+				if room > destRoom && m.CanFit(d, charge) {
+					dest, destRoom = d, room
+				}
+			}
+			if dest < 0 {
+				continue
+			}
+			pick, pickCharge, pickDest = h, charge, dest
+		}
+		if pick == nil {
+			continue
+		}
+		if err := b.sys.migrate(pick, pickDest, "admission"); err != nil {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// Migrate moves a tuned workload to another core: the CBS server
+// crosses the per-core schedulers with its remaining budget and
+// deadline intact (smp.Machine.Migrate), the tuner re-registers with
+// the destination supervisor (AutoTuner.Rehome), and a MigrationEvent
+// is published. Only Migratable handles qualify. On error nothing has
+// moved.
+func (s *System) Migrate(h *Handle, to int) error {
+	return s.migrate(h, to, "manual")
+}
+
+func (s *System) migrate(h *Handle, to int, reason string) error {
+	if h == nil || h.sys != s {
+		return fmt.Errorf("selftune: Migrate of a handle from another System")
+	}
+	if to < 0 || to >= s.machine.Cores() {
+		return fmt.Errorf("selftune: Migrate %q to core %d out of [0,%d)", h.Name(), to, s.machine.Cores())
+	}
+	if to == h.core {
+		return fmt.Errorf("selftune: Migrate %q within core %d", h.Name(), to)
+	}
+	if !h.Migratable() {
+		return fmt.Errorf("selftune: workload %q (%s) is not migratable (spawn it Tuned)",
+			h.Name(), h.Kind())
+	}
+	from := h.core
+	srv := h.tuner.Server()
+	if err := s.machine.Migrate(srv, from, to, h.hint); err != nil {
+		return err
+	}
+	if err := h.tuner.Rehome(s.machine.Core(to), s.machine.Supervisor(to)); err != nil {
+		// Undo the physical move without re-running admission: the
+		// origin core was legal a moment ago and must take the
+		// reservation back even if its accounts shifted meanwhile.
+		if rb := s.machine.ForceMigrate(srv, to, from, h.hint); rb != nil {
+			panic(fmt.Sprintf("selftune: migration of %q stranded: %v after %v", h.Name(), rb, err))
+		}
+		return err
+	}
+	h.core = to
+	// The tuner's tick publisher captured the spawn-time core; re-wire
+	// it so TunerTickEvents report where the workload now runs.
+	h.tuner.BusTick = s.tickPublisher(to, h.tuner.Task().Name())
+	s.migrated++
+	s.publish(Event{
+		Kind:   MigrationEvent,
+		At:     s.clock.Now(),
+		Core:   to,
+		From:   from,
+		Source: h.Name(),
+		Reason: reason,
+	})
+	return nil
+}
+
+// Migrations returns the number of workloads moved across cores so
+// far (by any policy, admission passes and manual Migrate calls). A
+// migration rolled back because the destination supervisor rejected
+// the tuner does not count.
+func (s *System) Migrations() int { return s.migrated }
+
+// Balancer returns the System's balancing policy.
+func (s *System) Balancer() BalancerPolicy {
+	if s.bal == nil {
+		return BalanceNone
+	}
+	return s.bal.policy
+}

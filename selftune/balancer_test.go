@@ -1,0 +1,324 @@
+package selftune_test
+
+import (
+	"testing"
+
+	"repro/selftune"
+)
+
+// fillFragmented pins tuned video workloads so that cores 0..n-2 carry
+// 0.85 of hint each ({0.45, 0.40}) and the last core 0.50 — a
+// fragmented state worst-fit cannot admit a 0.5 spawn into, although
+// one migration (0.40 from some core to the last) makes room.
+func fillFragmented(t *testing.T, sys *selftune.System) {
+	t.Helper()
+	n := sys.CPUs()
+	for c := 0; c < n-1; c++ {
+		for _, hint := range []float64{0.45, 0.40} {
+			h, err := sys.Spawn("video",
+				selftune.OnCore(c),
+				selftune.SpawnHint(hint),
+				selftune.SpawnUtil(0.10),
+				selftune.Tuned(selftune.DefaultTunerConfig()))
+			if err != nil {
+				t.Fatalf("fill core %d hint %v: %v", c, hint, err)
+			}
+			h.Start(0)
+		}
+	}
+	h, err := sys.Spawn("video",
+		selftune.OnCore(n-1),
+		selftune.SpawnHint(0.50),
+		selftune.SpawnUtil(0.10),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatalf("fill last core: %v", err)
+	}
+	h.Start(0)
+}
+
+func TestStaticPlacementRejectsFragmentedSet(t *testing.T) {
+	sys, err := selftune.NewSystem(selftune.WithSeed(1), selftune.WithCPUs(4),
+		selftune.WithULub(0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillFragmented(t, sys)
+	if _, err := sys.Spawn("video", selftune.SpawnHint(0.5)); err == nil {
+		t.Fatal("static worst-fit admitted a 0.5 spawn into the fragmented machine")
+	}
+	if sys.Migrations() != 0 {
+		t.Errorf("%d migrations under BalanceNone", sys.Migrations())
+	}
+}
+
+func TestAdmissionRebalanceAdmitsWhatStaticRejects(t *testing.T) {
+	for _, policy := range []selftune.BalancerPolicy{selftune.BalancePeriodic, selftune.BalanceReactive} {
+		t.Run(policy.String(), func(t *testing.T) {
+			sys, err := selftune.NewSystem(selftune.WithSeed(1), selftune.WithCPUs(4),
+				selftune.WithULub(0.95), selftune.WithBalancer(policy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var migs []selftune.Event
+			sys.Subscribe(selftune.ObserverFunc(func(e selftune.Event) {
+				if e.Kind == selftune.MigrationEvent {
+					migs = append(migs, e)
+				}
+			}))
+			fillFragmented(t, sys)
+			h, err := sys.Spawn("video", selftune.SpawnHint(0.5), selftune.SpawnUtil(0.10),
+				selftune.Tuned(selftune.DefaultTunerConfig()))
+			if err != nil {
+				t.Fatalf("rebalancing admission rejected the 0.5 spawn: %v", err)
+			}
+			h.Start(0)
+			if len(migs) != 1 {
+				t.Fatalf("admission performed %d migrations, want 1", len(migs))
+			}
+			if migs[0].Reason != "admission" {
+				t.Errorf("migration reason %q, want \"admission\"", migs[0].Reason)
+			}
+			if migs[0].From == migs[0].Core {
+				t.Errorf("migration %d -> %d does not move", migs[0].From, migs[0].Core)
+			}
+			// Every core stays under its bound after the shuffle.
+			for i, load := range sys.Machine().Loads() {
+				if load > 0.95+1e-9 {
+					t.Errorf("core %d at %.3f after admission rebalance", i, load)
+				}
+			}
+			// The admitted workload actually runs.
+			sys.Run(2 * selftune.Second)
+			if p := h.Player(); p == nil || p.Frames() < 40 {
+				t.Errorf("admitted workload barely ran")
+			}
+		})
+	}
+}
+
+func TestPeriodicBalancerSpreadsPinnedLoad(t *testing.T) {
+	sys, err := selftune.NewSystem(selftune.WithSeed(2), selftune.WithCPUs(4),
+		selftune.WithBalancer(selftune.BalancePeriodic),
+		selftune.WithBalanceInterval(100*selftune.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything starts pinned on core 0: hints 4 x 0.2 = 0.8 while
+	// cores 1-3 are idle.
+	handles := make([]*selftune.Handle, 0, 4)
+	for i := 0; i < 4; i++ {
+		h, err := sys.Spawn("video",
+			selftune.OnCore(0),
+			selftune.SpawnHint(0.2),
+			selftune.SpawnUtil(0.15),
+			selftune.Tuned(selftune.DefaultTunerConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Start(0)
+		handles = append(handles, h)
+	}
+	if got := sys.Machine().Load(0); got < 0.8-1e-9 {
+		t.Fatalf("setup: core 0 at %.3f, want 0.8", got)
+	}
+	sys.Run(5 * selftune.Second)
+	if sys.Migrations() == 0 {
+		t.Fatal("periodic balancer never migrated")
+	}
+	loads := sys.Machine().Loads()
+	max, min := loads[0], loads[0]
+	for _, l := range loads[1:] {
+		if l > max {
+			max = l
+		}
+		if l < min {
+			min = l
+		}
+	}
+	if max-min > 0.25 {
+		t.Errorf("loads still spread %.3f after balancing: %v", max-min, loads)
+	}
+	// The migrated players kept producing frames.
+	for i, h := range handles {
+		if h.Player().Frames() < 100 {
+			t.Errorf("player %d produced %d frames", i, h.Player().Frames())
+		}
+	}
+	if err := sys.Core(0).Scheduler().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReactiveBalancerPullsOnSustainedImbalance(t *testing.T) {
+	sys, err := selftune.NewSystem(selftune.WithSeed(3), selftune.WithCPUs(2),
+		selftune.WithBalancer(selftune.BalanceReactive),
+		selftune.WithLoadSampling(100*selftune.Millisecond),
+		selftune.WithBalanceThreshold(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var migs []selftune.Event
+	sys.Subscribe(selftune.ObserverFunc(func(e selftune.Event) {
+		if e.Kind == selftune.MigrationEvent {
+			migs = append(migs, e)
+		}
+	}))
+	for i := 0; i < 3; i++ {
+		h, err := sys.Spawn("video",
+			selftune.OnCore(0),
+			selftune.SpawnHint(0.25),
+			selftune.SpawnUtil(0.15),
+			selftune.Tuned(selftune.DefaultTunerConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Start(0)
+	}
+	sys.Run(3 * selftune.Second)
+	if len(migs) == 0 {
+		t.Fatal("reactive balancer never migrated")
+	}
+	for _, e := range migs {
+		if e.Reason != "imbalance" {
+			t.Errorf("migration reason %q, want \"imbalance\"", e.Reason)
+		}
+		if e.From != 0 || e.Core != 1 {
+			t.Errorf("migration %d -> %d, want 0 -> 1", e.From, e.Core)
+		}
+	}
+}
+
+func TestBalancerLeavesBalancedSystemAlone(t *testing.T) {
+	sys, err := selftune.NewSystem(selftune.WithSeed(4), selftune.WithCPUs(2),
+		selftune.WithBalancer(selftune.BalancePeriodic),
+		selftune.WithBalanceInterval(100*selftune.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst-fit already balances 2+2; the balancer must not churn.
+	for i := 0; i < 4; i++ {
+		h, err := sys.Spawn("video", selftune.SpawnHint(0.3), selftune.SpawnUtil(0.15),
+			selftune.Tuned(selftune.DefaultTunerConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Start(0)
+	}
+	sys.Run(5 * selftune.Second)
+	if got := sys.Migrations(); got != 0 {
+		t.Errorf("%d migrations on a balanced machine", got)
+	}
+}
+
+func TestManualMigrate(t *testing.T) {
+	sys, err := selftune.NewSystem(selftune.WithSeed(5), selftune.WithCPUs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := sys.Spawn("video", selftune.OnCore(0), selftune.SpawnUtil(0.2),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	untuned, err := sys.Spawn("mp3", selftune.OnCore(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if untuned.Migratable() {
+		t.Error("untuned workload claims to be migratable")
+	}
+	if err := sys.Migrate(untuned, 1); err == nil {
+		t.Error("migrating an untuned workload succeeded")
+	}
+	if err := sys.Migrate(tuned, 0); err == nil {
+		t.Error("migrating onto the same core succeeded")
+	}
+	if err := sys.Migrate(tuned, 2); err == nil {
+		t.Error("migrating out of range succeeded")
+	}
+	if err := sys.Migrate(nil, 1); err == nil {
+		t.Error("migrating nil succeeded")
+	}
+	tuned.Start(0)
+	sys.Run(selftune.Second)
+	if err := sys.Migrate(tuned, 1); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if got := tuned.Core().Index; got != 1 {
+		t.Errorf("handle on core %d after migration, want 1", got)
+	}
+	sys.Run(selftune.Second)
+	if got := sys.Core(1).Scheduler().BusyTime(); got == 0 {
+		t.Error("core 1 never ran the migrated workload")
+	}
+	if sys.Migrations() != 1 {
+		t.Errorf("Migrations() = %d, want 1", sys.Migrations())
+	}
+}
+
+func TestAllKindsRunUnderAllPolicies(t *testing.T) {
+	for _, policy := range []selftune.BalancerPolicy{
+		selftune.BalanceNone, selftune.BalancePeriodic, selftune.BalanceReactive,
+	} {
+		t.Run(policy.String(), func(t *testing.T) {
+			sys, err := selftune.NewSystem(selftune.WithSeed(6), selftune.WithCPUs(4),
+				selftune.WithBalancer(policy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, kind := range selftune.Kinds() {
+				opts := []selftune.SpawnOption{selftune.SpawnName("k-" + kind)}
+				if kind == "player" {
+					opts = append(opts, selftune.SpawnPlayer(selftune.PlayerConfig{
+						Period:     20 * selftune.Millisecond,
+						MeanDemand: 2 * selftune.Millisecond,
+					}))
+				}
+				h, err := sys.Spawn(kind, opts...)
+				if err != nil {
+					t.Fatalf("spawn %q: %v", kind, err)
+				}
+				h.Start(0)
+			}
+			sys.Run(2 * selftune.Second)
+			var busy float64
+			for i := 0; i < sys.CPUs(); i++ {
+				busy += float64(sys.Core(i).Scheduler().BusyTime())
+			}
+			if busy == 0 {
+				t.Error("no kind consumed CPU time")
+			}
+		})
+	}
+}
+
+func TestBalancerOptionValidation(t *testing.T) {
+	bad := []selftune.Option{
+		selftune.WithBalancer(selftune.BalancerPolicy(99)),
+		selftune.WithBalanceInterval(0),
+		selftune.WithBalanceInterval(-selftune.Second),
+		selftune.WithBalanceThreshold(0),
+		selftune.WithBalanceThreshold(1),
+	}
+	for i, opt := range bad {
+		if _, err := selftune.NewSystem(opt); err == nil {
+			t.Errorf("bad option %d accepted", i)
+		}
+	}
+	sys, err := selftune.NewSystem(selftune.WithBalancer(selftune.BalanceNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Balancer(); got != selftune.BalanceNone {
+		t.Errorf("Balancer() = %v", got)
+	}
+	sys, err = selftune.NewSystem(selftune.WithCPUs(2),
+		selftune.WithBalancer(selftune.BalanceReactive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Balancer(); got != selftune.BalanceReactive {
+		t.Errorf("Balancer() = %v", got)
+	}
+}

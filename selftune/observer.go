@@ -19,6 +19,11 @@ const (
 	// loads (Event.Loads, one entry per core). Published every
 	// WithLoadSampling interval once an observer is subscribed.
 	CoreLoadEvent
+	// MigrationEvent fires when a workload's reservation moves between
+	// cores: Event.Source names the workload, Event.From the origin
+	// core, Event.Core the destination, and Event.Reason the trigger
+	// ("periodic", "imbalance", "admission" or "manual").
+	MigrationEvent
 )
 
 // String returns the kind's name.
@@ -30,6 +35,8 @@ func (k EventKind) String() string {
 		return "budget-exhausted"
 	case CoreLoadEvent:
 		return "core-load"
+	case MigrationEvent:
+		return "migration"
 	default:
 		return "unknown"
 	}
@@ -53,6 +60,12 @@ type Event struct {
 	Snapshot TunerSnapshot
 	// Loads is the per-core effective load of a CoreLoadEvent.
 	Loads []float64
+	// From is the origin core of a MigrationEvent (Core holds the
+	// destination); meaningless for other kinds.
+	From int
+	// Reason is what triggered a MigrationEvent: "periodic",
+	// "imbalance", "admission" or "manual".
+	Reason string
 }
 
 // Observer receives System events.
@@ -100,14 +113,25 @@ func (s *System) publish(e Event) {
 			sub.obs.Observe(e)
 		}
 	}
-	// Re-read s.observers: Observe callbacks may have subscribed.
-	live := s.observers[:0]
+	// Compact cancelled subscriptions into a fresh slice: an Observe
+	// callback may itself publish (the reactive balancer migrating from
+	// a load sample), so the snapshot an outer publish is iterating
+	// must never be rewritten in place.
+	cancelled := 0
 	for _, sub := range s.observers {
-		if !sub.cancelled {
-			live = append(live, sub)
+		if sub.cancelled {
+			cancelled++
 		}
 	}
-	s.observers = live
+	if cancelled > 0 {
+		live := make([]*subscription, 0, len(s.observers)-cancelled)
+		for _, sub := range s.observers {
+			if !sub.cancelled {
+				live = append(live, sub)
+			}
+		}
+		s.observers = live
+	}
 }
 
 // startSampler schedules the periodic per-core load sample on the

@@ -28,20 +28,26 @@ func (c engineClock) After(d Duration, fn func()) { c.eng.After(d, fn) }
 
 // options collects the configuration assembled by functional options.
 type options struct {
-	seed       uint64
-	cpus       int
-	ulub       float64
-	tracerCap  int
-	clock      Clock
-	loadSample Duration
+	seed         uint64
+	cpus         int
+	ulub         float64
+	tracerCap    int
+	clock        Clock
+	loadSample   Duration
+	balancer     BalancerPolicy
+	balanceEvery Duration
+	imbalance    float64
 }
 
 func defaultOptions() options {
 	return options{
-		cpus:       1,
-		ulub:       1,
-		tracerCap:  1 << 16,
-		loadSample: 250 * simtime.Millisecond,
+		cpus:         1,
+		ulub:         1,
+		tracerCap:    1 << 16,
+		loadSample:   250 * simtime.Millisecond,
+		balancer:     BalanceNone,
+		balanceEvery: 500 * simtime.Millisecond,
+		imbalance:    0.2,
 	}
 }
 
@@ -105,6 +111,50 @@ func WithClock(c Clock) Option {
 			return fmt.Errorf("selftune: WithClock(nil)")
 		}
 		o.clock = c
+		return nil
+	}
+}
+
+// WithBalancer selects the cross-core load-balancing policy:
+// BalanceNone (the default, placement frozen at spawn time),
+// BalancePeriodic (push migration every WithBalanceInterval), or
+// BalanceReactive (pull migration on sustained load imbalance observed
+// through the per-core load samples — enabling it starts the load
+// sampler). Any policy except BalanceNone also makes admission
+// machine-wide: a spawn that fails worst-fit placement triggers one
+// rebalance pass before it is rejected.
+func WithBalancer(p BalancerPolicy) Option {
+	return func(o *options) error {
+		switch p {
+		case BalanceNone, BalancePeriodic, BalanceReactive:
+			o.balancer = p
+			return nil
+		default:
+			return fmt.Errorf("selftune: WithBalancer(%d): unknown policy", int(p))
+		}
+	}
+}
+
+// WithBalanceInterval sets the period of the BalancePeriodic policy
+// (default 500ms of simulated time).
+func WithBalanceInterval(every Duration) Option {
+	return func(o *options) error {
+		if every <= 0 {
+			return fmt.Errorf("selftune: WithBalanceInterval(%v): interval must be positive", every)
+		}
+		o.balanceEvery = every
+		return nil
+	}
+}
+
+// WithBalanceThreshold sets the per-core load spread (max - min) above
+// which the periodic and reactive policies migrate (default 0.2).
+func WithBalanceThreshold(x float64) Option {
+	return func(o *options) error {
+		if x <= 0 || x >= 1 {
+			return fmt.Errorf("selftune: WithBalanceThreshold(%v): spread must be in (0,1)", x)
+		}
+		o.imbalance = x
 		return nil
 	}
 }

@@ -211,6 +211,7 @@ type Handle struct {
 	sys   *System
 	kind  string
 	core  int
+	hint  float64 // placement bandwidth charged for this instance
 	w     Workload
 	tuner *AutoTuner
 }
@@ -282,6 +283,14 @@ func (s *System) Spawn(kind string, opts ...SpawnOption) (*Handle, error) {
 		}
 	}
 	coreIdx, hint, err := s.place(spec)
+	if err != nil && s.bal != nil && spec.Core < 0 {
+		// Machine-wide admission: before rejecting, let the balancer
+		// migrate one reservation to defragment the worst-fit account,
+		// then retry placement once.
+		if s.bal.makeRoom(s.resolveHint(spec)) {
+			coreIdx, hint, err = s.place(spec)
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("selftune: spawn %q: %w", spec.Name, err)
 	}
@@ -306,7 +315,7 @@ func (s *System) Spawn(kind string, opts ...SpawnOption) (*Handle, error) {
 	if w == nil {
 		return fail(fmt.Errorf("kind %q factory returned a nil workload", kind))
 	}
-	h := &Handle{sys: s, kind: kind, core: coreIdx, w: w}
+	h := &Handle{sys: s, kind: kind, core: coreIdx, hint: hint, w: w}
 	if spec.Tuner != nil {
 		tn, ok := w.(Tunable)
 		if !ok {
@@ -325,11 +334,10 @@ func (s *System) Spawn(kind string, opts ...SpawnOption) (*Handle, error) {
 	return h, nil
 }
 
-// place resolves the spawn's core: pinned via Reserve, or worst-fit
-// via Place, both charged with the spec's bandwidth hint. It returns
-// the core and the hint actually charged, so a failed spawn can
-// Release it.
-func (s *System) place(spec SpawnSpec) (int, float64, error) {
+// resolveHint computes the placement bandwidth a spawn is charged:
+// the explicit SpawnHint, or one derived from the player config, the
+// target utilisation or the kind's default.
+func (s *System) resolveHint(spec SpawnSpec) float64 {
 	hint := spec.Hint
 	if hint <= 0 {
 		switch {
@@ -349,6 +357,15 @@ func (s *System) place(spec SpawnSpec) (int, float64, error) {
 	if hint > 1 {
 		hint = 1
 	}
+	return hint
+}
+
+// place resolves the spawn's core: pinned via Reserve, or worst-fit
+// via Place, both charged with the spec's bandwidth hint. It returns
+// the core and the hint actually charged, so a failed spawn can
+// Release it.
+func (s *System) place(spec SpawnSpec) (int, float64, error) {
+	hint := s.resolveHint(spec)
 	if spec.Core >= 0 {
 		if spec.Core >= s.machine.Cores() {
 			return 0, 0, fmt.Errorf("core %d out of [0,%d)", spec.Core, s.machine.Cores())

@@ -26,6 +26,9 @@ type System struct {
 	samplerOn  bool
 	observers  []*subscription
 
+	bal      *balancer
+	migrated int // workloads moved across cores
+
 	handles  []*Handle
 	spawnSeq int
 }
@@ -64,6 +67,15 @@ func NewSystem(opts ...Option) (*System, error) {
 	}
 	for i := 0; i < s.machine.Cores(); i++ {
 		s.installExhaustHook(i)
+	}
+	if o.balancer != BalanceNone {
+		s.bal = &balancer{
+			sys:       s,
+			policy:    o.balancer,
+			every:     o.balanceEvery,
+			threshold: o.imbalance,
+		}
+		s.bal.start()
 	}
 	return s, nil
 }

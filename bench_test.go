@@ -189,6 +189,32 @@ func BenchmarkMigrationContention8Core(b *testing.B) {
 	b.ReportMetric(last.RecoverySpreadEnd, "spread_after")
 }
 
+// BenchmarkMigrationContention64Core scales the contention study to a
+// 64-core machine: 128 fragmenting spawns in the admission phase and
+// 62 consolidated tenants spreading off core 0 in the recovery phase.
+func BenchmarkMigrationContention64Core(b *testing.B) {
+	var last experiments.MigrationResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.MigrationContention(uint64(i+1), 64, 2*simtime.Second)
+	}
+	b.ReportMetric(float64(last.AdmittedStatic), "admitted_static")
+	b.ReportMetric(float64(last.AdmittedRebalance), "admitted_rebalance")
+	b.ReportMetric(float64(last.AdmissionMigrations+last.RecoveryMigrations), "migrations")
+	b.ReportMetric(last.RecoverySpreadEnd, "spread_after")
+}
+
+// BenchmarkTelemetryScenario times the full measurement pipeline —
+// collector folding plus both exporters — on the 4-core showcase.
+func BenchmarkTelemetryScenario(b *testing.B) {
+	var last experiments.TelemetryResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.TelemetryScenario(uint64(i+1), 4, 4*simtime.Second)
+	}
+	b.ReportMetric(float64(last.Snapshot.Ticks), "ticks")
+	b.ReportMetric(float64(last.Snapshot.Migrations), "migrations")
+	b.ReportMetric(float64(last.Snapshot.Exhaustions), "exhaustions")
+}
+
 func BenchmarkAblationDenseGrid(b *testing.B) {
 	var last experiments.DenseGridResult
 	for i := 0; i < b.N; i++ {

@@ -1,15 +1,18 @@
 // Command experiments regenerates the tables and figures of the
-// paper's evaluation (Sec. 5). Each experiment prints a text table
-// and/or CSV series to stdout; figures are CSV so they can be plotted
-// with any tool.
+// paper's evaluation (Sec. 5). Each experiment renders text tables
+// and/or CSV series (internal/report) to stdout; figures are CSV so
+// they can be plotted with any tool. The "telemetry" experiment runs
+// the live measurement showcase on selftune/telemetry, and -csv/-trace
+// export its collector snapshot as figure data and a Chrome
+// trace-event file (chrome://tracing, Perfetto).
 //
 // Usage:
 //
-//	experiments [-seed N] [-reps N] [-frames N] [-quick] <experiment>...
+//	experiments [-seed N] [-reps N] [-frames N] [-quick] [-csv F] [-trace F] <experiment>...
 //	experiments all
 //
 // Experiments: fig1 fig2 table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// fig11 table2 fig12 fig13 fig14 table3 ablations
+// fig11 table2 fig12 fig13 fig14 table3 migration telemetry ablations
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/report"
 	"repro/internal/simtime"
 )
 
@@ -29,6 +33,9 @@ func main() {
 	frames := flag.Int("frames", 1400, "frames for the feedback experiments (paper plots ~1400)")
 	quick := flag.Bool("quick", false, "shrink reps/frames for a fast smoke run")
 	outPath := flag.String("o", "", "write the output to this file instead of stdout")
+	cores := flag.Int("cores", 4, "cores of the telemetry scenario machine")
+	csvPath := flag.String("csv", "", "export the telemetry scenario's CSV series to this file")
+	tracePath := flag.String("trace", "", "export the telemetry scenario's Chrome trace-event JSON to this file")
 	flag.Parse()
 
 	var out io.Writer = os.Stdout
@@ -48,7 +55,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|fig2|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|fig12|fig13|fig14|table3|migration|ablations|all>...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|fig2|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|fig12|fig13|fig14|table3|migration|telemetry|ablations|all>...")
 		os.Exit(2)
 	}
 	want := make(map[string]bool)
@@ -62,20 +69,27 @@ func main() {
 	}
 	run := func(name string) bool { return all || want[name] }
 	ran := 0
+	// emit renders a sequence of report series, blank-line separated.
+	emit := func(series ...*report.Series) {
+		for _, s := range series {
+			fmt.Fprint(out, s.String())
+		}
+		fmt.Fprintln(out)
+	}
 
 	if run("fig1") {
 		ran++
 		r := experiments.Fig1()
-		fmt.Fprint(out, r.Series.String())
-		fmt.Fprintf(out, "# landmarks: B(T=P)=%.3f (paper 0.20), B(34ms)=%.3f (paper ~0.29), B(200ms)=%.3f (paper ~0.60)\n\n",
+		r.Series.AddNote("landmarks: B(T=P)=%.3f (paper 0.20), B(34ms)=%.3f (paper ~0.29), B(200ms)=%.3f (paper ~0.60)",
 			r.AtTaskPeriod, r.AtT34, r.AtT200)
+		emit(r.Series)
 	}
 	if run("fig2") {
 		ran++
 		r := experiments.Fig2()
-		fmt.Fprint(out, r.Series.String())
-		fmt.Fprintf(out, "# utilisation=%.3f best waste=%.3f worst waste=%.3f (paper: 6%%..41%%)\n\n",
+		r.Series.AddNote("utilisation=%.3f best waste=%.3f worst waste=%.3f (paper: 6%%..41%%)",
 			r.Utilization, r.BestWaste, r.WorstWaste)
+		emit(r.Series)
 	}
 	if run("table1") {
 		ran++
@@ -91,79 +105,70 @@ func main() {
 	}
 	if run("fig5") {
 		ran++
-		r := experiments.Fig5(*seed)
-		fmt.Fprint(out, r.Series.String())
-		fmt.Fprintln(out)
+		emit(experiments.Fig5(*seed).Series)
 	}
 	if run("fig6") {
 		ran++
 		r := experiments.Fig6(*seed, *reps)
 		over, prec := r.Series()
-		fmt.Fprint(out, over.String())
-		fmt.Fprint(out, prec.String())
 		for df, r2 := range r.TimeFitR2 {
-			fmt.Fprintf(out, "# linearity of time vs H at deltaF=%.1f: R2=%.4f\n", df, r2)
+			prec.AddNote("linearity of time vs H at deltaF=%.1f: R2=%.4f", df, r2)
 		}
-		fmt.Fprintln(out)
+		emit(over, prec)
 	}
 	if run("fig7") {
 		ran++
 		r := experiments.Fig7(*seed, *reps)
 		over, prec := r.Series()
-		fmt.Fprint(out, over.String())
-		fmt.Fprint(out, prec.String())
-		fmt.Fprintf(out, "# detection std: fmax=100 -> %.2fHz, fmax=400 -> %.2fHz (paper: grows)\n\n",
+		prec.AddNote("detection std: fmax=100 -> %.2fHz, fmax=400 -> %.2fHz (paper: grows)",
 			r.StdAt100, r.StdAt400)
+		emit(over, prec)
 	}
 	if run("fig8") {
 		ran++
 		r := experiments.Fig8(*seed, *reps)
-		fmt.Fprint(out, r.Series().String())
-		fmt.Fprintf(out, "# alpha=0 vs alpha=0.2 cost ratio: %.2fx\n\n", r.SpeedupFromAlpha)
+		s := r.Series()
+		s.AddNote("alpha=0 vs alpha=0.2 cost ratio: %.2fx", r.SpeedupFromAlpha)
+		emit(s)
 	}
 	if run("fig9") {
 		ran++
-		fmt.Fprint(out, experiments.Fig9(*seed, *reps).Series().String())
-		fmt.Fprintln(out)
+		emit(experiments.Fig9(*seed, *reps).Series())
 	}
 	if run("fig10") {
 		ran++
 		r := experiments.Fig10(*seed)
-		fmt.Fprint(out, r.Series.String())
-		fmt.Fprintf(out, "# normalised peak at 32.5Hz per tracing time: %v\n\n", r.PeakSharpness)
+		r.Series.AddNote("normalised peak at 32.5Hz per tracing time: %v", r.PeakSharpness)
+		emit(r.Series)
 	}
 	if run("fig11") {
 		ran++
 		r := experiments.Fig11(*seed, *reps)
 		s1, s2 := r.Series()
-		fmt.Fprint(out, s1.String())
-		fmt.Fprint(out, s2.String())
-		fmt.Fprintf(out, "# hit-rate near 32.5Hz: H=200ms %.0f%%, H=2s %.0f%%; harmonics: %.0f%% vs %.0f%%\n\n",
+		s2.AddNote("hit-rate near 32.5Hz: H=200ms %.0f%%, H=2s %.0f%%; harmonics: %.0f%% vs %.0f%%",
 			r.ShortHit*100, r.LongHit*100, r.ShortHarmonic*100, r.LongHarmonic*100)
+		emit(s1, s2)
 	}
 	if run("table2") || run("fig12") {
 		ran++
 		r := experiments.Table2(*seed, *reps, simtime.Second)
 		fmt.Fprintln(out, r.Table())
-		fmt.Fprint(out, r.Series().String())
-		fmt.Fprintln(out)
+		emit(r.Series())
 	}
 	if run("fig13") {
 		ran++
 		r := experiments.Fig13(*seed, *frames)
-		fmt.Fprint(out, r.IFT.String())
-		fmt.Fprint(out, r.Reserved.String())
-		fmt.Fprintf(out, "# IFT stats: LFS mean=%.3fms std=%.3fms | LFS++ mean=%.3fms std=%.3fms\n",
+		r.Reserved.AddNote("IFT stats: LFS mean=%.3fms std=%.3fms | LFS++ mean=%.3fms std=%.3fms",
 			r.LFSStats.Mean, r.LFSStats.Std, r.LFSPStats.Mean, r.LFSPStats.Std)
-		fmt.Fprintf(out, "# paper:     LFS mean=39.992ms std=11.287ms | LFS++ mean=40.925ms std=4.631ms\n\n")
+		r.Reserved.AddNote("paper:     LFS mean=39.992ms std=11.287ms | LFS++ mean=40.925ms std=4.631ms")
+		emit(r.IFT, r.Reserved)
 	}
 	if run("fig14") {
 		ran++
 		r := experiments.Fig14(*seed, *frames)
-		fmt.Fprint(out, r.IFTCDF.String())
-		fmt.Fprint(out, r.ReservedCDF.String())
-		fmt.Fprintf(out, "# P(IFT>60ms): LFS %.3f vs LFS++ %.3f; allocation spread (p95-p05): %.3f vs %.3f\n\n",
+		r.ReservedCDF.AddNote("P(IFT>60ms): LFS %.3f vs LFS++ %.3f; allocation spread (p95-p05): %.3f vs %.3f",
 			r.LFSTail, r.LFSPTail, r.LFSSpread, r.LFSPSpread)
+		emit(r.IFTCDF, r.ReservedCDF)
 	}
 	if run("table3") {
 		ran++
@@ -172,6 +177,28 @@ func main() {
 	if run("migration") {
 		ran++
 		fmt.Fprintln(out, experiments.MigrationContention(*seed, 8, 4*simtime.Second).Table())
+	}
+	if run("telemetry") {
+		ran++
+		if *cores < 2 {
+			fmt.Fprintf(os.Stderr, "experiments: -cores %d: the telemetry scenario needs at least 2 cores\n", *cores)
+			os.Exit(2)
+		}
+		horizon := 10 * simtime.Second
+		if *quick {
+			horizon = 4 * simtime.Second
+		}
+		r := experiments.TelemetryScenario(*seed, *cores, horizon)
+		for _, t := range r.Tables() {
+			t.Render(out)
+		}
+		fmt.Fprintln(out)
+		if *csvPath != "" {
+			exportTo(*csvPath, r.Snapshot.WriteCSV)
+		}
+		if *tracePath != "" {
+			exportTo(*tracePath, r.Snapshot.WriteTrace)
+		}
 	}
 	if run("ablations") {
 		ran++
@@ -182,13 +209,34 @@ func main() {
 		fmt.Fprintln(out, experiments.AblationStateTrace(*seed, *reps, simtime.Second).Table())
 		fmt.Fprintln(out, experiments.AblationScoring(*seed, *reps).Table())
 		d := experiments.AblationDenseGrid(*seed)
-		fmt.Fprintf(out, "== Ablation: sparse vs dense transform ==\n")
-		fmt.Fprintf(out, "events=%d sparse ops=%d (time %.0fus reference, %.0fus recurrence)\n",
-			d.Events, d.SparseOps, d.SparseTimeUS, d.FastTimeUS)
-		fmt.Fprintf(out, "dense 1us grid would need %d samples before any FFT butterfly\n\n", d.DenseSamples)
+		t := report.NewTable("Ablation: sparse vs dense transform", "quantity", "value")
+		t.AddRowf("events", d.Events)
+		t.AddRowf("sparse ops (N*F, Eq. 3)", d.SparseOps)
+		t.AddRowf("sparse time (reference)", fmt.Sprintf("%.0fus", d.SparseTimeUS))
+		t.AddRowf("sparse time (recurrence)", fmt.Sprintf("%.0fus", d.FastTimeUS))
+		t.AddRowf("dense 1us-grid samples", d.DenseSamples)
+		t.AddNote("the dense grid needs %d samples before any FFT butterfly", d.DenseSamples)
+		fmt.Fprintln(out, t)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: nothing matched %v\n", args)
 		os.Exit(2)
+	}
+}
+
+// exportTo writes one exporter's output to a file.
+func exportTo(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,32 +1,38 @@
 // Command lfsppsim runs one self-tuning scheduling session: a legacy
 // multimedia application model on the simulated AQuoSA-style kernel,
 // managed by an AutoTuner, optionally next to background real-time
-// load. It prints the controller's activation history and a final
-// quality report.
+// load. Reporting goes through selftune/telemetry: -live prints
+// periodic reports during the run, the final summary renders the
+// collector's snapshot, and -csv/-trace export it as figure data and
+// a Chrome trace-event file.
 //
 // Examples:
 //
 //	lfsppsim -app video -util 0.25 -duration 30s
 //	lfsppsim -app mp3 -load 0.45 -controller lfs -duration 60s
-//	lfsppsim -app video -cpus 4 -v
+//	lfsppsim -app video -cpus 4 -live 5s -trace session.trace.json
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/feedback"
+	"repro/internal/report"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/selftune"
+	"repro/selftune/telemetry"
 )
 
 // teeSink forwards syscalls to the kernel tracer and also records the
-// timestamps for the -trace export (consumable by cmd/periodscope).
+// timestamps for the -timestamps export (consumable by
+// cmd/periodscope).
 type teeSink struct {
 	inner workload.SyscallSink
 	times []simtime.Time
@@ -47,8 +53,10 @@ func main() {
 		controller = flag.String("controller", "lfspp", "feedback controller: lfspp | lfs")
 		duration   = flag.Duration("duration", 30*time.Second, "simulated duration")
 		noRate     = flag.Bool("no-rate-detection", false, "disable the period analyser")
-		verbose    = flag.Bool("v", false, "print every controller activation and budget exhaustion")
-		traceFile  = flag.String("trace", "", "export the app's syscall timestamps (seconds, one per line) to this file")
+		live       = flag.Duration("live", 0, "print live telemetry reports at this simulated interval")
+		csvPath    = flag.String("csv", "", "export the session's telemetry CSV series to this file")
+		tracePath  = flag.String("trace", "", "export the session's Chrome trace-event JSON to this file")
+		timestamps = flag.String("timestamps", "", "export the app's syscall timestamps (seconds, one per line) to this file")
 	)
 	flag.Parse()
 
@@ -60,6 +68,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
 		os.Exit(2)
 	}
+
+	// The collector folds the whole session; the optional live sink
+	// shares it so reports, CSV and trace all describe one stream.
+	var col *telemetry.Collector
+	var stopSink func()
+	if *live > 0 {
+		sink := telemetry.NewReportSink(os.Stdout, selftune.Duration(live.Nanoseconds()))
+		col = sink.Collector()
+		stopSink = sink.Attach(sys)
+	} else {
+		col, stopSink = telemetry.Attach(sys)
+	}
+
 	if *load > 0 {
 		bg, err := sys.Spawn("rtload",
 			selftune.SpawnName("rtload"), selftune.SpawnUtil(*load), selftune.SpawnCount(3))
@@ -82,7 +103,7 @@ func main() {
 	}
 	var tee *teeSink
 	pcfg.Sink = sys.Tracer()
-	if *traceFile != "" {
+	if *timestamps != "" {
 		tee = &teeSink{inner: sys.Tracer()}
 		pcfg.Sink = tee
 	}
@@ -108,33 +129,25 @@ func main() {
 	}
 	player, tuner := h.Player(), h.Tuner()
 
-	if *verbose {
-		sys.Subscribe(selftune.ObserverFunc(func(e selftune.Event) {
-			switch e.Kind {
-			case selftune.TunerTickEvent:
-				s := e.Snapshot
-				fmt.Printf("%12v  core=%d period=%-10v detected=%6.2fHz  granted=%-10v bw=%.3f events=%d\n",
-					s.At, e.Core, s.Period, s.Detected, s.Granted, s.Bandwidth, s.Events)
-			case selftune.BudgetExhaustedEvent:
-				fmt.Printf("%12v  core=%d budget exhausted: %s\n", e.At, e.Core, e.Source)
-			}
-		}))
-	}
 	h.Start(0)
 	sys.Run(selftune.Duration(duration.Nanoseconds()))
+	stopSink()
 
-	fmt.Printf("application : %s on core %d (%s controller, rate detection %v)\n",
-		player.Name(), h.Core().Index, cfg.Controller.Name(), cfg.RateDetection)
-	fmt.Printf("frames      : %d released, %d decoded, %d deadline misses\n",
-		player.Frames(), player.Task().Stats().Completed, player.Task().Stats().Missed)
+	// Final report: the session summary table plus the standard
+	// telemetry tables of the same collector.
+	summary := report.NewTable("session summary", "quantity", "value")
+	summary.AddRowf("application", fmt.Sprintf("%s on core %d (%s controller, rate detection %v)",
+		player.Name(), h.Core().Index, cfg.Controller.Name(), cfg.RateDetection))
+	st := player.Task().Stats()
+	summary.AddRowf("frames", fmt.Sprintf("%d released, %d decoded, %d deadline misses",
+		player.Frames(), st.Completed, st.Missed))
 	if f := tuner.DetectedFrequency(); f > 0 {
-		fmt.Printf("detection   : %.2f Hz (period %v)\n", f, tuner.Period())
+		summary.AddRowf("detection", fmt.Sprintf("%.2f Hz (period %v)", f, tuner.Period()))
 	} else {
-		fmt.Printf("detection   : none (period held at %v)\n", tuner.Period())
+		summary.AddRowf("detection", fmt.Sprintf("none (period held at %v)", tuner.Period()))
 	}
-	fmt.Printf("reservation : Q=%v T=%v (%.1f%% of the CPU)\n",
-		tuner.Server().Budget(), tuner.Server().Period(), 100*tuner.Server().Bandwidth())
-
+	summary.AddRowf("reservation", fmt.Sprintf("Q=%v T=%v (%.1f%% of the CPU)",
+		tuner.Server().Budget(), tuner.Server().Period(), 100*tuner.Server().Bandwidth()))
 	ift := player.InterFrameTimes()
 	if len(ift) > 1 {
 		xs := make([]float64, len(ift))
@@ -146,38 +159,73 @@ func main() {
 			}
 		}
 		s := stats.Summarize(xs)
-		fmt.Printf("inter-frame : mean=%.3fms std=%.3fms p99=%.1fms max=%.1fms  (>80ms: %d of %d)\n",
-			s.Mean, s.Std, s.P99, s.Max, over80, len(ift))
+		summary.AddRowf("inter-frame", fmt.Sprintf("mean=%.3fms std=%.3fms p99=%.1fms max=%.1fms (>80ms: %d of %d)",
+			s.Mean, s.Std, s.P99, s.Max, over80, len(ift)))
 	}
 	appCore := h.Core()
 	grants, compressed, _ := appCore.Supervisor().Stats()
-	fmt.Printf("supervisor  : %d grants, %d compressed, total granted %.3f\n",
-		grants, compressed, appCore.Supervisor().TotalGranted())
-	fmt.Printf("scheduler   : utilisation %.3f, %d context switches\n",
-		appCore.Scheduler().Utilization(), appCore.Scheduler().ContextSwitches())
-	if sys.CPUs() > 1 {
-		fmt.Printf("machine     : %d cores, loads %v\n", sys.CPUs(), sys.Machine().Loads())
+	summary.AddRowf("supervisor", fmt.Sprintf("%d grants, %d compressed, total granted %.3f",
+		grants, compressed, appCore.Supervisor().TotalGranted()))
+	summary.AddRowf("scheduler", fmt.Sprintf("utilisation %.3f, %d context switches",
+		appCore.Scheduler().Utilization(), appCore.Scheduler().ContextSwitches()))
+	summary.Render(os.Stdout)
+
+	// With -live the sink's stop() above already rendered a final
+	// telemetry report; don't repeat the same tables.
+	snap := col.Snapshot()
+	if *live <= 0 {
+		for _, t := range snap.Tables() {
+			t.Render(os.Stdout)
+		}
 	}
 
+	if *csvPath != "" {
+		exportTo(*csvPath, snap.WriteCSV)
+	}
+	if *tracePath != "" {
+		exportTo(*tracePath, snap.WriteTrace)
+	}
 	if tee != nil {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
-			os.Exit(1)
-		}
-		w := bufio.NewWriter(f)
-		fmt.Fprintf(w, "# %d syscall timestamps of %s (seconds)\n", len(tee.times), pcfg.Name)
-		for _, at := range tee.times {
-			fmt.Fprintf(w, "%.9f\n", at.Seconds())
-		}
-		if err := w.Flush(); err != nil {
-			fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("trace       : %d events written to %s\n", len(tee.times), *traceFile)
+		writeTimestamps(*timestamps, pcfg.Name, tee.times)
+	}
+}
+
+// exportTo writes one exporter's output to a file.
+func exportTo(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeTimestamps exports the raw syscall instants in the one-column
+// format cmd/periodscope reads.
+func writeTimestamps(path, name string, times []simtime.Time) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# %d syscall timestamps of %s (seconds)\n", len(times), name)
+	for _, at := range times {
+		fmt.Fprintf(w, "%.9f\n", at.Seconds())
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "lfsppsim: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -13,6 +13,12 @@
 // re-registers with the destination supervisor — playback never
 // stops.
 //
+// All measurement flows through selftune/telemetry: a Collector folds
+// the observer bus and the migration log, per-core loads and QoS
+// render from its snapshot. Pass -trace to dump the recovery phase as
+// a Chrome trace-event file and watch the reservations hop cores in
+// Perfetto.
+//
 // The example ends with machine-wide admission: a tenant whose
 // bandwidth fits the machine but not any single core is rejected by
 // frozen worst-fit placement and admitted once the balancer may
@@ -24,7 +30,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/report"
 	"repro/selftune"
+	"repro/selftune/telemetry"
 )
 
 func main() {
@@ -33,6 +41,7 @@ func main() {
 		cpus       = flag.Int("cpus", 4, "number of scheduling cores")
 		duration   = flag.Duration("duration", 0, "simulated run time (wall-clock syntax, e.g. 8s)")
 		seed       = flag.Uint64("seed", 17, "simulation seed")
+		tracePath  = flag.String("trace", "", "export the recovery phase as Chrome trace-event JSON")
 	)
 	flag.Parse()
 	policies := map[string]selftune.BalancerPolicy{
@@ -60,14 +69,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-
-	// Narrate every migration as it happens.
-	sys.Subscribe(selftune.ObserverFunc(func(e selftune.Event) {
-		if e.Kind == selftune.MigrationEvent {
-			fmt.Printf("%8v  %-12s core %d -> core %d  (%s)\n",
-				e.At, e.Source, e.From, e.Core, e.Reason)
-		}
-	}))
+	col, stop := telemetry.Attach(sys)
 
 	// Consolidated boot: four tuned tenants, all pinned on core 0.
 	lean := selftune.DefaultTunerConfig()
@@ -87,16 +89,33 @@ func main() {
 		tenants = append(tenants, h)
 	}
 
-	fmt.Printf("policy=%v cpus=%d\n", sys.Balancer(), sys.CPUs())
-	fmt.Printf("loads at boot:  %s\n", fmtLoads(sys.Machine().Loads()))
+	fmt.Printf("recovery phase: policy=%v cpus=%d, all tenants booted on core 0\n\n", sys.Balancer(), sys.CPUs())
 	sys.Run(horizon)
-	fmt.Printf("loads after %v: %s\n", horizon, fmtLoads(sys.Machine().Loads()))
-	fmt.Printf("migrations: %d\n\n", sys.Migrations())
+	stop()
+	snap := col.Snapshot()
 
+	renderMigrations(snap)
+	qos := report.NewTable("tenant QoS after recovery", "tenant", "core", "frames", "missed")
 	for _, h := range tenants {
 		st := h.Player().Task().Stats()
-		fmt.Printf("  %-10s core %d  frames=%4d missed=%3d\n",
-			h.Name(), h.Core().Index, st.Completed, st.Missed)
+		qos.AddRowf(h.Name(), h.Core().Index, st.Completed, st.Missed)
+	}
+	qos.Render(os.Stdout)
+	for _, t := range snap.Tables() {
+		t.Render(os.Stdout)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			panic(err)
+		}
+		if err := snap.WriteTrace(f); err != nil {
+			panic(err)
+		}
+		if err := f.Close(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("recovery-phase trace written to %s (open in chrome://tracing or Perfetto)\n", *tracePath)
 	}
 
 	// Machine-wide admission, on a fresh machine driven into
@@ -114,12 +133,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	frag.Subscribe(selftune.ObserverFunc(func(e selftune.Event) {
-		if e.Kind == selftune.MigrationEvent {
-			fmt.Printf("%8v  %-12s core %d -> core %d  (%s)\n",
-				e.At, e.Source, e.From, e.Core, e.Reason)
-		}
-	}))
+	fragCol, fragStop := telemetry.Attach(frag)
 	hints := make([]float64, 0, 2**cpus)
 	for i := 0; i < *cpus; i++ {
 		hints = append(hints, 0.45)
@@ -138,31 +152,43 @@ func main() {
 		}
 		h.Start(0)
 	}
-	fmt.Printf("\nfragmented machine: %s\n", fmtLoads(frag.Machine().Loads()))
-	late, err := frag.Spawn("video",
+	fmt.Println("\nadmission phase: fragmented machine, late 0.50 tenant arriving")
+	late, lateErr := frag.Spawn("video",
 		selftune.SpawnName("late-big"),
 		selftune.SpawnHint(0.50),
 		selftune.SpawnUtil(0.10),
 		selftune.Tuned(selftune.DefaultTunerConfig()))
-	if err != nil {
-		fmt.Printf("late 0.50 tenant rejected: %v\n", err)
-		fmt.Println("(re-run with -policy periodic or -policy reactive: one migration makes room)")
-		return
+	if lateErr == nil {
+		late.Start(frag.Now())
 	}
-	late.Start(frag.Now())
 	frag.Run(2 * selftune.Second)
-	fmt.Printf("late 0.50 tenant admitted on core %d, frames=%d\n",
-		late.Core().Index, late.Player().Frames())
-	fmt.Printf("defragmented machine: %s\n", fmtLoads(frag.Machine().Loads()))
+	fragStop()
+	fragSnap := fragCol.Snapshot()
+
+	renderMigrations(fragSnap)
+	outcome := report.NewTable("machine-wide admission", "quantity", "value")
+	if lateErr != nil {
+		outcome.AddRowf("late 0.50 tenant", fmt.Sprintf("rejected: %v", lateErr))
+		outcome.AddNote("re-run with -policy periodic or -policy reactive: one migration makes room")
+	} else {
+		outcome.AddRowf("late 0.50 tenant",
+			fmt.Sprintf("admitted on core %d, frames=%d", late.Core().Index, late.Player().Frames()))
+	}
+	outcome.AddRowf("admission rejects on the bus", fragSnap.Rejects)
+	outcome.Render(os.Stdout)
+	for _, t := range fragSnap.Tables() {
+		t.Render(os.Stdout)
+	}
 }
 
-func fmtLoads(loads []float64) string {
-	s := ""
-	for i, l := range loads {
-		if i > 0 {
-			s += " "
-		}
-		s += fmt.Sprintf("%.2f", l)
+// renderMigrations prints the snapshot's migration log as a table.
+func renderMigrations(snap telemetry.Snapshot) {
+	t := report.NewTable("migration log", "time", "workload", "from", "to", "reason")
+	for _, mv := range snap.Moves {
+		t.AddRowf(mv.At.String(), mv.Source, mv.From, mv.To, mv.Reason)
 	}
-	return s
+	if len(snap.Moves) == 0 {
+		t.AddNote("no migrations happened")
+	}
+	t.Render(os.Stdout)
 }

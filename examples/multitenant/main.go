@@ -8,9 +8,12 @@ package main
 
 import (
 	"fmt"
+	"os"
 
+	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/selftune"
+	"repro/selftune/telemetry"
 )
 
 func main() {
@@ -24,6 +27,9 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	// The whole run is measured through the telemetry pipeline; the
+	// final tables render its snapshot instead of poking at internals.
+	col, stop := telemetry.Attach(sys)
 
 	// A hard real-time component is already sold 20% of one core; the
 	// placer charges it like any other tenant.
@@ -64,8 +70,10 @@ func main() {
 	}
 
 	sys.Run(50 * selftune.Second)
+	stop()
+	snap := col.Snapshot()
 
-	fmt.Printf("%-14s %5s %10s %14s %10s %8s\n",
+	tenants := report.NewTable("tenant QoS",
 		"tenant", "core", "detected", "reservation", "mean IFT", "std")
 	for _, h := range handles {
 		ift := h.Player().InterFrameTimes()
@@ -74,21 +82,26 @@ func main() {
 			xs[k] = d.Milliseconds()
 		}
 		s := stats.Summarize(xs)
-		fmt.Printf("%-14s %5d %8.2fHz %7v/%v %8.2fms %6.2fms\n",
-			h.Name(), h.Core().Index, h.Tuner().DetectedFrequency(),
-			h.Tuner().Server().Budget(), h.Tuner().Server().Period(),
-			s.Mean, s.Std)
+		tenants.AddRowf(h.Name(), h.Core().Index,
+			fmt.Sprintf("%.2fHz", h.Tuner().DetectedFrequency()),
+			fmt.Sprintf("%v/%v", h.Tuner().Server().Budget(), h.Tuner().Server().Period()),
+			fmt.Sprintf("%.2fms", s.Mean), fmt.Sprintf("%.2fms", s.Std))
 	}
+	tenants.Render(os.Stdout)
 
-	fmt.Printf("\nper-core state after the run:\n")
+	cores := report.NewTable("per-core state after the run",
+		"core", "load", "granted", "U_lub", "grants", "compressed", "utilisation")
 	for i := 0; i < sys.CPUs(); i++ {
 		c := sys.Core(i)
 		grants, compressed, _ := c.Supervisor().Stats()
-		fmt.Printf("  core %d: load %.3f, granted %.3f of U_lub %.2f, %d grants (%d compressed), utilisation %.3f\n",
-			i, c.Load(), c.Supervisor().TotalGranted(), c.Supervisor().ULub(),
+		cores.AddRowf(i, c.Load(), c.Supervisor().TotalGranted(), c.Supervisor().ULub(),
 			grants, compressed, c.Scheduler().Utilization())
 	}
-	fmt.Printf("machine-wide utilisation: %.3f\n", sys.Machine().TotalUtilization())
+	cores.AddNote("machine-wide utilisation: %.3f", sys.Machine().TotalUtilization())
+	cores.Render(os.Stdout)
+	for _, t := range snap.Tables() {
+		t.Render(os.Stdout)
+	}
 	fmt.Println(`
 Worst-fit placement keeps every core the most headroom for the
 feedback loops to adapt into; each core's supervisor then compresses

@@ -147,21 +147,7 @@ func AblationSampling(seed uint64, frames int) AblationResult {
 }
 
 func runFeedbackWithSampling(seed uint64, sampling simtime.Duration, frames int) feedbackRun {
-	// Mirrors runFeedback but overrides the sampling period.
-	w := newWorld(seed, qtraceKind())
-	sup := newSupervisor()
-	cfg := workload.VideoPlayerConfig("mplayer", 0.25)
-	cfg.Sink = w.tracer
-	player := workload.NewPlayer(w.sd, w.r.Split(), cfg)
-	w.tracer.FilterPIDs(player.Task().PID())
-	tcfg := defaultTunerConfig()
-	tcfg.Sampling = sampling
-	tcfg.RateDetection = false
-	tuner := mustTuner(w, sup, player, tcfg)
-	tuner.Start()
-	player.Start(0)
-	w.eng.RunUntil(simtime.Time(simtime.Duration(frames) * cfg.Period))
-	return feedbackRun{player: player, tuner: tuner, sup: sup}
+	return runFeedback(seed, feedbackOpts{sampling: sampling, frames: frames})
 }
 
 // AblationCBSMode compares hard vs soft reservations under the LFS++
@@ -173,23 +159,10 @@ func AblationCBSMode(seed uint64, frames int) AblationResult {
 	}
 	res := AblationResult{Title: "Ablation: CBS mode under a best-effort CPU hog"}
 	for _, mode := range []sched.Mode{sched.HardCBS, sched.SoftCBS} {
-		w := newWorld(seed, qtraceKind())
-		sup := newSupervisor()
-		cfg := workload.VideoPlayerConfig("mplayer", 0.25)
-		cfg.Sink = w.tracer
-		player := workload.NewPlayer(w.sd, w.r.Split(), cfg)
-		w.tracer.FilterPIDs(player.Task().PID())
-		tcfg := defaultTunerConfig()
-		tcfg.Mode = mode
-		tcfg.RateDetection = false
-		tuner := mustTuner(w, sup, player, tcfg)
-		workload.StartCPUHog(w.sd, "hog", simtime.Duration(1000*simtime.Second))
-		tuner.Start()
-		player.Start(0)
-		w.eng.RunUntil(simtime.Time(simtime.Duration(frames) * cfg.Period))
-		s := stats.Summarize(iftMillis(player))
+		run := runFeedback(seed, feedbackOpts{mode: mode, frames: frames, hog: true})
+		s := stats.Summarize(iftMillis(run.player))
 		var bw []float64
-		for _, snap := range tuner.Snapshots() {
+		for _, snap := range run.tuner.Snapshots() {
 			bw = append(bw, snap.Bandwidth)
 		}
 		res.Rows = append(res.Rows, AblationRow{

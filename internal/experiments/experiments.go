@@ -10,15 +10,11 @@
 package experiments
 
 import (
-	"fmt"
-
-	"repro/internal/core"
 	"repro/internal/ktrace"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/simtime"
-	"repro/internal/supervisor"
 	"repro/internal/workload"
 )
 
@@ -104,24 +100,3 @@ func mp3TraceBoth(seed uint64, duration simtime.Duration, load workload.LoadSpec
 
 // noLoad is the zero-background LoadSpec.
 var noLoad = workload.LoadSpec{}
-
-// qtraceKind returns the tracer used by the self-tuning experiments.
-func qtraceKind() ktrace.Kind { return ktrace.QTrace }
-
-// newSupervisor returns the experiments' standard supervisor
-// (U_lub = 1, as in Eq. 1).
-func newSupervisor() *supervisor.Supervisor { return supervisor.New(1) }
-
-// defaultTunerConfig returns the tuner configuration shared by the
-// feedback experiments.
-func defaultTunerConfig() core.Config { return core.DefaultConfig() }
-
-// mustTuner builds and returns an AutoTuner or panics; experiment
-// setup errors are programming errors, not runtime conditions.
-func mustTuner(w *world, sup *supervisor.Supervisor, player *workload.Player, cfg core.Config) *core.AutoTuner {
-	tuner, err := core.New(w.sd, sup, w.tracer, player.Task(), cfg)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
-	return tuner
-}

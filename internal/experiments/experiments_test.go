@@ -417,3 +417,32 @@ func TestStateTraceBeatsSyscallTraceUnderLoad(t *testing.T) {
 			last.SyscallMean, last.SyscallStd)
 	}
 }
+
+// TestTelemetryScenarioCoversEverySignal checks the measurement
+// showcase exercises the full event taxonomy: ticks, exhaustions,
+// migrations, one admission reject, load samples, and one source per
+// tenant.
+func TestTelemetryScenarioCoversEverySignal(t *testing.T) {
+	r := TelemetryScenario(42, 4, 5*simtime.Second)
+	s := r.Snapshot
+	if s.Ticks == 0 || s.Exhaustions == 0 || s.LoadEvents == 0 {
+		t.Fatalf("counters: ticks=%d exhaustions=%d loads=%d", s.Ticks, s.Exhaustions, s.LoadEvents)
+	}
+	if s.Migrations == 0 {
+		t.Error("consolidated boot under the reactive balancer produced no migrations")
+	}
+	if s.Rejects != 1 {
+		t.Errorf("%d admission rejects, want exactly the oversized tenant", s.Rejects)
+	}
+	if s.Cores != 4 {
+		t.Errorf("%d cores sampled", s.Cores)
+	}
+	// 4 videos + webserver (rtload only shows up if its servers ever
+	// exhaust, which a hard reservation does not guarantee).
+	if len(s.Sources) < 5 {
+		t.Errorf("%d sources, want at least the 5 tuned tenants", len(s.Sources))
+	}
+	if r.Frames == 0 || r.Requests == 0 {
+		t.Errorf("scenario ground truth empty: frames=%d requests=%d", r.Frames, r.Requests)
+	}
+}

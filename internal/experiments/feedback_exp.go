@@ -5,21 +5,24 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/feedback"
-	"repro/internal/ktrace"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/stats"
-	"repro/internal/supervisor"
 	"repro/internal/workload"
+	"repro/selftune"
 )
 
 // feedbackRun executes the paper's Sec. 5.4/5.5 scenario: a 25 fps
 // video player managed by an AutoTuner, optionally next to a periodic
-// real-time background load, for `frames` frames.
+// real-time background load, for `frames` frames. The drivers run on
+// the public registry API — the same spawn/tune path every example
+// and cmd binary takes — instead of hand-assembled internals.
 type feedbackRun struct {
+	sys    *selftune.System
 	player *workload.Player
 	tuner  *core.AutoTuner
-	sup    *supervisor.Supervisor
+	period simtime.Duration // the player's true frame period
 }
 
 type feedbackOpts struct {
@@ -29,28 +32,37 @@ type feedbackOpts struct {
 	frames        int
 	playerUtil    float64
 	initialBudget simtime.Duration
+	mode          sched.Mode // zero value is the default HardCBS
+	sampling      simtime.Duration
+	hog           bool // run a best-effort CPU hog next to the player
 }
 
-func runFeedback(seed uint64, o feedbackOpts) feedbackRun {
-	w := newWorld(seed, ktrace.QTrace)
+// feedbackSetup builds the system and spawns the tuned player; the
+// caller decides what runs next to it and for how long.
+func feedbackSetup(seed uint64, o *feedbackOpts) feedbackRun {
 	// The background real-time reservations are admitted ahead of the
 	// tuned application, so the supervisor can only hand the tuner what
 	// the load leaves over (this is what breaks the 70% row of
-	// Table 3, exactly as in the paper).
+	// Table 3, exactly as in the paper). Placement hints stay nominal:
+	// the precedence lives in U_lub, not in worst-fit accounting.
 	ulub := 1 - o.loadUtil
 	if ulub <= 0.05 {
 		ulub = 0.05
 	}
-	sup := supervisor.New(ulub)
+	sys, err := selftune.NewSystem(
+		selftune.WithSeed(seed),
+		selftune.WithULub(ulub),
+		selftune.WithTracerCapacity(1<<18),
+	)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
 	if o.playerUtil <= 0 {
 		o.playerUtil = 0.25
 	}
 	cfg := workload.VideoPlayerConfig("mplayer", o.playerUtil)
-	cfg.Sink = w.tracer
-	player := workload.NewPlayer(w.sd, w.r.Split(), cfg)
-	w.tracer.FilterPIDs(player.Task().PID())
 
-	tcfg := core.DefaultConfig()
+	tcfg := selftune.DefaultTunerConfig()
 	tcfg.RateDetection = o.rateDetection
 	if o.controller != nil {
 		tcfg.Controller = o.controller
@@ -58,18 +70,39 @@ func runFeedback(seed uint64, o feedbackOpts) feedbackRun {
 	if o.initialBudget > 0 {
 		tcfg.InitialBudget = o.initialBudget
 	}
-	tuner, err := core.New(w.sd, sup, w.tracer, player.Task(), tcfg)
+	tcfg.Mode = o.mode // zero value is the default HardCBS
+	if o.sampling > 0 {
+		tcfg.Sampling = o.sampling
+	}
+	h, err := sys.Spawn("player",
+		selftune.SpawnPlayer(cfg),
+		selftune.SpawnHint(0.01),
+		selftune.Tuned(tcfg))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
+	sys.Tracer().FilterPIDs(h.Player().Task().PID())
+	return feedbackRun{sys: sys, player: h.Player(), tuner: h.Tuner(), period: cfg.Period}
+}
+
+func runFeedback(seed uint64, o feedbackOpts) feedbackRun {
+	run := feedbackSetup(seed, &o)
+	sys := run.sys
 	if o.loadUtil > 0 {
-		workload.MakeLoad(w.sd, w.r.Split(), o.loadUtil, 3)
+		bg, err := sys.Spawn("rtload",
+			selftune.SpawnUtil(o.loadUtil), selftune.SpawnCount(3), selftune.SpawnHint(0.01))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		bg.Start(0)
 	}
-	tuner.Start()
-	player.Start(0)
-	horizon := simtime.Duration(o.frames) * cfg.Period
-	w.eng.RunUntil(simtime.Time(horizon))
-	return feedbackRun{player: player, tuner: tuner, sup: sup}
+	if o.hog {
+		workload.StartCPUHog(sys.Core(0).Scheduler(), "hog",
+			simtime.Duration(1000*simtime.Second))
+	}
+	run.player.Start(0)
+	sys.Run(simtime.Duration(o.frames) * run.period)
+	return run
 }
 
 func iftMillis(p *workload.Player) []float64 {

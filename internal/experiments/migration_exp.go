@@ -144,9 +144,16 @@ func MigrationContention(seed uint64, cores int, horizon simtime.Duration) Migra
 	// budget times nPinned tuners would saturate core 0's admission
 	// before the load even starts (exactly the consolidation pressure
 	// the recovery phase models); the hold-phase growth re-expands the
-	// budget once each tuner sees its application throttled.
+	// budget once each tuner sees its application throttled. At high
+	// core counts even 2ms each would overflow the consolidated core
+	// (64 cores pin 62 tuners), so the bootstrap shrinks with the
+	// tenant count: all initial reservations together take at most
+	// half the core.
 	leanCfg := selftune.DefaultTunerConfig()
 	leanCfg.InitialBudget = 2 * simtime.Millisecond
+	if cap := leanCfg.InitialPeriod / (2 * simtime.Duration(nPinned)); cap < leanCfg.InitialBudget {
+		leanCfg.InitialBudget = cap
+	}
 	pinned := make([]*selftune.Handle, 0, nPinned)
 	for i := 0; i < nPinned; i++ {
 		h, err := rec.Spawn("video",

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/simtime"
+	"repro/selftune"
+	"repro/selftune/telemetry"
+)
+
+// TelemetryResult is the outcome of the measurement showcase: the
+// folded telemetry snapshot (the exporters' input) plus the scenario's
+// own QoS ground truth.
+type TelemetryResult struct {
+	Snapshot telemetry.Snapshot
+	Cores    int
+	Frames   int // video frames decoded across all tenants
+	Misses   int // video deadline misses
+	Requests int // webserver requests served
+}
+
+// Tables renders the scenario summary followed by the standard
+// telemetry tables.
+func (r TelemetryResult) Tables() []*report.Table {
+	t := report.NewTable(fmt.Sprintf("Telemetry scenario (%d cores)", r.Cores),
+		"signal", "value")
+	t.AddRowf("video frames decoded", r.Frames)
+	t.AddRowf("video deadline misses", r.Misses)
+	t.AddRowf("webserver requests", r.Requests)
+	t.AddNote("export the same run with -csv/-trace for figure data and a Perfetto timeline")
+	return append([]*report.Table{t}, r.Snapshot.Tables()...)
+}
+
+// TelemetryScenario runs the telemetry pipeline's showcase: a
+// consolidated boot (every tuned video pinned on core 0) on a machine
+// under the reactive balancer, next to a bursty webserver and a hard
+// real-time load, with one deliberately oversized tenant to exercise
+// the admission-reject path. A Collector folds the whole observer
+// stream; the returned snapshot drives the CSV and Chrome-trace
+// exporters.
+func TelemetryScenario(seed uint64, cores int, horizon simtime.Duration) TelemetryResult {
+	if cores < 2 {
+		// Consolidation, migration and the balancer need somewhere to
+		// move load; callers validate, so this is a programming error.
+		panic(fmt.Sprintf("experiments: TelemetryScenario needs at least 2 cores, got %d", cores))
+	}
+	if horizon <= 0 {
+		horizon = 10 * simtime.Second
+	}
+	sys, err := selftune.NewSystem(
+		selftune.WithSeed(seed),
+		selftune.WithCPUs(cores),
+		selftune.WithULub(0.90),
+		selftune.WithBalancer(selftune.BalanceReactive),
+		selftune.WithBalanceThreshold(0.15),
+		selftune.WithLoadSampling(100*simtime.Millisecond),
+	)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	col, stop := telemetry.Attach(sys)
+
+	// Consolidated boot: the tuned videos all start on core 0 with a
+	// lean bootstrap budget, so the run shows budget exhaustions while
+	// the tuners lock on and pull migrations as the balancer spreads
+	// the load.
+	lean := selftune.DefaultTunerConfig()
+	lean.InitialBudget = 2 * simtime.Millisecond
+	videos := make([]*selftune.Handle, 0, cores)
+	for i := 0; i < cores; i++ {
+		h, err := sys.Spawn("video",
+			selftune.SpawnName(fmt.Sprintf("video-%d", i)),
+			selftune.OnCore(0),
+			selftune.SpawnHint(0.8/float64(cores)),
+			selftune.SpawnUtil(0.12),
+			selftune.Tuned(lean))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		h.Start(0)
+		videos = append(videos, h)
+	}
+
+	// Heavy bursty traffic, worst-fit placed and tuned like any tenant.
+	web, err := sys.Spawn("webserver",
+		selftune.SpawnName("web-1"),
+		selftune.SpawnUtil(0.35),
+		selftune.SpawnBurst(6),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	web.Start(0)
+
+	// A hard real-time component occupies part of the machine.
+	rt, err := sys.Spawn("rtload",
+		selftune.SpawnName("hard-rt"), selftune.SpawnUtil(0.20), selftune.SpawnCount(2))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	rt.Start(0)
+
+	// One tenant the machine cannot take: its rejection must land on
+	// the bus as an admission-reject event, not just an error string.
+	if _, err := sys.Spawn("video",
+		selftune.SpawnName("video-oversized"), selftune.SpawnHint(0.95)); err == nil {
+		panic("experiments: oversized tenant unexpectedly admitted")
+	}
+
+	sys.Run(horizon)
+	stop()
+
+	res := TelemetryResult{Snapshot: col.Snapshot(), Cores: cores}
+	for _, h := range videos {
+		st := h.Player().Task().Stats()
+		res.Frames += st.Completed
+		res.Misses += st.Missed
+	}
+	if ws, ok := web.Workload().(interface{ Served() int }); ok {
+		res.Requests = ws.Served()
+	}
+	return res
+}

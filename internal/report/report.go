@@ -113,6 +113,7 @@ type Series struct {
 	title   string
 	columns []string
 	rows    [][]float64
+	notes   []string
 }
 
 // NewSeries returns a series with the given title and column names.
@@ -143,19 +144,43 @@ func (s *Series) Column(i int) []float64 {
 	return out
 }
 
+// AddNote appends a footnote rendered as a trailing comment line —
+// the landmark remarks that used to be ad-hoc prints next to the CSV.
+func (s *Series) AddNote(format string, args ...any) {
+	s.notes = append(s.notes, fmt.Sprintf(format, args...))
+}
+
 // RenderCSV writes the series as CSV with a comment header.
 func (s *Series) RenderCSV(w io.Writer) {
+	s.RenderCSVTo(w) //nolint:errcheck // string-builder callers cannot fail
+}
+
+// RenderCSVTo writes the series as CSV with a comment header and
+// trailing note comments, reporting the first writer error.
+func (s *Series) RenderCSVTo(w io.Writer) error {
 	if s.title != "" {
-		fmt.Fprintf(w, "# %s\n", s.title)
+		if _, err := fmt.Fprintf(w, "# %s\n", s.title); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintln(w, strings.Join(s.columns, ","))
+	if _, err := fmt.Fprintln(w, strings.Join(s.columns, ",")); err != nil {
+		return err
+	}
 	for _, row := range s.rows {
 		parts := make([]string, len(row))
 		for i, v := range row {
 			parts[i] = fmt.Sprintf("%g", v)
 		}
-		fmt.Fprintln(w, strings.Join(parts, ","))
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
 	}
+	for _, n := range s.notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // String renders the series to a CSV string.

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -79,4 +80,35 @@ func TestSeriesPanicsOnWidthMismatch(t *testing.T) {
 		}
 	}()
 	s.Add(1)
+}
+
+func TestSeriesNotes(t *testing.T) {
+	s := NewSeries("fig", "x", "y")
+	s.Add(1, 2)
+	s.AddNote("landmark at %g", 2.5)
+	want := "# fig\nx,y\n1,2\n# landmark at 2.5\n"
+	if out := s.String(); out != want {
+		t.Errorf("CSV with note = %q, want %q", out, want)
+	}
+}
+
+// failWriter errors after n bytes, for RenderCSVTo's error path.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.left {
+		n := w.left
+		w.left = 0
+		return n, io.ErrShortWrite
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+func TestRenderCSVToReportsWriterError(t *testing.T) {
+	s := NewSeries("fig", "x")
+	s.Add(1)
+	if err := s.RenderCSVTo(&failWriter{left: 3}); err == nil {
+		t.Error("short write not reported")
+	}
 }

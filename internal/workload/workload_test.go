@@ -335,3 +335,78 @@ func TestSyscallNames(t *testing.T) {
 		t.Error("suspiciously few syscalls defined")
 	}
 }
+
+func TestWebServerBurstyArrivals(t *testing.T) {
+	eng, sd := newSim()
+	buf := ktrace.NewBuffer(ktrace.QTrace, 1<<16)
+	cfg := workload.DefaultWebServerConfig("web")
+	cfg.Sink = buf
+	ws := workload.NewWebServer(sd, rng.New(4), cfg)
+	// A generous reservation so service time, not starvation, shapes
+	// the stats.
+	srv := sd.NewServer("res", 30*ms, 40*ms, sched.HardCBS)
+	ws.Task().AttachTo(srv, 0)
+	ws.Start(0)
+	eng.RunUntil(simtime.Time(20 * simtime.Second))
+
+	if ws.Bursts() < 500 {
+		t.Fatalf("only %d bursts in 20s at ~20ms mean think time", ws.Bursts())
+	}
+	if ws.Served() <= ws.Bursts() {
+		t.Errorf("served %d requests over %d bursts: burst factor has no effect",
+			ws.Served(), ws.Bursts())
+	}
+	// Mean burst size should be near the configured factor of 4.
+	mean := float64(ws.Served()) / float64(ws.Bursts())
+	if mean < 2.5 || mean > 6 {
+		t.Errorf("mean burst size %.2f, want ~%d", mean, cfg.Burst)
+	}
+	if got := ws.Task().Stats().Completed; got < ws.Served()*9/10 {
+		t.Errorf("completed %d of %d requests under a generous reservation", got, ws.Served())
+	}
+	// Two syscalls per completed request (accept read, response write).
+	if events := len(buf.Drain()); events < ws.Task().Stats().Completed {
+		t.Errorf("%d traced syscalls for %d completed requests", events, ws.Task().Stats().Completed)
+	}
+}
+
+func TestWebServerDeterminism(t *testing.T) {
+	run := func() (int, int, simtime.Duration) {
+		eng, sd := newSim()
+		ws := workload.NewWebServer(sd, rng.New(9), workload.DefaultWebServerConfig("web"))
+		srv := sd.NewServer("res", 20*ms, 40*ms, sched.HardCBS)
+		ws.Task().AttachTo(srv, 0)
+		ws.Start(0)
+		eng.RunUntil(simtime.Time(5 * simtime.Second))
+		return ws.Served(), ws.Bursts(), ws.Task().Stats().Consumed
+	}
+	s1, b1, c1 := run()
+	s2, b2, c2 := run()
+	if s1 != s2 || b1 != b2 || c1 != c2 {
+		t.Errorf("same seed diverged: (%d,%d,%v) vs (%d,%d,%v)", s1, b1, c1, s2, b2, c2)
+	}
+}
+
+func TestWebServerUtilisationScalesWithService(t *testing.T) {
+	consumed := func(service simtime.Duration) float64 {
+		eng, sd := newSim()
+		cfg := workload.DefaultWebServerConfig("web")
+		cfg.MeanService = service
+		ws := workload.NewWebServer(sd, rng.New(7), cfg)
+		srv := sd.NewServer("res", 38*ms, 40*ms, sched.HardCBS)
+		ws.Task().AttachTo(srv, 0)
+		ws.Start(0)
+		horizon := 30 * simtime.Second
+		eng.RunUntil(simtime.Time(horizon))
+		return float64(ws.Task().Stats().Consumed) / float64(horizon)
+	}
+	lo := consumed(500 * simtime.Microsecond)
+	hi := consumed(3 * ms)
+	// util ≈ Burst * MeanService / MeanThink = 4*service/20ms.
+	if math.Abs(lo-0.10) > 0.04 {
+		t.Errorf("light traffic consumed %.3f of the CPU, want ~0.10", lo)
+	}
+	if math.Abs(hi-0.60) > 0.15 {
+		t.Errorf("heavy traffic consumed %.3f of the CPU, want ~0.60", hi)
+	}
+}

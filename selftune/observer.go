@@ -5,6 +5,8 @@ package selftune
 // snapshots, budget-exhaustion notifications and periodic per-core
 // load samples as a single typed event stream.
 
+import "sync/atomic"
+
 // EventKind discriminates the events a System publishes.
 type EventKind int
 
@@ -24,6 +26,11 @@ const (
 	// core, Event.Core the destination, and Event.Reason the trigger
 	// ("periodic", "imbalance", "admission" or "manual").
 	MigrationEvent
+	// AdmissionRejectEvent fires when Spawn turns a workload away
+	// because no core can take its bandwidth hint (after the balancer's
+	// one rebalance pass, if admission is machine-wide). Event.Source
+	// names the rejected instance and Event.Reason the placement error.
+	AdmissionRejectEvent
 )
 
 // String returns the kind's name.
@@ -37,6 +44,8 @@ func (k EventKind) String() string {
 		return "core-load"
 	case MigrationEvent:
 		return "migration"
+	case AdmissionRejectEvent:
+		return "admission-reject"
 	default:
 		return "unknown"
 	}
@@ -51,10 +60,11 @@ type Event struct {
 	// WithClock).
 	At Time
 	// Core is the index of the originating core, or -1 for
-	// system-wide events (core-load samples).
+	// system-wide events (core-load samples, admission rejects).
 	Core int
 	// Source names the originating component: the tuned task for
-	// tuner ticks, the server for exhaustions.
+	// tuner ticks, the server for exhaustions, the rejected instance
+	// for admission rejects.
 	Source string
 	// Snapshot is the activation record of a TunerTickEvent.
 	Snapshot TunerSnapshot
@@ -63,8 +73,9 @@ type Event struct {
 	// From is the origin core of a MigrationEvent (Core holds the
 	// destination); meaningless for other kinds.
 	From int
-	// Reason is what triggered a MigrationEvent: "periodic",
-	// "imbalance", "admission" or "manual".
+	// Reason is what triggered a MigrationEvent ("periodic",
+	// "imbalance", "admission" or "manual") or the placement error of
+	// an AdmissionRejectEvent.
 	Reason string
 }
 
@@ -82,56 +93,69 @@ func (f ObserverFunc) Observe(e Event) { f(e) }
 // subscription is one live observer registration.
 type subscription struct {
 	obs       Observer
-	cancelled bool
+	cancelled atomic.Bool
 }
 
 // Subscribe registers an observer and returns its cancel function.
 // The first subscription starts the per-core load sampler, so systems
 // that never subscribe run exactly the event sequence they always did.
-// Subscribe and cancel are not safe for concurrent use with Run — the
-// whole simulation is single-goroutine.
+//
+// The bus itself — registration, cancellation and event delivery — is
+// safe for concurrent use: a draining goroutine may Subscribe or
+// cancel while the simulation publishes. The exception is a Subscribe
+// that (re)starts the load sampler: arming it schedules on the System
+// clock, and the simulation engine is not goroutine-safe, so attach
+// the sampler-starting first observer from the simulation's goroutine
+// (in practice: before Run), as every collector in this module does.
 func (s *System) Subscribe(o Observer) (cancel func()) {
 	if o == nil {
 		panic("selftune: Subscribe(nil)")
 	}
 	sub := &subscription{obs: o}
+	s.obsMu.Lock()
 	s.observers = append(s.observers, sub)
+	s.obsMu.Unlock()
 	s.startSampler()
-	return func() { sub.cancelled = true }
+	return func() { sub.cancelled.Store(true) }
 }
 
 // publish delivers an event to every observer live at publish time.
 // Observers subscribed from inside an Observe callback start receiving
 // from the next event; cancelled ones are compacted away afterwards.
+// The subscription list is copied out under the lock and never
+// rewritten in place: an Observe callback may itself publish (the
+// reactive balancer migrating from a load sample) or subscribe, and
+// concurrent cancels must not race the delivery loop.
 func (s *System) publish(e Event) {
-	if len(s.observers) == 0 {
+	s.obsMu.Lock()
+	snapshot := s.observers
+	s.obsMu.Unlock()
+	if len(snapshot) == 0 {
 		return
 	}
-	snapshot := s.observers
 	for _, sub := range snapshot {
-		if !sub.cancelled {
+		if !sub.cancelled.Load() {
 			sub.obs.Observe(e)
 		}
 	}
-	// Compact cancelled subscriptions into a fresh slice: an Observe
-	// callback may itself publish (the reactive balancer migrating from
-	// a load sample), so the snapshot an outer publish is iterating
-	// must never be rewritten in place.
+	// Compact cancelled subscriptions into a fresh slice.
+	s.obsMu.Lock()
 	cancelled := 0
 	for _, sub := range s.observers {
-		if sub.cancelled {
+		if sub.cancelled.Load() {
 			cancelled++
 		}
 	}
 	if cancelled > 0 {
 		live := make([]*subscription, 0, len(s.observers)-cancelled)
 		for _, sub := range s.observers {
-			if !sub.cancelled {
+			if !sub.cancelled.Load() {
 				live = append(live, sub)
 			}
 		}
 		s.observers = live
 	}
+	s.obsMu.Unlock()
 }
 
 // startSampler schedules the periodic per-core load sample on the
@@ -139,10 +163,13 @@ func (s *System) publish(e Event) {
 // observer has cancelled (publish compacts the list), and the next
 // Subscribe restarts it.
 func (s *System) startSampler() {
+	s.obsMu.Lock()
 	if s.samplerOn {
+		s.obsMu.Unlock()
 		return
 	}
 	s.samplerOn = true
+	s.obsMu.Unlock()
 	var tick func()
 	tick = func() {
 		s.publish(Event{
@@ -151,10 +178,13 @@ func (s *System) startSampler() {
 			Core:  -1,
 			Loads: s.machine.Loads(),
 		})
+		s.obsMu.Lock()
 		if len(s.observers) == 0 {
 			s.samplerOn = false
+			s.obsMu.Unlock()
 			return
 		}
+		s.obsMu.Unlock()
 		s.clock.After(s.loadSample, tick)
 	}
 	s.clock.After(s.loadSample, tick)

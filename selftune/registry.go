@@ -60,6 +60,10 @@ type SpawnSpec struct {
 	// Player carries an explicit player configuration for the "player"
 	// kind. Its Sink, when nil, is pointed at the system tracer.
 	Player *PlayerConfig
+	// Burst is the mean burst factor of bursty-arrival kinds
+	// (webserver: mean requests per burst). Zero selects the kind's
+	// default.
+	Burst int
 	// Hint is the placement bandwidth hint. Zero derives it from
 	// Player or Util.
 	Hint float64
@@ -104,6 +108,19 @@ func SpawnCount(n int) SpawnOption {
 			return fmt.Errorf("selftune: SpawnCount(%d): need at least one task", n)
 		}
 		sp.Count = n
+		return nil
+	}
+}
+
+// SpawnBurst sets the mean burst factor of bursty-arrival kinds: a
+// "webserver" releases on average n requests back-to-back per arrival
+// burst.
+func SpawnBurst(n int) SpawnOption {
+	return func(sp *SpawnSpec) error {
+		if n < 1 {
+			return fmt.Errorf("selftune: SpawnBurst(%d): need at least one request per burst", n)
+		}
+		sp.Burst = n
 		return nil
 	}
 }
@@ -292,6 +309,16 @@ func (s *System) Spawn(kind string, opts ...SpawnOption) (*Handle, error) {
 		}
 	}
 	if err != nil {
+		// The machine definitively turned the workload away: worth an
+		// event, so capacity planning can count rejects without parsing
+		// error strings.
+		s.publish(Event{
+			Kind:   AdmissionRejectEvent,
+			At:     s.clock.Now(),
+			Core:   -1,
+			Source: spec.Name,
+			Reason: err.Error(),
+		})
 		return nil, fmt.Errorf("selftune: spawn %q: %w", spec.Name, err)
 	}
 	// Any failure past this point must return the accepted bandwidth
@@ -386,7 +413,7 @@ func (s *System) place(spec SpawnSpec) (int, float64, error) {
 // misconfigured spawn fails eagerly instead of silently running a
 // different scenario (SpawnHint and OnCore apply to every kind and
 // are never rejected).
-func (spec SpawnSpec) supports(util, count, player bool) error {
+func (spec SpawnSpec) supports(util, count, player, burst bool) error {
 	if !util && spec.Util != 0 {
 		return fmt.Errorf("kind %q does not take SpawnUtil (use SpawnHint for placement)", spec.Kind)
 	}
@@ -396,6 +423,9 @@ func (spec SpawnSpec) supports(util, count, player bool) error {
 	if !player && spec.Player != nil {
 		return fmt.Errorf("kind %q does not take SpawnPlayer", spec.Kind)
 	}
+	if !burst && spec.Burst != 0 {
+		return fmt.Errorf("kind %q does not take SpawnBurst", spec.Kind)
+	}
 	return nil
 }
 
@@ -404,8 +434,9 @@ func (spec SpawnSpec) supports(util, count, player bool) error {
 // admission charges what the default workload will actually demand.
 // Custom kinds without an entry fall back to a 0.10 hint.
 var defaultUtil = map[string]float64{
-	"video":  0.25,
-	"rtload": 0.15,
+	"video":     0.25,
+	"rtload":    0.15,
+	"webserver": 0.30,
 }
 
 // Built-in workload kinds. Every example, test and benchmark drives
@@ -415,7 +446,7 @@ func init() {
 	// "video": the paper's 25 fps GOP-structured player (Figs 13-14,
 	// Table 3). SpawnUtil sets its mean CPU utilisation (default 0.25).
 	Register("video", func(env Env, spec SpawnSpec) (Workload, error) {
-		if err := spec.supports(true, false, false); err != nil {
+		if err := spec.supports(true, false, false, false); err != nil {
 			return nil, err
 		}
 		util := spec.Util
@@ -429,7 +460,7 @@ func init() {
 
 	// "mp3": the paper's 32.5 Hz mp3 player (Figs 6-12), fixed demand.
 	Register("mp3", func(env Env, spec SpawnSpec) (Workload, error) {
-		if err := spec.supports(false, false, false); err != nil {
+		if err := spec.supports(false, false, false, false); err != nil {
 			return nil, err
 		}
 		cfg := workload.MP3PlayerConfig(spec.Name)
@@ -439,7 +470,7 @@ func init() {
 
 	// "player": a player from an explicit PlayerConfig (SpawnPlayer).
 	Register("player", func(env Env, spec SpawnSpec) (Workload, error) {
-		if err := spec.supports(false, false, true); err != nil {
+		if err := spec.supports(false, false, true, false); err != nil {
 			return nil, err
 		}
 		if spec.Player == nil {
@@ -464,7 +495,7 @@ func init() {
 	// SpawnUtil of the core, split across SpawnCount tasks (Table 3's
 	// "some periodic real-time tasks"). Not tunable.
 	Register("rtload", func(env Env, spec SpawnSpec) (Workload, error) {
-		if err := spec.supports(true, true, false); err != nil {
+		if err := spec.supports(true, true, false, false); err != nil {
 			return nil, err
 		}
 		util := spec.Util
@@ -481,7 +512,7 @@ func init() {
 	// "noise": a best-effort Poisson job stream emitting unrelated
 	// syscalls — the aperiodic traffic of the analyser experiments.
 	Register("noise", func(env Env, spec SpawnSpec) (Workload, error) {
-		if err := spec.supports(false, false, false); err != nil {
+		if err := spec.supports(false, false, false, false); err != nil {
 			return nil, err
 		}
 		return workload.NewNoise(env.Scheduler, env.Rand, spec.Name,
@@ -491,11 +522,35 @@ func init() {
 	// "transcoder": the ffmpeg-like batch job of the tracer-overhead
 	// measurement (Table 1).
 	Register("transcoder", func(env Env, spec SpawnSpec) (Workload, error) {
-		if err := spec.supports(false, false, false); err != nil {
+		if err := spec.supports(false, false, false, false); err != nil {
 			return nil, err
 		}
 		cfg := workload.DefaultTranscoderConfig(spec.Name)
 		cfg.Sink = env.Tracer
 		return workload.NewTranscoder(env.Scheduler, env.Rand, cfg), nil
+	})
+
+	// "webserver": a bursty request server — exponential think times
+	// between arrival bursts, a geometric number of back-to-back
+	// requests per burst (SpawnBurst), exponential service demand
+	// scaled so the mean utilisation hits SpawnUtil. The heavy-traffic
+	// scenario of the telemetry charts.
+	Register("webserver", func(env Env, spec SpawnSpec) (Workload, error) {
+		if err := spec.supports(true, false, false, true); err != nil {
+			return nil, err
+		}
+		cfg := workload.DefaultWebServerConfig(spec.Name)
+		if spec.Burst > 0 {
+			cfg.Burst = spec.Burst
+		}
+		util := spec.Util
+		if util <= 0 {
+			util = defaultUtil["webserver"]
+		}
+		// util = Burst * MeanService / MeanThink on average; solve for
+		// the per-request service demand.
+		cfg.MeanService = Duration(util * float64(cfg.MeanThink) / float64(cfg.Burst))
+		cfg.Sink = env.Tracer
+		return workload.NewWebServer(env.Scheduler, env.Rand, cfg), nil
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/workload"
 	"repro/selftune"
 )
 
@@ -325,5 +326,74 @@ func TestFourCPUPlacementSpreadsTunedPlayers(t *testing.T) {
 	}
 	if len(sys.Handles()) != 4 {
 		t.Errorf("Handles() = %d, want 4", len(sys.Handles()))
+	}
+}
+
+func TestWebserverKindSpawns(t *testing.T) {
+	sys := newSystem(t)
+	h, err := sys.Spawn("webserver",
+		selftune.SpawnName("web-1"),
+		selftune.SpawnUtil(0.3),
+		selftune.SpawnBurst(6),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start(0)
+	sys.Run(10 * selftune.Second)
+	ws, ok := h.Workload().(*workload.WebServer)
+	if !ok {
+		t.Fatalf("webserver spawn built a %T", h.Workload())
+	}
+	if ws.Bursts() < 100 || ws.Served() <= ws.Bursts() {
+		t.Errorf("bursts=%d served=%d: not a bursty arrival process", ws.Bursts(), ws.Served())
+	}
+	if done := ws.Task().Stats().Completed; done < ws.Served()/2 {
+		t.Errorf("completed %d of %d requests under the tuner", done, ws.Served())
+	}
+}
+
+func TestSpawnBurstValidation(t *testing.T) {
+	sys := newSystem(t)
+	if _, err := sys.Spawn("webserver", selftune.SpawnBurst(0)); err == nil {
+		t.Error("SpawnBurst(0) accepted")
+	}
+	// Burst is a webserver-only knob.
+	if _, err := sys.Spawn("video", selftune.SpawnBurst(4)); err == nil {
+		t.Error("kind \"video\" silently accepted SpawnBurst")
+	}
+	if load := sys.Core(0).Load(); load != 0 {
+		t.Errorf("rejected spawns left phantom load %.3f", load)
+	}
+}
+
+// TestAdmissionRejectEventPublished fills the machine and checks the
+// definitive spawn rejection reaches the observer bus.
+func TestAdmissionRejectEventPublished(t *testing.T) {
+	sys := newSystem(t)
+	var rejects []selftune.Event
+	sys.Subscribe(selftune.ObserverFunc(func(e selftune.Event) {
+		if e.Kind == selftune.AdmissionRejectEvent {
+			rejects = append(rejects, e)
+		}
+	}))
+	if _, err := sys.Spawn("video", selftune.SpawnHint(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rejects) != 0 {
+		t.Fatalf("admitted spawn published a reject: %+v", rejects)
+	}
+	if _, err := sys.Spawn("video", selftune.SpawnName("late"), selftune.SpawnHint(0.5)); err == nil {
+		t.Fatal("overloaded placement accepted")
+	}
+	if len(rejects) != 1 {
+		t.Fatalf("%d reject events for one rejection", len(rejects))
+	}
+	e := rejects[0]
+	if e.Source != "late" || e.Core != -1 || e.Reason == "" {
+		t.Errorf("reject event %+v", e)
+	}
+	if e.Kind.String() != "admission-reject" {
+		t.Errorf("kind renders as %q", e.Kind.String())
 	}
 }

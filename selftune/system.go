@@ -2,6 +2,7 @@ package selftune
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/ktrace"
@@ -23,6 +24,7 @@ type System struct {
 	clock   Clock
 
 	loadSample Duration
+	obsMu      sync.Mutex // guards observers and samplerOn
 	samplerOn  bool
 	observers  []*subscription
 

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+// CSV export: a Snapshot renders as a sequence of report.Series — the
+// figure-regeneration format of the paper's evaluation. One series per
+// signal: the per-core utilisation trajectory, one budget trajectory
+// per tuned workload, and the two fixed-bucket histograms.
+
+// LoadSeries returns the per-core utilisation trajectory as a series
+// (time_s, core0..coreN), or nil when no load sample arrived.
+func (s Snapshot) LoadSeries() *report.Series {
+	if len(s.LoadSamples) == 0 {
+		return nil
+	}
+	cols := make([]string, 1, s.Cores+1)
+	cols[0] = "time_s"
+	for i := 0; i < s.Cores; i++ {
+		cols = append(cols, fmt.Sprintf("core%d", i))
+	}
+	out := report.NewSeries("telemetry: per-core utilisation", cols...)
+	row := make([]float64, len(cols))
+	for _, ls := range s.LoadSamples {
+		row[0] = ls.At.Seconds()
+		for i := 1; i < len(cols); i++ {
+			if i-1 < len(ls.Loads) {
+				row[i] = ls.Loads[i-1]
+			} else {
+				row[i] = 0
+			}
+		}
+		out.Add(row...)
+	}
+	return out
+}
+
+// SourceSeriesCSV returns one workload's budget trajectory as a series
+// (time_s, core, period_ms, requested_ms, granted_ms, bandwidth,
+// detected_hz), or nil when it never ticked.
+func (s Snapshot) SourceSeriesCSV(src SourceSeries) *report.Series {
+	if len(src.Ticks) == 0 {
+		return nil
+	}
+	out := report.NewSeries("telemetry: budget trajectory of "+src.Name,
+		"time_s", "core", "period_ms", "requested_ms", "granted_ms", "bandwidth", "detected_hz")
+	for _, tk := range src.Ticks {
+		out.Add(tk.At.Seconds(), float64(tk.Core), tk.Period.Milliseconds(),
+			tk.Requested.Milliseconds(), tk.Granted.Milliseconds(), tk.Bandwidth, tk.Detected)
+	}
+	return out
+}
+
+// histogramSeries renders a histogram as (bucket_lo, bucket_hi, count).
+func histogramSeries(title string, h Histogram) *report.Series {
+	out := report.NewSeries(title, "bucket_lo", "bucket_hi", "count")
+	for i, c := range h.Counts {
+		lo, hi := h.Bucket(i)
+		out.Add(lo, hi, float64(c))
+	}
+	if h.Under > 0 || h.Over > 0 {
+		out.AddNote("out of range: %d under, %d over", h.Under, h.Over)
+	}
+	return out
+}
+
+// WriteCSV renders the snapshot's series as CSV, blank-line separated:
+// the per-core utilisation trajectory, each tuned workload's budget
+// trajectory, the compression-error and slack histograms, and a final
+// counters series. The format regenerates the paper's figure data; any
+// plotting tool (and cmd/periodscope's CSV reader idiom) consumes it.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	series := make([]*report.Series, 0, len(s.Sources)+4)
+	if ls := s.LoadSeries(); ls != nil {
+		series = append(series, ls)
+	}
+	for _, src := range s.Sources {
+		if ss := s.SourceSeriesCSV(src); ss != nil {
+			series = append(series, ss)
+		}
+	}
+	series = append(series,
+		histogramSeries("telemetry: supervisor compression error (requested-granted)/requested", s.TunerError),
+		histogramSeries("telemetry: per-core slack 1-load", s.Slack))
+
+	counters := report.NewSeries("telemetry: event counters",
+		"tuner_ticks", "exhaustions", "migrations", "admission_rejects", "load_samples")
+	counters.Add(float64(s.Ticks), float64(s.Exhaustions), float64(s.Migrations),
+		float64(s.Rejects), float64(s.LoadEvents))
+	series = append(series, counters)
+
+	for i, sr := range series {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := sr.RenderCSVTo(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

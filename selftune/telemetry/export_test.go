@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/selftune"
+)
+
+var update = flag.Bool("update", false, "rewrite the exporter golden files")
+
+// sampleSnapshot folds a small hand-written event sequence — two tuned
+// workloads, an exhaustion, a migration, an admission reject and two
+// load samples — so the exporters have a fully deterministic input.
+func sampleSnapshot() Snapshot {
+	c := NewCollector()
+	tick := func(at selftune.Time, core int, src string, period, req, granted selftune.Duration, detected float64) {
+		c.Observe(selftune.Event{
+			Kind: selftune.TunerTickEvent, At: at, Core: core, Source: src,
+			Snapshot: selftune.TunerSnapshot{
+				At: at, Period: period, Requested: req, Granted: granted,
+				Bandwidth: float64(granted) / float64(period), Detected: detected,
+			},
+		})
+	}
+	ms := func(n int) selftune.Duration { return selftune.Duration(n) * selftune.Millisecond }
+	at := func(n int) selftune.Time { return selftune.Time(ms(n)) }
+
+	tick(at(200), 0, "mplayer", ms(40), ms(12), ms(10), 0)
+	c.Observe(selftune.Event{Kind: selftune.BudgetExhaustedEvent, At: at(230), Core: 0, Source: "mplayer"})
+	c.Observe(selftune.Event{Kind: selftune.CoreLoadEvent, At: at(250), Core: -1, Loads: []float64{0.50, 0.30}})
+	tick(at(400), 0, "mplayer", ms(40), ms(11), ms(11), 25)
+	tick(at(400), 1, "web-1", ms(20), ms(8), ms(6), 50)
+	c.Observe(selftune.Event{Kind: selftune.MigrationEvent, At: at(450), Core: 0, From: 1, Source: "web-1", Reason: "imbalance"})
+	tick(at(600), 0, "web-1", ms(20), ms(8), ms(8), 50)
+	c.Observe(selftune.Event{Kind: selftune.CoreLoadEvent, At: at(500), Core: -1, Loads: []float64{0.65, 0.15}})
+	c.Observe(selftune.Event{Kind: selftune.AdmissionRejectEvent, At: at(600), Core: -1,
+		Source: "video-9", Reason: "no core fits bandwidth 0.50"})
+	return c.Snapshot()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file (run go test -update after intentional changes)\ngot:\n%s", name, got)
+	}
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := sampleSnapshot().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# telemetry: per-core utilisation",
+		"time_s,core0,core1",
+		"0.25,0.5,0.3",
+		"# telemetry: budget trajectory of mplayer",
+		"# telemetry: budget trajectory of web-1",
+		"# telemetry: event counters",
+		"4,1,1,1,2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV output lacks %q", want)
+		}
+	}
+	checkGolden(t, "snapshot.csv", b.Bytes())
+}
+
+func TestWriteTraceGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := sampleSnapshot().WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatal("trace output is not valid JSON")
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &tf); err != nil {
+		t.Fatalf("trace JSON does not match the trace-event schema: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", tf.DisplayTimeUnit)
+	}
+	phases := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		phases[e.Ph]++
+	}
+	// 3 metadata (process + 2 cores), 4 slices, 3 instants, 2 counters.
+	if phases["M"] != 3 || phases["X"] != 4 || phases["i"] != 3 || phases["C"] != 2 {
+		t.Errorf("event phase mix %v, want M:3 X:4 i:3 C:2", phases)
+	}
+	checkGolden(t, "snapshot.trace.json", b.Bytes())
+}
+
+// TestTraceFromLiveSystem runs a real multi-core scenario and checks
+// the exported trace parses and covers every core — the Perfetto
+// loadability smoke test.
+func TestTraceFromLiveSystem(t *testing.T) {
+	sys, err := selftune.NewSystem(selftune.WithSeed(9), selftune.WithCPUs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, stop := Attach(sys)
+	for _, kind := range []string{"video", "video"} {
+		h, err := sys.Spawn(kind, selftune.SpawnUtil(0.3), selftune.Tuned(selftune.DefaultTunerConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Start(0)
+	}
+	sys.Run(5 * selftune.Second)
+	stop()
+
+	var b bytes.Buffer
+	if err := col.Snapshot().WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			TID int    `json:"tid"`
+			Ph  string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &tf); err != nil {
+		t.Fatalf("live trace does not parse: %v", err)
+	}
+	tids := map[int]bool{}
+	slices := 0
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "X" {
+			tids[e.TID] = true
+			slices++
+		}
+	}
+	if len(tids) != 2 {
+		t.Errorf("budget slices on %d cores, want 2 (worst-fit spreads the players)", len(tids))
+	}
+	if slices < 20 {
+		t.Errorf("only %d budget slices in 5s", slices)
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/report"
+	"repro/selftune"
+)
+
+// Tables renders the snapshot as aligned-text tables (internal/report
+// style): event counters, per-core utilisation, and one row per tuned
+// workload. The live ReportSink prints these on an interval; batch
+// callers can render them once after Run.
+func (s Snapshot) Tables() []*report.Table {
+	counters := report.NewTable("telemetry: events", "event", "count")
+	counters.AddRowf("tuner ticks", s.Ticks)
+	counters.AddRowf("budget exhaustions", s.Exhaustions)
+	counters.AddRowf("migrations", s.Migrations)
+	counters.AddRowf("admission rejects", s.Rejects)
+	counters.AddRowf("load samples", s.LoadEvents)
+	out := []*report.Table{counters}
+
+	if len(s.Loads) > 0 {
+		cores := report.NewTable("telemetry: per-core utilisation", "core", "load", "slack")
+		for i, l := range s.Loads {
+			cores.AddRowf(i, l, 1-l)
+		}
+		out = append(out, cores)
+	}
+
+	if len(s.Sources) > 0 {
+		w := report.NewTable("telemetry: tuned workloads",
+			"workload", "core", "ticks", "exhaust", "period", "budget", "bw", "detected")
+		for _, src := range s.Sources {
+			if len(src.Ticks) == 0 {
+				w.AddRowf(src.Name, src.Core, 0, src.Exhaustions, "-", "-", "-", "-")
+				continue
+			}
+			last := src.Ticks[len(src.Ticks)-1]
+			w.AddRowf(src.Name, src.Core, len(src.Ticks), src.Exhaustions,
+				last.Period.String(), last.Granted.String(), last.Bandwidth,
+				fmt.Sprintf("%.2fHz", last.Detected))
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// ReportSink is the live half of the pipeline: it subscribes a
+// Collector to a System and renders the snapshot tables to a writer on
+// a fixed interval of the System's observation clock — the streaming
+// replacement for ad-hoc printing inside simulation loops.
+type ReportSink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	every  selftune.Duration
+	col    *Collector
+	clock  selftune.Clock
+	cancel func()
+	live   bool
+}
+
+// NewReportSink returns a sink rendering to w every interval of
+// simulated (observation-clock) time once attached.
+func NewReportSink(w io.Writer, every selftune.Duration) *ReportSink {
+	if w == nil {
+		panic("telemetry: NewReportSink(nil writer)")
+	}
+	if every <= 0 {
+		panic(fmt.Sprintf("telemetry: NewReportSink interval %v must be positive", every))
+	}
+	return &ReportSink{w: w, every: every, col: NewCollector()}
+}
+
+// Collector returns the sink's underlying collector, for exporting a
+// CSV or trace of the same run after the live reports.
+func (rs *ReportSink) Collector() *Collector { return rs.col }
+
+// Attach subscribes the sink to the System and starts the render
+// timer. The returned stop function cancels the subscription, stops
+// future renders and emits one final report.
+func (rs *ReportSink) Attach(sys *selftune.System) (stop func()) {
+	rs.mu.Lock()
+	if rs.live {
+		rs.mu.Unlock()
+		panic("telemetry: ReportSink attached twice")
+	}
+	rs.live = true
+	rs.clock = sys.Clock()
+	rs.cancel = sys.Subscribe(rs.col)
+	rs.mu.Unlock()
+
+	var tick func()
+	tick = func() {
+		rs.mu.Lock()
+		live := rs.live
+		rs.mu.Unlock()
+		if !live {
+			return
+		}
+		rs.Render()
+		rs.clock.After(rs.every, tick)
+	}
+	rs.clock.After(rs.every, tick)
+
+	return func() {
+		rs.mu.Lock()
+		if !rs.live {
+			rs.mu.Unlock()
+			return
+		}
+		rs.live = false
+		cancel := rs.cancel
+		rs.mu.Unlock()
+		cancel()
+		rs.Render()
+	}
+}
+
+// Render writes one report of the current snapshot.
+func (rs *ReportSink) Render() {
+	snap := rs.col.Snapshot()
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.clock != nil {
+		fmt.Fprintf(rs.w, "---- telemetry @ %v ----\n", rs.clock.Now())
+	} else {
+		fmt.Fprintln(rs.w, "---- telemetry ----")
+	}
+	for _, t := range snap.Tables() {
+		t.Render(rs.w)
+	}
+	fmt.Fprintln(rs.w)
+}

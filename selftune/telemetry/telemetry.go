@@ -1,0 +1,332 @@
+// Package telemetry is the measurement pipeline of the reproduction:
+// a streaming Collector that subscribes to a System's observer bus and
+// folds the event stream into typed series — counters (budget
+// exhaustions, migrations, admission rejects), gauges (per-core
+// utilisation, per-workload budget) and fixed-bucket histograms
+// (supervisor compression error, per-core slack) — plus exporters that
+// turn a Snapshot into the paper's figure data (CSV), a Chrome
+// trace-event file (chrome://tracing, Perfetto) or live text reports.
+//
+// Typical use:
+//
+//	col, stop := telemetry.Attach(sys)
+//	app.Start(0)
+//	sys.Run(30 * selftune.Second)
+//	stop()
+//	snap := col.Snapshot()
+//	snap.WriteCSV(csvFile)     // figure data, one series per signal
+//	snap.WriteTrace(traceFile) // open in chrome://tracing or Perfetto
+//
+// The Collector is safe for concurrent use: events may be folded in
+// while another goroutine takes Snapshots (snapshots are deep copies,
+// never views of live state).
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/selftune"
+)
+
+// TickRecord is one tuner activation folded from a TunerTickEvent.
+type TickRecord struct {
+	At        selftune.Time
+	Core      int
+	Period    selftune.Duration
+	Requested selftune.Duration
+	Granted   selftune.Duration
+	Bandwidth float64
+	Detected  float64 // Hz, 0 = no verdict yet
+}
+
+// SourceSeries is the budget trajectory of one tuned workload.
+type SourceSeries struct {
+	Name        string
+	Core        int // core of the latest tick (migrations move it)
+	Exhaustions int
+	Ticks       []TickRecord
+}
+
+// LoadSample is one periodic per-core utilisation sample.
+type LoadSample struct {
+	At    selftune.Time
+	Loads []float64
+}
+
+// ExhaustRecord is one budget exhaustion instant.
+type ExhaustRecord struct {
+	At     selftune.Time
+	Core   int
+	Source string
+}
+
+// MigrationRecord is one cross-core migration instant.
+type MigrationRecord struct {
+	At       selftune.Time
+	From, To int
+	Source   string
+	Reason   string
+}
+
+// RejectRecord is one machine-wide admission rejection.
+type RejectRecord struct {
+	At     selftune.Time
+	Source string
+	Reason string
+}
+
+// Histogram is a fixed-bucket histogram over [Lo, Hi): Counts[i] holds
+// the observations in [Lo + i*w, Lo + (i+1)*w) with w = (Hi-Lo)/len.
+// Out-of-range observations land in Under/Over.
+type Histogram struct {
+	Lo, Hi      float64
+	Counts      []int
+	Under, Over int
+}
+
+func newHistogram(lo, hi float64, buckets int) Histogram {
+	return Histogram{Lo: lo, Hi: hi, Counts: make([]int, buckets)}
+}
+
+func (h *Histogram) observe(v float64) {
+	switch {
+	case v < h.Lo:
+		h.Under++
+	case v >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (v - h.Lo) / (h.Hi - h.Lo))
+		if i >= len(h.Counts) { // guard the v≈Hi rounding edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations, including out-of-range
+// ones.
+func (h Histogram) Total() int {
+	n := h.Under + h.Over
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Bucket returns the half-open range [lo, hi) of bucket i.
+func (h Histogram) Bucket(i int) (lo, hi float64) {
+	n := float64(len(h.Counts))
+	return h.Lo + (h.Hi-h.Lo)*float64(i)/n, h.Lo + (h.Hi-h.Lo)*float64(i+1)/n
+}
+
+func (h Histogram) clone() Histogram {
+	out := h
+	out.Counts = append([]int(nil), h.Counts...)
+	return out
+}
+
+// Snapshot is a self-contained copy of everything a Collector has
+// folded so far. It shares no memory with the live Collector, so it
+// can be exported, rendered or compared while events keep streaming.
+type Snapshot struct {
+	// Counters.
+	Ticks       int
+	Exhaustions int
+	Migrations  int
+	Rejects     int
+	LoadEvents  int
+
+	// Gauges: the latest per-core utilisation sample (nil until the
+	// first CoreLoadEvent) and its core count.
+	Cores int
+	Loads []float64
+
+	// Time series.
+	LoadSamples []LoadSample
+	Sources     []SourceSeries // sorted by name
+	Exhausts    []ExhaustRecord
+	Moves       []MigrationRecord
+	Rejections  []RejectRecord
+
+	// Fixed-bucket histograms: the supervisor's relative compression
+	// error (requested - granted) / requested per tick, and the
+	// per-core slack 1 - load per load sample.
+	TunerError Histogram
+	Slack      Histogram
+}
+
+// Collector folds observer-bus events into counters, gauges,
+// histograms and retained time series. The zero value is not ready;
+// use NewCollector (or Attach). All methods are safe for concurrent
+// use.
+type Collector struct {
+	mu       sync.Mutex
+	capacity int // max retained samples per series; 0 = unlimited
+
+	ticks       int
+	exhaustions int
+	migrations  int
+	rejections  int
+	loadEvents  int
+
+	loads       []float64
+	loadSamples []LoadSample
+	sources     map[string]*SourceSeries
+	exhausts    []ExhaustRecord
+	moves       []MigrationRecord
+	rejects     []RejectRecord
+
+	tunerError Histogram
+	slack      Histogram
+}
+
+// CollectorOption adjusts a Collector under construction.
+type CollectorOption func(*Collector)
+
+// WithSeriesCapacity bounds every retained time series (tick records
+// per source, load samples, event logs) to its most recent n entries;
+// counters and histograms keep folding the full stream. The default
+// retains everything.
+func WithSeriesCapacity(n int) CollectorOption {
+	return func(c *Collector) {
+		if n > 0 {
+			c.capacity = n
+		}
+	}
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector(opts ...CollectorOption) *Collector {
+	c := &Collector{
+		sources:    make(map[string]*SourceSeries),
+		tunerError: newHistogram(0, 1, 10),
+		slack:      newHistogram(0, 1, 10),
+	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(c)
+		}
+	}
+	return c
+}
+
+// Attach subscribes a fresh Collector to the System's observer bus and
+// returns it with the subscription's cancel function.
+func Attach(sys *selftune.System, opts ...CollectorOption) (*Collector, func()) {
+	c := NewCollector(opts...)
+	return c, sys.Subscribe(c)
+}
+
+// trim drops the oldest entries of a series beyond the capacity.
+func trim[T any](s []T, capacity int) []T {
+	if capacity <= 0 || len(s) <= capacity {
+		return s
+	}
+	return append(s[:0], s[len(s)-capacity:]...)
+}
+
+// source returns the series for a workload name, creating it on first
+// sight (a budget exhaustion may precede the first tuner tick).
+func (c *Collector) source(name string) *SourceSeries {
+	src := c.sources[name]
+	if src == nil {
+		src = &SourceSeries{Name: name}
+		c.sources[name] = src
+	}
+	return src
+}
+
+// Observe folds one event. Collector implements selftune.Observer.
+func (c *Collector) Observe(e selftune.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch e.Kind {
+	case selftune.TunerTickEvent:
+		c.ticks++
+		snap := e.Snapshot
+		if snap.Requested > 0 {
+			c.tunerError.observe(float64(snap.Requested-snap.Granted) / float64(snap.Requested))
+		}
+		src := c.source(e.Source)
+		src.Core = e.Core
+		src.Ticks = append(src.Ticks, TickRecord{
+			At:        e.At,
+			Core:      e.Core,
+			Period:    snap.Period,
+			Requested: snap.Requested,
+			Granted:   snap.Granted,
+			Bandwidth: snap.Bandwidth,
+			Detected:  snap.Detected,
+		})
+		src.Ticks = trim(src.Ticks, c.capacity)
+	case selftune.BudgetExhaustedEvent:
+		c.exhaustions++
+		// Exhaustions name the CBS server; a tuner's server is
+		// "tuner:<task>", which telemetry folds back onto the workload.
+		name := strings.TrimPrefix(e.Source, "tuner:")
+		src := c.source(name)
+		src.Exhaustions++
+		src.Core = e.Core
+		c.exhausts = append(c.exhausts, ExhaustRecord{At: e.At, Core: e.Core, Source: name})
+		c.exhausts = trim(c.exhausts, c.capacity)
+	case selftune.CoreLoadEvent:
+		c.loadEvents++
+		c.loads = append(c.loads[:0], e.Loads...)
+		for _, l := range e.Loads {
+			c.slack.observe(1 - l)
+		}
+		c.loadSamples = append(c.loadSamples, LoadSample{
+			At:    e.At,
+			Loads: append([]float64(nil), e.Loads...),
+		})
+		c.loadSamples = trim(c.loadSamples, c.capacity)
+	case selftune.MigrationEvent:
+		c.migrations++
+		c.moves = append(c.moves, MigrationRecord{
+			At: e.At, From: e.From, To: e.Core, Source: e.Source, Reason: e.Reason,
+		})
+		c.moves = trim(c.moves, c.capacity)
+	case selftune.AdmissionRejectEvent:
+		c.rejections++
+		c.rejects = append(c.rejects, RejectRecord{At: e.At, Source: e.Source, Reason: e.Reason})
+		c.rejects = trim(c.rejects, c.capacity)
+	}
+}
+
+// Snapshot returns a deep copy of the collector's state, safe to hold
+// and export while events keep arriving.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		Ticks:       c.ticks,
+		Exhaustions: c.exhaustions,
+		Migrations:  c.migrations,
+		Rejects:     c.rejections,
+		LoadEvents:  c.loadEvents,
+		Cores:       len(c.loads),
+		Loads:       append([]float64(nil), c.loads...),
+		Exhausts:    append([]ExhaustRecord(nil), c.exhausts...),
+		Moves:       append([]MigrationRecord(nil), c.moves...),
+		Rejections:  append([]RejectRecord(nil), c.rejects...),
+		TunerError:  c.tunerError.clone(),
+		Slack:       c.slack.clone(),
+	}
+	s.LoadSamples = make([]LoadSample, len(c.loadSamples))
+	for i, ls := range c.loadSamples {
+		s.LoadSamples[i] = LoadSample{At: ls.At, Loads: append([]float64(nil), ls.Loads...)}
+	}
+	s.Sources = make([]SourceSeries, 0, len(c.sources))
+	for _, src := range c.sources {
+		s.Sources = append(s.Sources, SourceSeries{
+			Name:        src.Name,
+			Core:        src.Core,
+			Exhaustions: src.Exhaustions,
+			Ticks:       append([]TickRecord(nil), src.Ticks...),
+		})
+	}
+	sort.Slice(s.Sources, func(i, j int) bool { return s.Sources[i].Name < s.Sources[j].Name })
+	return s
+}

@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/selftune"
+)
+
+// TestCollectorFoldsLiveRun attaches a collector to a real system and
+// checks every signal class arrives: ticks, exhaustions, load samples,
+// per-source trajectories, histograms.
+func TestCollectorFoldsLiveRun(t *testing.T) {
+	sys, err := selftune.NewSystem(selftune.WithSeed(6), selftune.WithCPUs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, stop := Attach(sys)
+	app, err := sys.Spawn("video",
+		selftune.SpawnName("mplayer"),
+		selftune.SpawnUtil(0.4),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Start(0)
+	sys.Run(10 * selftune.Second)
+	stop()
+
+	s := col.Snapshot()
+	if s.Ticks == 0 || s.Exhaustions == 0 || s.LoadEvents == 0 {
+		t.Fatalf("counters: ticks=%d exhaustions=%d loads=%d", s.Ticks, s.Exhaustions, s.LoadEvents)
+	}
+	if s.Cores != 2 || len(s.Loads) != 2 {
+		t.Errorf("gauges: cores=%d loads=%v", s.Cores, s.Loads)
+	}
+	if len(s.Sources) != 1 || s.Sources[0].Name != "mplayer" {
+		t.Fatalf("sources: %+v", s.Sources)
+	}
+	src := s.Sources[0]
+	if len(src.Ticks) != s.Ticks {
+		t.Errorf("%d tick records vs %d tick events", len(src.Ticks), s.Ticks)
+	}
+	if src.Exhaustions != s.Exhaustions {
+		t.Errorf("per-source exhaustions %d vs total %d", src.Exhaustions, s.Exhaustions)
+	}
+	if s.TunerError.Total() != s.Ticks {
+		t.Errorf("tuner-error histogram has %d observations for %d ticks", s.TunerError.Total(), s.Ticks)
+	}
+	if got, want := s.Slack.Total(), s.LoadEvents*2; got != want {
+		t.Errorf("slack histogram has %d observations, want %d (2 cores x samples)", got, want)
+	}
+	// Budget trajectories are monotone in time.
+	for i := 1; i < len(src.Ticks); i++ {
+		if src.Ticks[i].At < src.Ticks[i-1].At {
+			t.Fatalf("tick records out of order at %d", i)
+		}
+	}
+}
+
+// TestSnapshotIsDeepCopy mutates a snapshot and checks the collector
+// is unaffected (and vice versa: later events don't leak in).
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	c := NewCollector()
+	c.Observe(selftune.Event{Kind: selftune.CoreLoadEvent, At: 1, Core: -1, Loads: []float64{0.5}})
+	s1 := c.Snapshot()
+	s1.Loads[0] = 99
+	s1.LoadSamples[0].Loads[0] = 99
+	s1.TunerError.Counts[0] = 99
+	s2 := c.Snapshot()
+	if s2.Loads[0] != 0.5 || s2.LoadSamples[0].Loads[0] != 0.5 || s2.TunerError.Counts[0] != 0 {
+		t.Error("snapshot shares memory with the collector")
+	}
+	c.Observe(selftune.Event{Kind: selftune.CoreLoadEvent, At: 2, Core: -1, Loads: []float64{0.7}})
+	if len(s2.LoadSamples) != 1 {
+		t.Error("later events leaked into an existing snapshot")
+	}
+}
+
+// TestSeriesCapacity bounds the retained series without touching the
+// counters.
+func TestSeriesCapacity(t *testing.T) {
+	c := NewCollector(WithSeriesCapacity(4))
+	for i := 0; i < 32; i++ {
+		c.Observe(selftune.Event{Kind: selftune.CoreLoadEvent,
+			At: selftune.Time(i), Core: -1, Loads: []float64{0.1}})
+		c.Observe(selftune.Event{Kind: selftune.BudgetExhaustedEvent,
+			At: selftune.Time(i), Core: 0, Source: "x"})
+	}
+	s := c.Snapshot()
+	if len(s.LoadSamples) != 4 || len(s.Exhausts) != 4 {
+		t.Errorf("retained %d samples / %d exhausts, want 4 each", len(s.LoadSamples), len(s.Exhausts))
+	}
+	if s.LoadEvents != 32 || s.Exhaustions != 32 {
+		t.Errorf("counters trimmed with the series: loads=%d exhaustions=%d", s.LoadEvents, s.Exhaustions)
+	}
+	if s.LoadSamples[0].At != selftune.Time(28) {
+		t.Errorf("oldest retained sample at %v, want 28 (drop-oldest)", s.LoadSamples[0].At)
+	}
+}
+
+// TestCollectorConcurrentPublishAndSnapshot hammers Observe from many
+// goroutines while snapshots are taken — the race-detector proof of
+// the "safe under concurrent publish" contract.
+func TestCollectorConcurrentPublishAndSnapshot(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	events := []selftune.Event{
+		{Kind: selftune.TunerTickEvent, Core: 0, Source: "a",
+			Snapshot: selftune.TunerSnapshot{Period: 40, Requested: 12, Granted: 10}},
+		{Kind: selftune.BudgetExhaustedEvent, Core: 1, Source: "b"},
+		{Kind: selftune.CoreLoadEvent, Core: -1, Loads: []float64{0.4, 0.6}},
+		{Kind: selftune.MigrationEvent, Core: 1, From: 0, Source: "a", Reason: "manual"},
+		{Kind: selftune.AdmissionRejectEvent, Core: -1, Source: "c", Reason: "full"},
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Observe(events[(g+i)%len(events)])
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if total := s.Ticks + s.Exhaustions + s.Migrations + s.Rejects + s.LoadEvents; total != 8*500 {
+		t.Errorf("folded %d events, want %d", total, 8*500)
+	}
+}
+
+// TestReportSinkLive drives a system with a periodic report sink and
+// checks reports render at the configured cadence with the expected
+// tables.
+func TestReportSinkLive(t *testing.T) {
+	sys, err := selftune.NewSystem(selftune.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	sink := NewReportSink(&b, selftune.Second)
+	stop := sink.Attach(sys)
+	app, err := sys.Spawn("video", selftune.SpawnName("mplayer"),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Start(0)
+	sys.Run(5 * selftune.Second)
+	stop()
+
+	out := b.String()
+	if got := strings.Count(out, "---- telemetry @"); got < 5 {
+		t.Errorf("%d live reports in 5s at 1s cadence", got)
+	}
+	for _, want := range []string{
+		"== telemetry: events ==",
+		"== telemetry: per-core utilisation ==",
+		"== telemetry: tuned workloads ==",
+		"mplayer",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("live report lacks %q", want)
+		}
+	}
+	// stop() detaches: further simulated time adds no reports.
+	n := len(b.String())
+	sys.Run(3 * selftune.Second)
+	if len(b.String()) != n {
+		t.Error("reports kept rendering after stop")
+	}
+}
+
+// TestWebserverScenarioCharts spawns the bursty webserver kind next to
+// a tuned player and checks the telemetry sees its heavy traffic.
+func TestWebserverScenarioCharts(t *testing.T) {
+	sys, err := selftune.NewSystem(selftune.WithSeed(11), selftune.WithCPUs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, stop := Attach(sys)
+	web, err := sys.Spawn("webserver",
+		selftune.SpawnName("web-1"),
+		selftune.SpawnUtil(0.5),
+		selftune.SpawnBurst(8),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	web.Start(0)
+	sys.Run(10 * selftune.Second)
+	stop()
+
+	s := col.Snapshot()
+	if len(s.Sources) != 1 || s.Sources[0].Name != "web-1" {
+		t.Fatalf("sources: %+v", s.Sources)
+	}
+	if s.Ticks == 0 {
+		t.Error("no tuner ticks for the tuned webserver")
+	}
+	var maxBW float64
+	for _, tk := range s.Sources[0].Ticks {
+		if tk.Bandwidth > maxBW {
+			maxBW = tk.Bandwidth
+		}
+	}
+	if maxBW <= 0 {
+		t.Error("webserver never got a budget")
+	}
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"repro/selftune"
+)
+
+// Chrome trace-event export. The snapshot renders as a JSON object in
+// the Trace Event Format (the "JSON Object Format" flavour with a
+// traceEvents array), loadable in chrome://tracing and Perfetto:
+//
+//   - one track (thread) per core, under one "selftune machine"
+//     process;
+//   - one complete slice per server budget interval: each tuner tick
+//     opens a slice named after the workload on its core's track,
+//     closed by the next tick (args carry the granted budget, period,
+//     bandwidth and detected rate);
+//   - instant events for budget exhaustions (thread-scoped, on the
+//     exhausting core) and admission rejects (global);
+//   - migrations as flow-style instant events on the destination core,
+//     with the origin in args;
+//   - a counter track with the per-core utilisation samples.
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope: t(hread) | g(lobal)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// machinePID is the synthetic process id all tracks live under.
+const machinePID = 1
+
+func us(t selftune.Time) float64         { return float64(t) / 1e3 }
+func usDur(d selftune.Duration) *float64 { v := float64(d) / 1e3; return &v }
+
+// WriteTrace renders the snapshot in the Chrome trace-event format.
+func (s Snapshot) WriteTrace(w io.Writer) error {
+	cores := s.Cores
+	for _, src := range s.Sources {
+		for _, tk := range src.Ticks {
+			if tk.Core >= cores {
+				cores = tk.Core + 1
+			}
+		}
+	}
+	events := make([]traceEvent, 0,
+		2+cores+len(s.LoadSamples)+len(s.Exhausts)+len(s.Moves)+len(s.Rejections))
+
+	// Metadata: process and per-core thread names.
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", PID: machinePID, TID: 0,
+		Args: map[string]any{"name": "selftune machine"},
+	})
+	for i := 0; i < cores; i++ {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: machinePID, TID: i,
+			Args: map[string]any{"name": "core " + strconv.Itoa(i)},
+		})
+	}
+
+	// One complete slice per budget interval, per tuned workload.
+	for _, src := range s.Sources {
+		for i, tk := range src.Ticks {
+			var dur *float64
+			if i+1 < len(src.Ticks) {
+				dur = usDur(selftune.Duration(src.Ticks[i+1].At - tk.At))
+			} else if tk.Period > 0 {
+				dur = usDur(tk.Period) // last interval: one period long
+			}
+			events = append(events, traceEvent{
+				Name: src.Name, Cat: "budget", Ph: "X",
+				TS: us(tk.At), Dur: dur, PID: machinePID, TID: tk.Core,
+				Args: map[string]any{
+					"granted_ms":  tk.Granted.Milliseconds(),
+					"period_ms":   tk.Period.Milliseconds(),
+					"bandwidth":   tk.Bandwidth,
+					"detected_hz": tk.Detected,
+				},
+			})
+		}
+	}
+
+	for _, ex := range s.Exhausts {
+		events = append(events, traceEvent{
+			Name: "exhaust " + ex.Source, Cat: "cbs", Ph: "i", S: "t",
+			TS: us(ex.At), PID: machinePID, TID: ex.Core,
+		})
+	}
+	for _, mv := range s.Moves {
+		events = append(events, traceEvent{
+			Name: "migrate " + mv.Source, Cat: "balance", Ph: "i", S: "g",
+			TS: us(mv.At), PID: machinePID, TID: mv.To,
+			Args: map[string]any{"from": mv.From, "to": mv.To, "reason": mv.Reason},
+		})
+	}
+	for _, rj := range s.Rejections {
+		events = append(events, traceEvent{
+			Name: "reject " + rj.Source, Cat: "admission", Ph: "i", S: "g",
+			TS: us(rj.At), PID: machinePID, TID: 0,
+			Args: map[string]any{"reason": rj.Reason},
+		})
+	}
+
+	// Per-core utilisation as a counter track.
+	for _, ls := range s.LoadSamples {
+		args := make(map[string]any, len(ls.Loads))
+		for i, l := range ls.Loads {
+			args["core"+strconv.Itoa(i)] = l
+		}
+		events = append(events, traceEvent{
+			Name: "utilisation", Cat: "load", Ph: "C",
+			TS: us(ls.At), PID: machinePID, TID: 0, Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

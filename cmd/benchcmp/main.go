@@ -1,0 +1,147 @@
+// Benchcmp is the CI regression gate for benchmark metrics: it
+// compares the custom metrics of one benchmark between two `go test
+// -bench` output files (the previous run's uploaded artifact and the
+// current run) and fails when a watched metric regressed by more than
+// the tolerance.
+//
+//	go run ./cmd/benchcmp -bench BenchmarkMigrationContention64Core \
+//	    -metric spread_after -metric migrations -tolerance 0.20 \
+//	    baseline/bench.txt bench.txt
+//
+// Watched metrics are named explicitly and must be lower-is-better:
+// the gate fails when new > old*(1+tolerance) + slack. The absolute
+// slack keeps near-zero metrics (a spread of 0.1) from tripping on
+// noise a relative bound cannot express. A metric missing from the
+// baseline is skipped with a note (the baseline may predate it); a
+// metric missing from the current run fails (the benchmark stopped
+// reporting it).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// metricList collects repeated -metric flags.
+type metricList []string
+
+func (m *metricList) String() string { return strings.Join(*m, ",") }
+
+func (m *metricList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	*m = append(*m, v)
+	return nil
+}
+
+// parseBench extracts the named benchmark's metrics from `go test
+// -bench` output: every "<value> <unit>" pair of its result lines
+// (ns/op, custom ReportMetric units, allocs). Multiple result lines
+// for the same benchmark (higher -benchtime counts, -cpu variants)
+// keep the last value.
+func parseBench(r io.Reader, bench string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 {
+			continue
+		}
+		// Exact name, or the name with a -N GOMAXPROCS suffix; a bare
+		// prefix must not conflate 8Core with 64Core.
+		if fields[0] != bench && !strings.HasPrefix(fields[0], bench+"-") {
+			continue
+		}
+		// fields[0] is the name (possibly with a -N cpu suffix),
+		// fields[1] the iteration count, then value/unit pairs.
+		rest := fields[2:]
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				continue
+			}
+			out[rest[i+1]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+func run() error {
+	var (
+		bench     = flag.String("bench", "", "benchmark name to compare (required)")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed relative regression")
+		slack     = flag.Float64("slack", 0.02, "absolute slack added on top of the relative bound")
+		metrics   metricList
+	)
+	flag.Var(&metrics, "metric", "lower-is-better metric unit to gate on; repeatable, at least one required")
+	flag.Parse()
+	if *bench == "" || len(metrics) == 0 || flag.NArg() != 2 {
+		// Metrics must be named explicitly: the gate is lower-is-better,
+		// and a benchmark's units mix directions (admitted counts grow
+		// on improvement) — auto-gating everything would fail on wins.
+		return fmt.Errorf("usage: benchcmp -bench <name> -metric <unit> [-metric <unit>]... [-tolerance 0.20] old.txt new.txt")
+	}
+	read := func(path string) (map[string]float64, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parseBench(f, *bench)
+	}
+	old, err := read(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := read(flag.Arg(1))
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("benchmark %s not found in %s", *bench, flag.Arg(1))
+	}
+	if len(old) == 0 {
+		// A baseline without the benchmark cannot gate anything; CI
+		// treats the first run after adding a benchmark as the seed.
+		fmt.Printf("benchcmp: %s absent from baseline %s; nothing to compare\n", *bench, flag.Arg(0))
+		return nil
+	}
+	failed := false
+	for _, unit := range metrics {
+		now, ok := cur[unit]
+		if !ok {
+			fmt.Printf("FAIL %s %s: metric missing from current run\n", *bench, unit)
+			failed = true
+			continue
+		}
+		was, ok := old[unit]
+		if !ok {
+			fmt.Printf("skip %s %s: metric absent from baseline\n", *bench, unit)
+			continue
+		}
+		bound := was*(1+*tolerance) + *slack
+		status := "ok  "
+		if now > bound {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s %s: %g -> %g (bound %g)\n", status, *bench, unit, was, now, bound)
+	}
+	if failed {
+		return fmt.Errorf("benchmark metrics regressed beyond %.0f%%", *tolerance*100)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}

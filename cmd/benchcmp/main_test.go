@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkMigrationContention8Core 	       1	  42841132 ns/op	      16.00 admitted_rebalance	      15.00 admitted_static	       7.000 migrations	       0.1200 spread_after
+BenchmarkMigrationContention64Core 	       1	 169294643 ns/op	       128.0 admitted_rebalance	       127.0 admitted_static	        62.00 migrations	         0.1100 spread_after
+PASS
+`
+
+func TestParseBenchExtractsMetrics(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample), "BenchmarkMigrationContention64Core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"ns/op":              169294643,
+		"admitted_rebalance": 128,
+		"admitted_static":    127,
+		"migrations":         62,
+		"spread_after":       0.11,
+	}
+	for unit, v := range want {
+		if got[unit] != v {
+			t.Errorf("%s = %v, want %v", unit, got[unit], v)
+		}
+	}
+	// The 8-core line must not bleed into the 64-core result.
+	if got["migrations"] == 7 {
+		t.Error("prefix match confused the 8- and 64-core benchmarks")
+	}
+}
+
+func TestParseBenchMissingBenchmark(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample), "BenchmarkNoSuchThing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("found metrics for a missing benchmark: %v", got)
+	}
+}

@@ -6,12 +6,14 @@
 // leaves behind). Under -policy none that imbalance is permanent —
 // partitioned EDF never revisits placement. Under -policy periodic the
 // balancer pushes the biggest reservation of the hottest core to the
-// coldest one on a fixed period; under -policy reactive the per-core
-// load samples of the observer bus trigger pull migration once the
-// imbalance is sustained. Each migration carries the CBS server's
-// remaining budget and deadline across schedulers, and the tuner
-// re-registers with the destination supervisor — playback never
-// stops.
+// coldest one on a fixed period; under -policy reactive a sustained
+// imbalance across balance ticks makes the coldest core pull from the
+// hottest; under -policy stealing every cold core claims units in the
+// same tick, de-consolidating in one go. Each migration carries the
+// CBS server's remaining budget and deadline across schedulers, and
+// the tuner re-registers with the destination supervisor — playback
+// never stops. Policies are pluggable (selftune.Balancer): the map
+// below is just the built-ins.
 //
 // All measurement flows through selftune/telemetry: a Collector folds
 // the observer bus and the migration log, per-core loads and QoS
@@ -37,17 +39,18 @@ import (
 
 func main() {
 	var (
-		policyName = flag.String("policy", "periodic", "balancer policy: none | periodic | reactive")
+		policyName = flag.String("policy", "periodic", "balancer policy: none | periodic | reactive | stealing")
 		cpus       = flag.Int("cpus", 4, "number of scheduling cores")
 		duration   = flag.Duration("duration", 0, "simulated run time (wall-clock syntax, e.g. 8s)")
 		seed       = flag.Uint64("seed", 17, "simulation seed")
 		tracePath  = flag.String("trace", "", "export the recovery phase as Chrome trace-event JSON")
 	)
 	flag.Parse()
-	policies := map[string]selftune.BalancerPolicy{
-		"none":     selftune.BalanceNone,
-		"periodic": selftune.BalancePeriodic,
-		"reactive": selftune.BalanceReactive,
+	policies := map[string]selftune.Balancer{
+		"none":     nil,
+		"periodic": selftune.BalancePeriodic(),
+		"reactive": selftune.BalanceReactive(),
+		"stealing": selftune.BalanceWorkStealing(),
 	}
 	policy, ok := policies[*policyName]
 	if !ok {
@@ -89,7 +92,7 @@ func main() {
 		tenants = append(tenants, h)
 	}
 
-	fmt.Printf("recovery phase: policy=%v cpus=%d, all tenants booted on core 0\n\n", sys.Balancer(), sys.CPUs())
+	fmt.Printf("recovery phase: policy=%s cpus=%d, all tenants booted on core 0\n\n", *policyName, sys.CPUs())
 	sys.Run(horizon)
 	stop()
 	snap := col.Snapshot()

@@ -218,37 +218,53 @@ func New(sd *sched.Scheduler, sup *supervisor.Supervisor, tracer *ktrace.Buffer,
 // without side effects when the new supervisor rejects the
 // registration; the caller is expected to migrate the server back.
 func (a *AutoTuner) Rehome(newSched *sched.Scheduler, newSup *supervisor.Supervisor) error {
-	if newSched == nil {
-		return fmt.Errorf("core: Rehome to a nil scheduler")
+	client, err := rehomeClient(a.server, "tuner:"+a.task.Name(), a.task.Name(),
+		a.cfg.MinBandwidth, newSched, newSup, a.sup, a.client)
+	if err != nil {
+		return err
 	}
-	if !newSched.Owns(a.server) {
-		return fmt.Errorf("core: Rehome of %s before its server moved", a.task.Name())
+	a.sd, a.sup, a.client = newSched, newSup, client
+	return nil
+}
+
+// rehomeClient is the supervisor-claim half of a tuner migration,
+// shared by AutoTuner.Rehome and MultiTuner.Rehome: register with the
+// new supervisor first (a rejection leaves the old claim untouched),
+// release the old claim, and re-submit the server's current
+// reservation so the new supervisor's admission accounts for it. The
+// returned client replaces the tuner's old one.
+func rehomeClient(server *sched.Server, clientName, taskName string, minBandwidth float64,
+	newSched *sched.Scheduler, newSup *supervisor.Supervisor,
+	oldSup *supervisor.Supervisor, oldClient *supervisor.Client) (*supervisor.Client, error) {
+
+	if newSched == nil {
+		return nil, fmt.Errorf("core: Rehome to a nil scheduler")
+	}
+	if !newSched.Owns(server) {
+		return nil, fmt.Errorf("core: Rehome of %s before its server moved", taskName)
 	}
 	var client *supervisor.Client
 	if newSup != nil {
-		c, ok := newSup.Register("tuner:"+a.task.Name(), a.cfg.MinBandwidth)
+		c, ok := newSup.Register(clientName, minBandwidth)
 		if !ok {
-			return fmt.Errorf("core: new supervisor rejected registration of %s", a.task.Name())
+			return nil, fmt.Errorf("core: new supervisor rejected registration of %s", taskName)
 		}
 		client = c
 	}
-	if a.client != nil {
-		a.client.Release()
-		a.sup.Unregister(a.client)
+	if oldClient != nil {
+		oldClient.Release()
+		oldSup.Unregister(oldClient)
 	}
-	a.sd = newSched
-	a.sup = newSup
-	a.client = client
-	if a.client != nil {
-		granted := a.client.Request(a.server.Budget(), a.server.Period())
+	if client != nil {
+		granted := client.Request(server.Budget(), server.Period())
 		if granted <= 0 {
 			granted = simtime.Microsecond
 		}
-		if granted != a.server.Budget() {
-			a.server.SetParams(granted, a.server.Period())
+		if granted != server.Budget() {
+			server.SetParams(granted, server.Period())
 		}
 	}
-	return nil
+	return client, nil
 }
 
 // Task returns the managed task.

@@ -117,6 +117,28 @@ func NewMulti(sd *sched.Scheduler, sup *supervisor.Supervisor, tracer *ktrace.Bu
 // Server returns the shared CBS server.
 func (m *MultiTuner) Server() *sched.Server { return m.server }
 
+// Tasks returns the managed tasks.
+func (m *MultiTuner) Tasks() []*sched.Task { return m.tasks }
+
+// Rehome points the tuner at a new core after its shared server has
+// been migrated there, mirroring AutoTuner.Rehome: it registers a
+// client with the new core's supervisor under the configured bandwidth
+// floor, releases the old core's claim, and re-submits the current
+// reservation so the new supervisor's admission accounts for it. The
+// per-thread period verdicts, analyser windows and controller history
+// all survive — the application did not change, only where it runs.
+// Rehome fails without side effects when the new supervisor rejects
+// the registration; the caller is expected to migrate the server back.
+func (m *MultiTuner) Rehome(newSched *sched.Scheduler, newSup *supervisor.Supervisor) error {
+	client, err := rehomeClient(m.server, "multituner:"+m.tasks[0].Name(), m.tasks[0].Name(),
+		m.cfg.MinBandwidth, newSched, newSup, m.sup, m.client)
+	if err != nil {
+		return err
+	}
+	m.sd, m.sup, m.client = newSched, newSup, client
+	return nil
+}
+
 // Period returns the current reservation period (the smallest detected
 // thread period).
 func (m *MultiTuner) Period() simtime.Duration { return m.period }

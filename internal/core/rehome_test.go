@@ -56,6 +56,58 @@ func TestRehomeMovesSupervisorClaim(t *testing.T) {
 	}
 }
 
+// TestMultiTunerRehomeMovesSupervisorClaim mirrors the AutoTuner test
+// for the shared-reservation tuner: the whole multi-threaded
+// application migrates as one unit (one server, several tasks) and
+// the MultiTuner re-registers on the destination.
+func TestMultiTunerRehomeMovesSupervisorClaim(t *testing.T) {
+	rg := newRig(23)
+	audio, video := twoThreadApp(rg)
+	tuner, err := core.NewMulti(rg.sd, rg.sup, rg.tracer,
+		[]*sched.Task{audio.Task(), video.Task()}, []int{0, 1}, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner.Start()
+	audio.Start(0)
+	video.Start(0)
+	rg.eng.RunUntil(simtime.Time(8 * simtime.Second))
+	if rg.sup.TotalGranted() <= 0 {
+		t.Fatal("no bandwidth claimed on the old supervisor")
+	}
+
+	newSd := sched.New(sched.Config{Engine: rg.eng, PIDBase: 1_001_000})
+	newSup := supervisor.New(1)
+	if err := tuner.Rehome(newSd, newSup); err == nil {
+		t.Fatal("Rehome before the server moved succeeded")
+	}
+	g := sched.Group{Servers: []*sched.Server{tuner.Server()}}
+	if err := rg.sd.DetachAll(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := newSd.AdoptAll(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner.Rehome(newSd, newSup); err != nil {
+		t.Fatalf("Rehome: %v", err)
+	}
+	if got := rg.sup.TotalGranted(); got != 0 {
+		t.Errorf("old supervisor still holds %.3f after Rehome", got)
+	}
+	if got := newSup.TotalGranted(); got <= 0 {
+		t.Error("new supervisor holds no claim after Rehome")
+	}
+	// Both threads keep running inside the migrated reservation.
+	before := len(tuner.Snapshots())
+	rg.eng.RunUntil(simtime.Time(12 * simtime.Second))
+	if got := len(tuner.Snapshots()); got <= before {
+		t.Error("tuner stopped ticking after Rehome")
+	}
+	if got := newSd.BusyTime(); got == 0 {
+		t.Error("migrated application never ran on the new core")
+	}
+}
+
 func TestRehomeRejectionLeavesOldClaim(t *testing.T) {
 	rg := newRig(8)
 	player := rg.newVideoPlayer(0.25)

@@ -22,7 +22,7 @@ type MigrationResult struct {
 	Offered             int // workloads in the spawn sequence
 	AdmissionMigrations int
 
-	// Recovery phase (periodic policy, all load pinned on core 0).
+	// Recovery phase (work-stealing policy, all load pinned on core 0).
 	RecoverySpreadStart float64
 	RecoverySpreadEnd   float64
 	RecoveryMigrations  int
@@ -34,7 +34,7 @@ type MigrationResult struct {
 func (r MigrationResult) Table() string {
 	return fmt.Sprintf(`== Cross-core migration & machine-wide admission (%d cores) ==
 admitted: static worst-fit %d/%d, with rebalance %d/%d (admission migrations: %d)
-recovery: load spread %.3f -> %.3f after %d push migrations
+recovery: load spread %.3f -> %.3f after %d work-stealing migrations
 QoS during recovery: %d frames decoded, %d deadline misses
 `, r.Cores,
 		r.AdmittedStatic, r.Offered, r.AdmittedRebalance, r.Offered, r.AdmissionMigrations,
@@ -118,7 +118,7 @@ func MigrationContention(seed uint64, cores int, horizon simtime.Duration) Migra
 	// rebalance migration before rejecting.
 	rebal, err := selftune.NewSystem(
 		selftune.WithSeed(seed), selftune.WithCPUs(cores), selftune.WithULub(0.90),
-		selftune.WithBalancer(selftune.BalanceReactive))
+		selftune.WithBalancer(selftune.BalanceReactive()))
 	if err != nil {
 		panic(err)
 	}
@@ -126,12 +126,15 @@ func MigrationContention(seed uint64, cores int, horizon simtime.Duration) Migra
 	res.AdmissionMigrations = rebal.Migrations()
 
 	// Recovery: everything lands on core 0 (a consolidated boot, or a
-	// machine whose other cores just came online) and the periodic
-	// push-migration policy must spread it without stopping playback.
+	// machine whose other cores just came online) and the work-stealing
+	// policy must spread it without stopping playback. Stealing is what
+	// makes the 64-core case recover inside the window: every cold core
+	// claims tenants in the same tick, where one-migration-per-tick
+	// policies need a tick per tenant.
 	rec, err := selftune.NewSystem(
 		selftune.WithSeed(seed+1), selftune.WithCPUs(cores),
-		selftune.WithBalancer(selftune.BalancePeriodic),
-		selftune.WithBalanceInterval(250*simtime.Millisecond),
+		selftune.WithBalancer(selftune.BalanceWorkStealing()),
+		selftune.WithBalanceInterval(100*simtime.Millisecond),
 		selftune.WithBalanceThreshold(0.1))
 	if err != nil {
 		panic(err)
@@ -154,13 +157,18 @@ func MigrationContention(seed uint64, cores int, horizon simtime.Duration) Migra
 	if cap := leanCfg.InitialPeriod / (2 * simtime.Duration(nPinned)); cap < leanCfg.InitialBudget {
 		leanCfg.InitialBudget = cap
 	}
+	// A 100ms control loop: the recovery window is 2s, and the spread
+	// floor after de-consolidation is set by how fast each tuner
+	// tightens out of its hold-phase over-provision on its new core —
+	// the default 200ms sampling leaves that tail inside the window.
+	leanCfg.Sampling = 100 * simtime.Millisecond
 	pinned := make([]*selftune.Handle, 0, nPinned)
 	for i := 0; i < nPinned; i++ {
 		h, err := rec.Spawn("video",
 			selftune.SpawnName(fmt.Sprintf("pin%02d", i)),
 			selftune.OnCore(0),
 			selftune.SpawnHint(0.9/float64(nPinned)),
-			selftune.SpawnUtil(0.10),
+			selftune.SpawnUtil(0.06),
 			selftune.Tuned(leanCfg))
 		if err != nil {
 			panic(err)

@@ -44,3 +44,30 @@ func TestMigrationContentionScalesDown(t *testing.T) {
 		t.Errorf("4 cores: rebalance admitted %d, static %d", r.AdmittedRebalance, r.AdmittedStatic)
 	}
 }
+
+// TestMigrationContention64CoreStealingRecovery is the acceptance
+// scenario of the work-stealing policy: 62 tenants consolidated on
+// core 0 of a 64-core machine must reach a load spread of 0.15 within
+// the 2s recovery window — single-move-per-tick policies manage ~9
+// migrations and a spread near 1.0 in the same window.
+func TestMigrationContention64CoreStealingRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-core recovery is a long simulation")
+	}
+	r := MigrationContention(1, 64, 2*simtime.Second)
+	if r.RecoverySpreadStart < 0.8 {
+		t.Fatalf("recovery started at spread %.3f; the consolidation lost its teeth", r.RecoverySpreadStart)
+	}
+	if r.RecoverySpreadEnd > 0.15 {
+		t.Errorf("recovery left spread %.3f after 2s, want <= 0.15 under work stealing",
+			r.RecoverySpreadEnd)
+	}
+	// De-consolidating 62 tenants takes at least one migration each
+	// minus the one that may stay home.
+	if r.RecoveryMigrations < 60 {
+		t.Errorf("only %d recovery migrations for 62 consolidated tenants", r.RecoveryMigrations)
+	}
+	if r.FramesDecoded == 0 {
+		t.Error("no frames decoded during recovery")
+	}
+}

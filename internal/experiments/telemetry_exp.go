@@ -52,7 +52,7 @@ func TelemetryScenario(seed uint64, cores int, horizon simtime.Duration) Telemet
 		selftune.WithSeed(seed),
 		selftune.WithCPUs(cores),
 		selftune.WithULub(0.90),
-		selftune.WithBalancer(selftune.BalanceReactive),
+		selftune.WithBalancer(selftune.BalanceReactive()),
 		selftune.WithBalanceThreshold(0.15),
 		selftune.WithLoadSampling(100*simtime.Millisecond),
 	)

@@ -1,0 +1,201 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/simtime"
+)
+
+// TestGroupMigrationCarriesEveryMember moves a mixed group — two live
+// CBS servers and one bare best-effort task with backlog — across
+// cores and checks every member arrives with its state intact.
+func TestGroupMigrationCarriesEveryMember(t *testing.T) {
+	eng, a, b := twoCores(t)
+	s1 := a.NewServer("g1", 10*ms, 100*ms, sched.HardCBS)
+	t1 := a.NewTask("g1")
+	t1.AttachTo(s1, 0)
+	startPeriodic(eng, t1, 10*ms, 100*ms, 0)
+	s2 := a.NewServer("g2", 20*ms, 80*ms, sched.HardCBS)
+	t2 := a.NewTask("g2")
+	t2.AttachTo(s2, 0)
+	startPeriodic(eng, t2, 20*ms, 80*ms, 0)
+	bare := a.NewTask("bare")
+	eng.At(0, func() {
+		bare.Release(sched.NewJob(0, 300*ms, simtime.Never))
+	})
+
+	eng.RunUntil(simtime.Time(210 * ms))
+	g := sched.Group{Servers: []*sched.Server{s1, s2}, Tasks: []*sched.Task{bare}}
+	bwBefore := g.Bandwidth()
+	q1, d1 := s1.RemainingBudget(), s1.Deadline()
+	consumedBefore := bare.Stats().Consumed
+
+	if err := a.DetachAll(g); err != nil {
+		t.Fatalf("DetachAll: %v", err)
+	}
+	if !s1.Detached() || !s2.Detached() {
+		t.Fatal("servers not detached")
+	}
+	if err := b.AdoptAll(g); err != nil {
+		t.Fatalf("AdoptAll: %v", err)
+	}
+	if !b.Owns(s1) || !b.Owns(s2) {
+		t.Fatal("servers not owned by the new core")
+	}
+	if got := g.Bandwidth(); got != bwBefore {
+		t.Errorf("group bandwidth changed across migration: %v -> %v", bwBefore, got)
+	}
+	if s1.RemainingBudget() != q1 || s1.Deadline() != d1 {
+		t.Errorf("server state changed: q %v->%v d %v->%v", q1, s1.RemainingBudget(), d1, s1.Deadline())
+	}
+
+	eng.RunUntil(simtime.Time(2 * simtime.Second))
+	if st := t1.Stats(); st.Missed != 0 || st.Completed < 15 {
+		t.Errorf("g1 after migration: completed=%d missed=%d", st.Completed, st.Missed)
+	}
+	if st := t2.Stats(); st.Missed != 0 || st.Completed < 15 {
+		t.Errorf("g2 after migration: completed=%d missed=%d", st.Completed, st.Missed)
+	}
+	// The bare task kept its backlog and finished on the new core.
+	if got := bare.Stats().Completed; got != 1 {
+		t.Errorf("bare task completed=%d on the new core", got)
+	}
+	if got := bare.Stats().Consumed; got <= consumedBefore {
+		t.Error("bare task never ran on the new core")
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("old core: %v", err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("new core: %v", err)
+	}
+}
+
+// TestDetachAllValidatesBeforeMutating: a group with one foreign member
+// must leave every member untouched.
+func TestDetachAllValidatesBeforeMutating(t *testing.T) {
+	_, a, b := twoCores(t)
+	mine := a.NewServer("mine", 10*ms, 100*ms, sched.HardCBS)
+	foreign := b.NewServer("foreign", 10*ms, 100*ms, sched.HardCBS)
+	g := sched.Group{Servers: []*sched.Server{mine, foreign}}
+	if err := a.DetachAll(g); err == nil {
+		t.Fatal("DetachAll with a foreign server succeeded")
+	}
+	if !a.Owns(mine) {
+		t.Error("valid member detached by a failed DetachAll")
+	}
+	if err := a.DetachAll(sched.Group{}); err == nil {
+		t.Error("DetachAll of an empty group succeeded")
+	}
+	// A task inside a reservation may not be listed as a bare task.
+	attached := a.NewTask("attached")
+	attached.AttachTo(mine, 0)
+	if err := a.DetachAll(sched.Group{Tasks: []*sched.Task{attached}}); err == nil {
+		t.Error("DetachAll accepted a server-attached task as bare")
+	}
+	// Duplicate members are an error, not a post-validation panic.
+	if err := a.DetachAll(sched.Group{Servers: []*sched.Server{mine, mine}}); err == nil {
+		t.Error("DetachAll accepted a duplicated server")
+	}
+	if !a.Owns(mine) {
+		t.Error("duplicate-member DetachAll moved the server")
+	}
+	bare := a.NewTask("bare")
+	if err := a.DetachAll(sched.Group{Tasks: []*sched.Task{bare, bare}}); err == nil {
+		t.Error("DetachAll accepted a duplicated task")
+	}
+}
+
+// TestAdoptAllValidatesBeforeMutating mirrors the detach side: one
+// still-owned member aborts the whole adopt.
+func TestAdoptAllValidatesBeforeMutating(t *testing.T) {
+	_, a, b := twoCores(t)
+	s1 := a.NewServer("s1", 10*ms, 100*ms, sched.HardCBS)
+	s2 := a.NewServer("s2", 10*ms, 100*ms, sched.HardCBS)
+	if err := a.Detach(s1); err != nil {
+		t.Fatal(err)
+	}
+	// s2 still owned by a: AdoptAll must refuse the pair and leave s1
+	// detached for a retry.
+	if err := b.AdoptAll(sched.Group{Servers: []*sched.Server{s1, s2}}); err == nil {
+		t.Fatal("AdoptAll with a still-owned server succeeded")
+	}
+	if !s1.Detached() {
+		t.Error("failed AdoptAll consumed the detached server")
+	}
+	// A detached server listed twice must error, not double-adopt.
+	if err := b.AdoptAll(sched.Group{Servers: []*sched.Server{s1, s1}}); err == nil {
+		t.Error("AdoptAll accepted a duplicated server")
+	}
+	if err := b.AdoptAll(sched.Group{Servers: []*sched.Server{s1}}); err != nil {
+		t.Fatalf("AdoptAll after fixing the group: %v", err)
+	}
+	if !b.Owns(s1) {
+		t.Error("server not adopted")
+	}
+}
+
+// TestBareTaskMigrationMidSlice detaches a running best-effort task:
+// accounting settles on the old core and the job finishes on the new.
+func TestBareTaskMigrationMidSlice(t *testing.T) {
+	eng, a, b := twoCores(t)
+	task := a.NewTask("be")
+	eng.At(0, func() {
+		task.Release(sched.NewJob(0, 40*ms, simtime.Never))
+	})
+	var migErr error
+	eng.At(simtime.Time(13*ms), func() {
+		if err := a.DetachTask(task); err != nil {
+			migErr = err
+			return
+		}
+		migErr = b.AdoptTask(task)
+	})
+	eng.RunUntil(simtime.Time(simtime.Second))
+	if migErr != nil {
+		t.Fatalf("migration: %v", migErr)
+	}
+	if got := task.Stats().Completed; got != 1 {
+		t.Fatalf("job did not complete, completed=%d", got)
+	}
+	if got := a.BusyTime(); got != 13*ms {
+		t.Errorf("old core busy %v, want 13ms", got)
+	}
+	if got := b.BusyTime(); got != 27*ms {
+		t.Errorf("new core busy %v, want 27ms", got)
+	}
+}
+
+// TestDetachTaskErrors covers the bare-task error surface.
+func TestDetachTaskErrors(t *testing.T) {
+	_, a, b := twoCores(t)
+	srv := a.NewServer("s", 10*ms, 100*ms, sched.HardCBS)
+	attached := a.NewTask("attached")
+	attached.AttachTo(srv, 0)
+	if err := a.DetachTask(attached); err == nil {
+		t.Error("DetachTask of a server-attached task succeeded")
+	}
+	if err := a.DetachTask(nil); err == nil {
+		t.Error("DetachTask(nil) succeeded")
+	}
+	bare := a.NewTask("bare")
+	if err := b.DetachTask(bare); err == nil {
+		t.Error("DetachTask from a foreign scheduler succeeded")
+	}
+	if err := b.AdoptTask(bare); err == nil {
+		t.Error("AdoptTask of a still-owned task succeeded")
+	}
+	if err := a.DetachTask(bare); err != nil {
+		t.Fatalf("DetachTask: %v", err)
+	}
+	if err := a.DetachTask(bare); err == nil {
+		t.Error("double DetachTask succeeded")
+	}
+	if err := b.AdoptTask(nil); err == nil {
+		t.Error("AdoptTask(nil) succeeded")
+	}
+	if err := b.AdoptTask(bare); err != nil {
+		t.Fatalf("AdoptTask: %v", err)
+	}
+}

@@ -167,27 +167,61 @@ func (m *Machine) ForceMigrate(srv *sched.Server, from, to int, hint float64) er
 }
 
 func (m *Machine) migrate(srv *sched.Server, from, to int, hint float64, admit bool) error {
+	if srv == nil {
+		return fmt.Errorf("smp: migrate of a nil server")
+	}
+	return m.migrateGroup(sched.Group{Servers: []*sched.Server{srv}}, from, to, hint, admit)
+}
+
+// MigrateGroup atomically moves a whole migration unit — a set of CBS
+// servers (each with its attached tasks) plus bare best-effort tasks —
+// from core `from` to core `to`, together with `hint` of
+// placement-account bandwidth. Admission is batch and all-or-nothing:
+// the unit arrives with the larger of its aggregate hint and its
+// summed reserved bandwidth, that total must fit under the target
+// supervisor's bound in one check, and on any error the machine is
+// left exactly as it was — either every member moves or none does.
+// This is what lets a multi-reservation background load or a
+// shared-reservation application change cores as one unit.
+func (m *Machine) MigrateGroup(g sched.Group, from, to int, hint float64) error {
+	return m.migrateGroup(g, from, to, hint, true)
+}
+
+// ForceMigrateGroup moves a group like MigrateGroup but skips the
+// target admission check, for rollback paths restoring a unit to a
+// core it just vacated (see ForceMigrate).
+func (m *Machine) ForceMigrateGroup(g sched.Group, from, to int, hint float64) error {
+	return m.migrateGroup(g, from, to, hint, false)
+}
+
+func (m *Machine) migrateGroup(g sched.Group, from, to int, hint float64, admit bool) error {
 	if from < 0 || from >= len(m.cores) || to < 0 || to >= len(m.cores) {
 		return fmt.Errorf("smp: migrate cores %d -> %d out of [0,%d)", from, to, len(m.cores))
 	}
 	if from == to {
 		return fmt.Errorf("smp: migrate within core %d", from)
 	}
-	if srv == nil || !m.cores[from].Owns(srv) {
-		return fmt.Errorf("smp: migrating server not owned by core %d", from)
+	if g.Empty() {
+		return fmt.Errorf("smp: migrate of an empty group")
+	}
+	for _, srv := range g.Servers {
+		if srv == nil || !m.cores[from].Owns(srv) {
+			return fmt.Errorf("smp: migrating server not owned by core %d", from)
+		}
 	}
 	if hint < 0 {
 		hint = 0
 	}
 	charge := hint
-	if bw := srv.Bandwidth(); bw > charge {
+	if bw := g.Bandwidth(); bw > charge {
 		charge = bw
 	}
 	// Check admission and charge the target in one critical section:
 	// the full admission charge lands on the target's account up front
-	// — the reserved-bandwidth half only materialises at Adopt — so an
-	// interleaved Place cannot fill the just-checked room; the charge
-	// shrinks back to the lasting hint once the server has arrived.
+	// — the reserved-bandwidth half only materialises at AdoptAll — so
+	// an interleaved Place cannot fill the just-checked room; the
+	// charge shrinks back to the lasting hint once the unit has
+	// arrived.
 	m.mu.Lock()
 	if admit {
 		if load := m.load(to); load+charge > m.sups[to].ULub()+1e-9 {
@@ -205,19 +239,19 @@ func (m *Machine) migrate(srv *sched.Server, from, to int, hint float64, admit b
 		m.moveHint(to, from, hint)
 		m.mu.Unlock()
 	}
-	if err := m.cores[from].Detach(srv); err != nil {
+	if err := m.cores[from].DetachAll(g); err != nil {
 		undoCharge()
-		return fmt.Errorf("smp: migrate %s: %w", srv.Name(), err)
+		return fmt.Errorf("smp: migrate group: %w", err)
 	}
-	if err := m.cores[to].Adopt(srv); err != nil {
-		// Unreachable in practice (the server was just detached and the
+	if err := m.cores[to].AdoptAll(g); err != nil {
+		// Unreachable in practice (the group was just detached and the
 		// simulation is single-goroutine); put it back rather than
-		// strand the reservation.
-		if rb := m.cores[from].Adopt(srv); rb != nil {
-			panic(fmt.Sprintf("smp: migration stranded server %s: %v after %v", srv.Name(), rb, err))
+		// strand the reservations.
+		if rb := m.cores[from].AdoptAll(g); rb != nil {
+			panic(fmt.Sprintf("smp: migration stranded group: %v after %v", rb, err))
 		}
 		undoCharge()
-		return fmt.Errorf("smp: migrate %s: %w", srv.Name(), err)
+		return fmt.Errorf("smp: migrate group: %w", err)
 	}
 	m.mu.Lock()
 	m.placed[to] -= charge - hint
@@ -227,6 +261,59 @@ func (m *Machine) migrate(srv *sched.Server, from, to int, hint float64, admit b
 	m.migrations++
 	m.mu.Unlock()
 	return nil
+}
+
+// StealCandidate is one unit a steal request may claim: a group on
+// core From carrying Hint of placement-account bandwidth.
+type StealCandidate struct {
+	Group sched.Group
+	From  int
+	Hint  float64
+}
+
+// StealRequest asks the machine to move reservations onto core To — a
+// cold core claiming work from its overloaded peers in one tick.
+type StealRequest struct {
+	// To is the claiming (destination) core.
+	To int
+	// Max bounds how many candidates the request may claim; 0 means
+	// all of them.
+	Max int
+	// Candidates are tried in order. One that fails admission on To is
+	// skipped, not fatal: the steal claims what fits.
+	Candidates []StealCandidate
+	// OnMoved, if non-nil, runs after each candidate's physical move
+	// (e.g. re-registering a tuner with the destination supervisor). A
+	// non-nil error rolls that candidate back to its origin core and
+	// drops it from the result.
+	OnMoved func(i int) error
+}
+
+// Steal executes the request and returns the indices of the candidates
+// that moved. Each candidate is admission-checked individually against
+// To's account as it fills up, so a steal never overloads the claiming
+// core; like everything touching live scheduler state it must run on
+// the simulation goroutine.
+func (m *Machine) Steal(req StealRequest) []int {
+	var moved []int
+	for i, c := range req.Candidates {
+		if req.Max > 0 && len(moved) >= req.Max {
+			break
+		}
+		if err := m.MigrateGroup(c.Group, c.From, req.To, c.Hint); err != nil {
+			continue
+		}
+		if req.OnMoved != nil {
+			if err := req.OnMoved(i); err != nil {
+				if rb := m.ForceMigrateGroup(c.Group, req.To, c.From, c.Hint); rb != nil {
+					panic(fmt.Sprintf("smp: steal stranded a group: %v after %v", rb, err))
+				}
+				continue
+			}
+		}
+		moved = append(moved, i)
+	}
+	return moved
 }
 
 // moveHint transfers placement-account bandwidth between cores. The

@@ -1,0 +1,85 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/ktrace"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+func TestGameLoopMeetsFrameDeadlinesUnderGenerousReservation(t *testing.T) {
+	eng, sd := newSim()
+	r := rng.New(3)
+	cfg := workload.DefaultGameLoopConfig("game")
+	g := workload.NewGameLoop(sd, r.Split(), cfg)
+	// A reservation comfortably above the jittered worst case.
+	srv := sd.NewServer("game", simtime.Duration(1.5*float64(cfg.MeanDemand)), cfg.FramePeriod, sched.HardCBS)
+	g.Task().AttachTo(srv, 0)
+	g.Start(0)
+	eng.RunUntil(simtime.Time(5 * simtime.Second))
+
+	st := g.Task().Stats()
+	// 5s at ~60 FPS is ~300 frames.
+	if st.Completed < 290 {
+		t.Errorf("completed %d frames in 5s, want ~300", st.Completed)
+	}
+	if st.Missed != 0 {
+		t.Errorf("%d frame deadlines missed under a generous reservation", st.Missed)
+	}
+	if g.Frames() < st.Completed {
+		t.Errorf("Frames() = %d < completed %d", g.Frames(), st.Completed)
+	}
+}
+
+func TestGameLoopDemandIsJittered(t *testing.T) {
+	eng, sd := newSim()
+	r := rng.New(4)
+	cfg := workload.DefaultGameLoopConfig("game")
+	tracer := ktrace.NewBuffer(ktrace.QTrace, 1<<14)
+	cfg.Sink = tracer
+	g := workload.NewGameLoop(sd, r.Split(), cfg)
+	g.Start(0)
+	eng.RunUntil(simtime.Time(2 * simtime.Second))
+
+	// Best-effort on an idle core: every frame runs to completion, so
+	// consumed time per frame reflects the demand draw. The mean must
+	// sit near MeanDemand and the loop must not be constant-demand.
+	st := g.Task().Stats()
+	if st.Completed < 100 {
+		t.Fatalf("only %d frames completed", st.Completed)
+	}
+	mean := float64(st.Consumed) / float64(st.Completed)
+	if mean < 0.8*float64(cfg.MeanDemand) || mean > 1.2*float64(cfg.MeanDemand) {
+		t.Errorf("mean frame demand %.0fns, want near %v", mean, cfg.MeanDemand)
+	}
+	// Two syscalls per frame (input poll + present) reach the tracer.
+	events := tracer.DrainPID(g.Task().PID())
+	if len(events) < 2*st.Completed-2 {
+		t.Errorf("%d traced syscalls for %d frames, want ~2 per frame", len(events), st.Completed)
+	}
+}
+
+func TestBackgroundServersAccessor(t *testing.T) {
+	eng, sd := newSim()
+	r := rng.New(5)
+	bg := workload.NewBackground(sd, r.Split(), "bg", 0.3, 3)
+	if got := bg.Servers(); got != nil {
+		t.Errorf("Servers() before Start = %v, want nil", got)
+	}
+	bg.Start(0)
+	eng.RunUntil(simtime.Time(100 * simtime.Millisecond))
+	srvs := bg.Servers()
+	if len(srvs) != 3 {
+		t.Fatalf("Servers() = %d entries, want 3", len(srvs))
+	}
+	var bw float64
+	for _, s := range srvs {
+		bw += s.Bandwidth()
+	}
+	if bw < 0.25 || bw > 0.35 {
+		t.Errorf("background servers reserve %.3f, want ~0.3", bw)
+	}
+}

@@ -179,6 +179,19 @@ func (b *Background) Start(at simtime.Time) {
 // Apps returns the spawned reserved periodic tasks (nil before Start).
 func (b *Background) Apps() []*ReservedPeriodic { return b.apps }
 
+// Servers returns the load's CBS servers (nil before Start) — the set
+// a migration must carry together, since the load is one application.
+func (b *Background) Servers() []*sched.Server {
+	if len(b.apps) == 0 {
+		return nil
+	}
+	out := make([]*sched.Server, len(b.apps))
+	for i, a := range b.apps {
+		out[i] = a.Server
+	}
+	return out
+}
+
 // StartCPUHog creates a best-effort task with a single effectively
 // infinite job, useful to keep the CPU saturated in tests.
 func StartCPUHog(sd *sched.Scheduler, name string, work simtime.Duration) *sched.Task {

@@ -1,107 +1,134 @@
 package selftune
 
-// Cross-core load balancing. The paper's Sec. 6 names the cooperation
-// between load balancing and adaptive reservations an open research
-// issue; this file supplies three policies over the migration
-// mechanism of internal/sched and internal/smp:
+// Cross-core load balancing, split into mechanism and policy. The
+// paper's Sec. 6 names the cooperation between load balancing and
+// adaptive reservations an open research issue; this file is the
+// policy seam of an answer.
 //
-//   - BalanceNone: the paper's configuration — placement at spawn time
-//     is final (partitioned EDF, worst-fit decreasing).
-//   - BalancePeriodic: push migration on a fixed period. When the load
-//     spread between the most- and least-loaded cores exceeds the
-//     threshold, the highest-bandwidth migratable workload of the hot
-//     core that fits on the cold one is pushed across.
-//   - BalanceReactive: pull migration on evidence of trouble. The
-//     balancer watches the observer bus's periodic core-load samples;
-//     a sustained imbalance (three consecutive samples over the
-//     threshold) makes the cold core pull load from the hot one.
+// The System owns the mechanism: on every balance tick (and on a
+// failed admission) it freezes an immutable Snapshot of the machine —
+// per-core loads and bounds plus the list of migration *units* — hands
+// it to the configured Balancer, and executes the returned moves
+// through the migration machinery of internal/smp and internal/sched
+// (batched per destination through the steal path, all-or-nothing per
+// unit, tuners re-registered on arrival).
 //
-// Under every policy except BalanceNone, admission is machine-wide: a
-// spawn that fails worst-fit placement triggers one rebalance pass
-// (migrating a reservation out of the best candidate core) before the
-// spawn is rejected — so the machine admits task sets that frozen
-// spawn-time placement cannot.
+// A migration unit is the set of CBS servers and tasks that must
+// change cores together: a tuned workload (one server, rehomed via
+// AutoTuner.Rehome), a TuneShared group (one shared server carrying
+// every member task, rehomed via MultiTuner.Rehome), an untuned
+// multi-reservation load like "rtload" (all its servers, nothing to
+// rehome), or an unreserved request server (its bare best-effort
+// task). Every workload kind is migratable once it has substance on
+// its core.
 //
-// Only tuned single-reservation workloads (spawned with Tuned) are
-// migratable: they own exactly one CBS server whose budget/deadline
-// state the scheduler can carry across cores, and one supervisor
-// client the tuner re-registers on arrival (AutoTuner.Rehome).
+// The Balancer is an interface, so policies are pluggable: the three
+// built-ins (BalancePeriodic, BalanceReactive, BalanceWorkStealing)
+// cover push, pull and multi-migration de-consolidation, and
+// WithBalancer accepts any user implementation.
+//
+// With any balancer configured, admission is machine-wide: a spawn
+// that fails worst-fit placement builds an admission Snapshot (its
+// PendingHint set to the hint that failed), lets the policy plan
+// room-making moves, and retries placement once — so the machine
+// admits task sets that frozen spawn-time placement cannot.
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
 
-// BalancerPolicy selects the cross-core load-balancing behaviour.
-type BalancerPolicy int
-
-const (
-	// BalanceNone freezes placement at spawn time (the default).
-	BalanceNone BalancerPolicy = iota
-	// BalancePeriodic rebalances by push migration on a fixed period
-	// (WithBalanceInterval).
-	BalancePeriodic
-	// BalanceReactive rebalances by pull migration when the observer
-	// bus's load samples show sustained imbalance.
-	BalanceReactive
+	"repro/internal/sched"
+	"repro/internal/smp"
 )
 
-// String returns the policy's name.
-func (p BalancerPolicy) String() string {
-	switch p {
-	case BalanceNone:
-		return "none"
-	case BalancePeriodic:
-		return "periodic"
-	case BalanceReactive:
-		return "reactive"
-	default:
-		return fmt.Sprintf("BalancerPolicy(%d)", int(p))
-	}
+// Balancer plans cross-core migrations. Plan receives an immutable
+// Snapshot of the machine and returns the moves to perform; the System
+// executes them (and ignores moves that fail admission on their
+// destination). Plan runs on the simulation goroutine; it must not
+// touch the System directly — everything it may use is in the
+// Snapshot.
+type Balancer interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Plan returns the moves for one balancing opportunity. Returning
+	// nil (or an empty slice) leaves placement untouched.
+	Plan(snap Snapshot) []Move
 }
 
-// balancer drives one System's migration policy.
-type balancer struct {
-	sys       *System
-	policy    BalancerPolicy
-	every     Duration
-	threshold float64
+// Plan-trigger reasons, found in Snapshot.Reason.
+const (
+	// PlanPeriodic marks the regular balance tick (WithBalanceInterval).
+	PlanPeriodic = "periodic"
+	// PlanAdmissionReason marks a plan requested because a spawn failed
+	// worst-fit placement; Snapshot.PendingHint carries the hint that
+	// needs room.
+	PlanAdmissionReason = "admission"
+)
 
-	streak int // consecutive imbalanced load samples (reactive)
+// Snapshot is the immutable view of the machine a Balancer plans over.
+type Snapshot struct {
+	// At is the planning instant on the System's observation clock.
+	At Time
+	// Reason is the plan trigger: PlanPeriodic or PlanAdmissionReason.
+	Reason string
+	// Threshold is the configured load-spread threshold
+	// (WithBalanceThreshold) below which the machine counts as
+	// balanced.
+	Threshold float64
+	// PendingHint is the placement hint of the spawn that failed, for
+	// admission plans; zero otherwise.
+	PendingHint float64
+	// Loads is the per-core effective load: the larger of the
+	// placement-hint account and the actually reserved bandwidth.
+	Loads []float64
+	// Reserved is the per-core actually reserved bandwidth (Σ Q/T).
+	Reserved []float64
+	// ULub is the per-core supervisor utilisation bound.
+	ULub []float64
+	// Units are the machine's migration units; Move references them by
+	// index.
+	Units []Unit
 }
 
-// sustainedSamples is how many consecutive imbalanced load samples the
-// reactive policy requires before pulling: one noisy sample (e.g. a
-// workload's cold-start reservation) must not bounce tasks around.
-const sustainedSamples = 3
+// Unit is one migration unit of a Snapshot: the set of CBS servers
+// (and bare tasks) one workload — or one shared-reservation group —
+// must move as.
+type Unit struct {
+	// ID is the unit's index in Snapshot.Units (and the value
+	// Move.Unit refers to). IDs are only meaningful within their
+	// snapshot.
+	ID int
+	// Name is the workload instance name (the group's first member for
+	// shared groups).
+	Name string
+	// Kind is the registry kind, or "shared" for a TuneShared group.
+	Kind string
+	// Core is where the unit currently runs.
+	Core int
+	// Hint is the placement-account bandwidth the unit carries.
+	Hint float64
+	// Reserved is the summed reserved bandwidth of the unit's servers.
+	Reserved float64
+	// Charge is what a migration of the unit is admission-checked
+	// against: the larger of Hint and Reserved.
+	Charge float64
+	// Servers and Tasks count the unit's CBS servers and bare
+	// best-effort tasks.
+	Servers int
+	Tasks   int
+	// Migratable reports whether the unit can move at all (it has
+	// substance on its core; an unstarted multi-reservation load does
+	// not yet).
+	Migratable bool
+}
 
-// start arms the policy's trigger. Periodic runs on its own engine
-// timer; reactive subscribes to the observer bus (which starts the
-// per-core load sampler).
-func (b *balancer) start() {
-	switch b.policy {
-	case BalancePeriodic:
-		// Ticks run on the System clock, like the load sampler, so an
-		// injected WithClock drives both.
-		var tick func()
-		tick = func() {
-			b.rebalanceOnce("periodic")
-			b.sys.clock.After(b.every, tick)
-		}
-		b.sys.clock.After(b.every, tick)
-	case BalanceReactive:
-		b.sys.Subscribe(ObserverFunc(func(e Event) {
-			if e.Kind != CoreLoadEvent {
-				return
-			}
-			if spread(e.Loads) > b.threshold {
-				b.streak++
-				if b.streak >= sustainedSamples {
-					b.streak = 0
-					b.rebalanceOnce("imbalance")
-				}
-			} else {
-				b.streak = 0
-			}
-		}))
-	}
+// Move is one planned migration: Snapshot.Units[Unit] moves to core
+// To. Reason, when non-empty, overrides the snapshot reason on the
+// published MigrationEvent.
+type Move struct {
+	Unit   int
+	To     int
+	Reason string
 }
 
 // spread returns max(loads) - min(loads).
@@ -121,209 +148,552 @@ func spread(loads []float64) float64 {
 	return hi - lo
 }
 
-// migrationCharge is the bandwidth a handle carries across cores: the
-// larger of its placement hint and its actually reserved bandwidth.
-func (h *Handle) migrationCharge() float64 {
-	charge := h.hint
-	if h.tuner != nil {
-		if bw := h.tuner.Server().Bandwidth(); bw > charge {
-			charge = bw
-		}
+// --- Built-in policies ----------------------------------------------
+
+// sustainedTicks is how many consecutive imbalanced balance ticks the
+// reactive policy requires before pulling: one noisy interval (e.g. a
+// workload's cold-start reservation) must not bounce tasks around.
+const sustainedTicks = 3
+
+// stealMax bounds how many units one cold core may claim per
+// work-stealing tick.
+const stealMax = 8
+
+type periodicBalancer struct{}
+
+// BalancePeriodic returns the push-migration policy: on every balance
+// tick whose load spread exceeds the threshold, the highest-charge
+// migratable unit of the hottest core that fits on the coldest one is
+// pushed across — at most one migration per tick.
+func BalancePeriodic() Balancer { return periodicBalancer{} }
+
+func (periodicBalancer) Name() string { return "periodic" }
+
+func (periodicBalancer) Plan(snap Snapshot) []Move {
+	if snap.Reason == PlanAdmissionReason {
+		return PlanAdmission(snap)
 	}
-	return charge
+	return planPush(snap, 1, "")
 }
 
-// Migratable reports whether the handle can move between cores: only
-// tuned single-reservation workloads can (their one CBS server and
-// supervisor client move together).
-func (h *Handle) Migratable() bool { return h.tuner != nil }
-
-// rebalanceOnce performs at most one migration from the most- to the
-// least-loaded core, if the spread exceeds the threshold and a
-// migratable workload fits. It reports whether a migration happened.
-func (b *balancer) rebalanceOnce(reason string) bool {
-	loads := b.sys.machine.Loads()
-	hi, lo := 0, 0
-	for i, l := range loads {
-		if l > loads[hi] {
-			hi = i
-		}
-		if l < loads[lo] {
-			lo = i
-		}
-	}
-	gap := loads[hi] - loads[lo]
-	if hi == lo || gap <= b.threshold {
-		return false
-	}
-	// Highest-bandwidth migratable handle on the hot core that fits on
-	// the cold one without overshooting (moving more than the gap would
-	// just invert the imbalance).
-	var best *Handle
-	var bestCharge float64
-	for _, h := range b.sys.handles {
-		if h.core != hi || !h.Migratable() {
-			continue
-		}
-		charge := h.migrationCharge()
-		if charge <= bestCharge || charge >= gap {
-			continue
-		}
-		if !b.sys.machine.CanFit(lo, charge) {
-			continue
-		}
-		best, bestCharge = h, charge
-	}
-	if best == nil {
-		return false
-	}
-	if err := b.sys.migrate(best, lo, reason); err != nil {
-		return false
-	}
-	return true
+type reactiveBalancer struct {
+	streak int
 }
 
-// makeRoom attempts to admit a spawn whose worst-fit placement failed:
-// one rebalance pass that migrates a reservation out of some core so
-// the new hint fits there. Targets are tried from least loaded up, and
-// the smallest sufficient reservation is moved — least disruption
-// first. It reports whether a migration happened (the caller then
-// retries placement).
-func (b *balancer) makeRoom(hint float64) bool {
-	m := b.sys.machine
-	loads := m.Loads()
-	order := make([]int, len(loads))
+// BalanceReactive returns the pull-migration policy: only a sustained
+// imbalance — three consecutive balance ticks over the threshold —
+// makes the coldest core pull one unit from the hottest, so transient
+// load spikes never bounce tasks around.
+func BalanceReactive() Balancer { return &reactiveBalancer{} }
+
+func (*reactiveBalancer) Name() string { return "reactive" }
+
+func (b *reactiveBalancer) Plan(snap Snapshot) []Move {
+	if snap.Reason == PlanAdmissionReason {
+		return PlanAdmission(snap)
+	}
+	if spread(snap.Loads) > snap.Threshold {
+		b.streak++
+	} else {
+		b.streak = 0
+	}
+	if b.streak < sustainedTicks {
+		return nil
+	}
+	b.streak = 0
+	return planPush(snap, 1, "imbalance")
+}
+
+type workStealingBalancer struct{}
+
+// BalanceWorkStealing returns the multi-migration de-consolidation
+// policy: on every tick, each under-loaded core claims up to stealMax
+// units from the overloaded ones until the planned spread drops under
+// the threshold. Where the single-move policies need one tick per
+// migration (a 64-core recovery at 9 moves in 2s), a stealing plan
+// de-consolidates a fully pinned machine in one or two ticks.
+func BalanceWorkStealing() Balancer { return workStealingBalancer{} }
+
+func (workStealingBalancer) Name() string { return "work-stealing" }
+
+func (workStealingBalancer) Plan(snap Snapshot) []Move {
+	if snap.Reason == PlanAdmissionReason {
+		return PlanAdmission(snap)
+	}
+	return planPush(snap, stealMax*len(snap.Loads), "steal")
+}
+
+// planPush is the greedy shared by the built-in policies: repeatedly
+// move the biggest migratable unit of the (planned) hottest core that
+// fits on the (planned) coldest one without overshooting the gap,
+// until the planned spread is under the threshold or max moves are
+// planned. The per-destination claim count is bounded by stealMax so
+// a single cold core cannot soak up the whole plan.
+func planPush(snap Snapshot, max int, reason string) []Move {
+	loads := append([]float64(nil), snap.Loads...)
+	unitCore := make([]int, len(snap.Units))
+	for i, u := range snap.Units {
+		unitCore[i] = u.Core
+	}
+	used := make([]bool, len(snap.Units))
+	claims := make([]int, len(loads))
+	var moves []Move
+	for len(moves) < max {
+		// Planned-coldest core still allowed to claim, planned-hottest
+		// core overall.
+		hi, lo := -1, -1
+		for i, l := range loads {
+			if hi < 0 || l > loads[hi] {
+				hi = i
+			}
+			if claims[i] < stealMax && (lo < 0 || l < loads[lo]) {
+				lo = i
+			}
+		}
+		if hi < 0 || lo < 0 || hi == lo {
+			break
+		}
+		gap := loads[hi] - loads[lo]
+		if gap <= snap.Threshold {
+			break
+		}
+		// Biggest unused migratable unit on the hot core that fits on
+		// the cold one without overshooting (moving more than the gap
+		// would just invert the imbalance).
+		best, bestCharge := -1, 0.0
+		for i, u := range snap.Units {
+			if used[i] || unitCore[i] != hi || !u.Migratable {
+				continue
+			}
+			if u.Charge <= bestCharge || u.Charge >= gap {
+				continue
+			}
+			if loads[lo]+u.Charge > snap.ULub[lo]+1e-9 {
+				continue
+			}
+			best, bestCharge = i, u.Charge
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		unitCore[best] = lo
+		loads[hi] -= bestCharge
+		loads[lo] += bestCharge
+		claims[lo]++
+		moves = append(moves, Move{Unit: best, To: lo, Reason: reason})
+	}
+	return moves
+}
+
+// PlanAdmission is the room-making plan the built-in policies share
+// (and custom policies may reuse): one migration that defragments the
+// machine so a spawn whose worst-fit placement failed — its hint is
+// Snapshot.PendingHint — fits somewhere. Targets are tried from least
+// loaded up, and the smallest sufficient unit is moved to the core
+// with the most room — least disruption first. It returns nil when no
+// single migration makes room.
+func PlanAdmission(snap Snapshot) []Move {
+	hint := snap.PendingHint
+	if hint <= 0 {
+		return nil
+	}
+	order := make([]int, len(snap.Loads))
 	for i := range order {
 		order[i] = i
 	}
-	// Insertion sort by load ascending: core counts are small.
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && loads[order[j]] < loads[order[j-1]]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
+	sort.Slice(order, func(a, b int) bool { return snap.Loads[order[a]] < snap.Loads[order[b]] })
 	for _, target := range order {
-		needed := loads[target] + hint - b.sys.machine.Supervisor(target).ULub()
+		needed := snap.Loads[target] + hint - snap.ULub[target]
 		if needed <= 0 {
 			// Place would have taken this core already; stale account.
 			continue
 		}
-		// Smallest migratable reservation on target that frees enough
-		// room and fits somewhere else. "Frees enough" must hold on
-		// both halves of the effective-load account: the handle's hint
-		// is what actually leaves the placement account, and the
-		// reserved side must also end up under the bound once the
-		// handle's server is gone — a bigger migration charge alone can
-		// free less room than it suggests.
-		reservedAfterSpawn := b.sys.machine.Core(target).TotalReservedBandwidth() + hint
-		var pick *Handle
-		var pickCharge float64
-		var pickDest int
-		for _, h := range b.sys.handles {
-			if h.core != target || !h.Migratable() {
+		// Smallest migratable unit on target that frees enough room and
+		// fits somewhere else. "Frees enough" must hold on both halves
+		// of the effective-load account: the unit's hint is what
+		// actually leaves the placement account, and the reserved side
+		// must also end up under the bound once the unit's servers are
+		// gone — a bigger migration charge alone can free less room
+		// than it suggests.
+		reservedAfterSpawn := snap.Reserved[target] + hint
+		pick, pickCharge, pickDest := -1, 0.0, -1
+		for i, u := range snap.Units {
+			if u.Core != target || !u.Migratable {
 				continue
 			}
-			if h.hint < needed-1e-9 {
+			if u.Hint < needed-1e-9 {
 				continue
 			}
-			if reservedAfterSpawn-h.tuner.Server().Bandwidth() > b.sys.machine.Supervisor(target).ULub()+1e-9 {
+			if reservedAfterSpawn-u.Reserved > snap.ULub[target]+1e-9 {
 				continue
 			}
-			charge := h.migrationCharge()
-			if pick != nil && charge >= pickCharge {
+			if pick >= 0 && u.Charge >= pickCharge {
 				continue
 			}
 			// Destination with the most room that can take it.
 			dest, destRoom := -1, 0.0
-			for d := range loads {
+			for d := range snap.Loads {
 				if d == target {
 					continue
 				}
-				room := b.sys.machine.Supervisor(d).ULub() - m.Load(d)
-				if room > destRoom && m.CanFit(d, charge) {
+				room := snap.ULub[d] - snap.Loads[d]
+				if room > destRoom && snap.Loads[d]+u.Charge <= snap.ULub[d]+1e-9 {
 					dest, destRoom = d, room
 				}
 			}
 			if dest < 0 {
 				continue
 			}
-			pick, pickCharge, pickDest = h, charge, dest
+			pick, pickCharge, pickDest = i, u.Charge, dest
 		}
-		if pick == nil {
-			continue
+		if pick >= 0 {
+			return []Move{{Unit: pick, To: pickDest, Reason: "admission"}}
 		}
-		if err := b.sys.migrate(pick, pickDest, "admission"); err != nil {
-			continue
-		}
-		return true
 	}
-	return false
+	return nil
 }
 
-// Migrate moves a tuned workload to another core: the CBS server
-// crosses the per-core schedulers with its remaining budget and
-// deadline intact (smp.Machine.Migrate), the tuner re-registers with
-// the destination supervisor (AutoTuner.Rehome), and a MigrationEvent
-// is published. Only Migratable handles qualify. On error nothing has
-// moved.
-func (s *System) Migrate(h *Handle, to int) error {
-	return s.migrate(h, to, "manual")
+// --- Mechanism: units, snapshots, execution -------------------------
+
+// sharedGroup ties the handles of one TuneShared application to the
+// MultiTuner managing their shared reservation; the group migrates as
+// one unit.
+type sharedGroup struct {
+	handles []*Handle
+	tuner   *MultiTuner
+	core    int
 }
 
-func (s *System) migrate(h *Handle, to int, reason string) error {
-	if h == nil || h.sys != s {
-		return fmt.Errorf("selftune: Migrate of a handle from another System")
+// migUnit is the live counterpart of a snapshot Unit: the sched.Group
+// to move, the handles whose cores to update, and the tuner to rehome.
+type migUnit struct {
+	name    string
+	kind    string
+	core    int
+	hint    float64
+	group   sched.Group
+	handles []*Handle
+	shared  *sharedGroup
+	rehome  func(to int) error // nil when nothing re-registers
+}
+
+// unitFor builds the live migration unit containing h: its shared
+// group when it has one, otherwise the handle alone.
+func (s *System) unitFor(h *Handle) *migUnit {
+	if h.shared != nil {
+		return s.sharedUnit(h.shared)
 	}
-	if to < 0 || to >= s.machine.Cores() {
-		return fmt.Errorf("selftune: Migrate %q to core %d out of [0,%d)", h.Name(), to, s.machine.Cores())
+	return s.handleUnit(h)
+}
+
+func (s *System) sharedUnit(g *sharedGroup) *migUnit {
+	u := &migUnit{
+		name:    g.handles[0].Name(),
+		kind:    "shared",
+		core:    g.core,
+		group:   sched.Group{Servers: []*sched.Server{g.tuner.Server()}},
+		handles: g.handles,
+		shared:  g,
 	}
-	if to == h.core {
-		return fmt.Errorf("selftune: Migrate %q within core %d", h.Name(), to)
+	for _, h := range g.handles {
+		u.hint += h.hint
 	}
-	if !h.Migratable() {
-		return fmt.Errorf("selftune: workload %q (%s) is not migratable (spawn it Tuned)",
-			h.Name(), h.Kind())
-	}
-	from := h.core
-	srv := h.tuner.Server()
-	if err := s.machine.Migrate(srv, from, to, h.hint); err != nil {
-		return err
-	}
-	if err := h.tuner.Rehome(s.machine.Core(to), s.machine.Supervisor(to)); err != nil {
-		// Undo the physical move without re-running admission: the
-		// origin core was legal a moment ago and must take the
-		// reservation back even if its accounts shifted meanwhile.
-		if rb := s.machine.ForceMigrate(srv, to, from, h.hint); rb != nil {
-			panic(fmt.Sprintf("selftune: migration of %q stranded: %v after %v", h.Name(), rb, err))
+	tuner := g.tuner
+	u.rehome = func(to int) error {
+		if err := tuner.Rehome(s.machine.Core(to), s.machine.Supervisor(to)); err != nil {
+			return err
 		}
-		return err
+		tuner.BusTick = s.tickPublisher(to, tuner.Tasks()[0].Name())
+		return nil
 	}
-	h.core = to
-	// The tuner's tick publisher captured the spawn-time core; re-wire
-	// it so TunerTickEvents report where the workload now runs.
-	h.tuner.BusTick = s.tickPublisher(to, h.tuner.Task().Name())
+	return u
+}
+
+func (s *System) handleUnit(h *Handle) *migUnit {
+	u := &migUnit{
+		name:    h.Name(),
+		kind:    h.kind,
+		core:    h.core,
+		hint:    h.hint,
+		handles: []*Handle{h},
+	}
+	switch {
+	case h.tuner != nil:
+		tuner := h.tuner
+		u.group.Servers = []*sched.Server{tuner.Server()}
+		u.rehome = func(to int) error {
+			if err := tuner.Rehome(s.machine.Core(to), s.machine.Supervisor(to)); err != nil {
+				return err
+			}
+			// The tuner's tick publisher captured the spawn-time core;
+			// re-wire it so TunerTickEvents report where the workload
+			// now runs.
+			tuner.BusTick = s.tickPublisher(to, tuner.Task().Name())
+			return nil
+		}
+	default:
+		// Untuned: the workload's own reservations (a started
+		// multi-server load), or its single server or bare task.
+		if sb, ok := h.w.(interface{ Servers() []*sched.Server }); ok {
+			u.group.Servers = sb.Servers()
+		} else if tn, ok := h.w.(Tunable); ok {
+			if t := tn.Task(); t != nil {
+				if t.Server() != nil {
+					u.group.Servers = []*sched.Server{t.Server()}
+				} else {
+					u.group.Tasks = []*sched.Task{t}
+				}
+			}
+		}
+	}
+	return u
+}
+
+// units enumerates the machine's migration units in spawn order,
+// shared groups collapsed to one unit each.
+func (s *System) units() []*migUnit {
+	seen := make(map[*sharedGroup]bool)
+	out := make([]*migUnit, 0, len(s.handles))
+	for _, h := range s.handles {
+		if h.shared != nil {
+			if seen[h.shared] {
+				continue
+			}
+			seen[h.shared] = true
+		}
+		out = append(out, s.unitFor(h))
+	}
+	return out
+}
+
+// snapshot freezes the planning view over the given live units.
+func (s *System) snapshot(reason string, pendingHint float64, units []*migUnit) Snapshot {
+	n := s.machine.Cores()
+	snap := Snapshot{
+		At:          s.clock.Now(),
+		Reason:      reason,
+		Threshold:   s.bal.threshold,
+		PendingHint: pendingHint,
+		Loads:       s.machine.Loads(),
+		Reserved:    make([]float64, n),
+		ULub:        make([]float64, n),
+		Units:       make([]Unit, len(units)),
+	}
+	for i := 0; i < n; i++ {
+		snap.Reserved[i] = s.machine.Core(i).TotalReservedBandwidth()
+		snap.ULub[i] = s.machine.Supervisor(i).ULub()
+	}
+	for i, u := range units {
+		reserved := u.group.Bandwidth()
+		charge := u.hint
+		if reserved > charge {
+			charge = reserved
+		}
+		snap.Units[i] = Unit{
+			ID:         i,
+			Name:       u.name,
+			Kind:       u.kind,
+			Core:       u.core,
+			Hint:       u.hint,
+			Reserved:   reserved,
+			Charge:     charge,
+			Servers:    len(u.group.Servers),
+			Tasks:      len(u.group.Tasks),
+			Migratable: !u.group.Empty(),
+		}
+	}
+	return snap
+}
+
+// balancer is the System's policy driver: the configured Balancer plus
+// the mechanism knobs.
+type balancer struct {
+	sys       *System
+	policy    Balancer
+	every     Duration
+	threshold float64
+}
+
+// start arms the balance tick on the System clock, so an injected
+// WithClock drives planning like everything else.
+func (b *balancer) start() {
+	var tick func()
+	tick = func() {
+		b.sys.runBalancer(PlanPeriodic, 0)
+		b.sys.clock.After(b.every, tick)
+	}
+	b.sys.clock.After(b.every, tick)
+}
+
+// runBalancer drives one plan-and-execute cycle and returns how many
+// units moved.
+func (s *System) runBalancer(reason string, pendingHint float64) int {
+	if s.bal == nil {
+		return 0
+	}
+	units := s.units()
+	snap := s.snapshot(reason, pendingHint, units)
+	moves := s.bal.policy.Plan(snap)
+	return s.execute(units, snap, moves)
+}
+
+// execute performs the planned moves, batched per destination core
+// through the machine's steal path: each batch is one claiming core
+// taking its units in a single tick, each unit admission-checked and
+// all-or-nothing, tuners rehomed on arrival (a rehome rejection rolls
+// that unit back). Invalid moves — out-of-range indices, the unit's
+// current core, immigratable units, duplicate units — are skipped.
+// One MigrationBatchEvent per destination summarises each batch.
+func (s *System) execute(units []*migUnit, snap Snapshot, moves []Move) int {
+	if len(moves) == 0 {
+		return 0
+	}
+	type planned struct {
+		u      *migUnit
+		reason string
+	}
+	perDest := make(map[int][]planned)
+	var destOrder []int
+	taken := make(map[*migUnit]bool)
+	for _, mv := range moves {
+		if mv.Unit < 0 || mv.Unit >= len(units) {
+			continue
+		}
+		u := units[mv.Unit]
+		if taken[u] || mv.To < 0 || mv.To >= s.machine.Cores() || mv.To == u.core || u.group.Empty() {
+			continue
+		}
+		taken[u] = true
+		reason := mv.Reason
+		if reason == "" {
+			reason = snap.Reason
+		}
+		if _, seen := perDest[mv.To]; !seen {
+			destOrder = append(destOrder, mv.To)
+		}
+		perDest[mv.To] = append(perDest[mv.To], planned{u: u, reason: reason})
+	}
+	total := 0
+	for _, dest := range destOrder {
+		batch := perDest[dest]
+		cands := make([]smp.StealCandidate, len(batch))
+		for i, p := range batch {
+			cands[i] = smp.StealCandidate{Group: p.u.group, From: p.u.core, Hint: p.u.hint}
+		}
+		moved := s.machine.Steal(smp.StealRequest{
+			To:         dest,
+			Candidates: cands,
+			OnMoved: func(i int) error {
+				p := batch[i]
+				if p.u.rehome != nil {
+					if err := p.u.rehome(dest); err != nil {
+						return err
+					}
+				}
+				s.finishMove(p.u, dest, p.reason)
+				return nil
+			},
+		})
+		if len(moved) > 0 {
+			total += len(moved)
+			s.publish(Event{
+				Kind:   MigrationBatchEvent,
+				At:     s.clock.Now(),
+				Core:   dest,
+				From:   -1,
+				Reason: batch[moved[0]].reason,
+				Count:  len(moved),
+			})
+		}
+	}
+	return total
+}
+
+// finishMove updates the bookkeeping after a unit's physical move and
+// rehome succeeded, and publishes the MigrationEvent.
+func (s *System) finishMove(u *migUnit, to int, reason string) {
+	from := u.core
+	u.core = to
+	for _, h := range u.handles {
+		h.core = to
+	}
+	if u.shared != nil {
+		u.shared.core = to
+	}
 	s.migrated++
 	s.publish(Event{
 		Kind:   MigrationEvent,
 		At:     s.clock.Now(),
 		Core:   to,
 		From:   from,
-		Source: h.Name(),
+		Source: u.name,
 		Reason: reason,
 	})
+}
+
+// Migratable reports whether the handle can move between cores: it
+// has substance to carry — a tuned reservation, a shared-group
+// reservation, its own untuned servers, or a bare best-effort task.
+// An unstarted multi-reservation load is the one thing that cannot
+// move yet (its reservations do not exist until Start).
+func (h *Handle) Migratable() bool {
+	if h.sys == nil {
+		return false
+	}
+	return !h.sys.unitFor(h).group.Empty()
+}
+
+// Migrate moves a workload — and everything that must travel with it:
+// its reservations with their remaining budgets and deadlines, its
+// tasks, its shared group, its tuner registration — to another core.
+// Migrating any member of a TuneShared group moves the whole group.
+// On error nothing has moved.
+func (s *System) Migrate(h *Handle, to int) error {
+	if h == nil || h.sys != s {
+		return fmt.Errorf("selftune: Migrate of a handle from another System")
+	}
+	if to < 0 || to >= s.machine.Cores() {
+		return fmt.Errorf("selftune: Migrate %q to core %d out of [0,%d)", h.Name(), to, s.machine.Cores())
+	}
+	u := s.unitFor(h)
+	if to == u.core {
+		return fmt.Errorf("selftune: Migrate %q within core %d", h.Name(), to)
+	}
+	if u.group.Empty() {
+		return fmt.Errorf("selftune: workload %q (%s) has nothing to migrate yet (start it first)",
+			h.Name(), h.Kind())
+	}
+	from := u.core
+	if err := s.machine.MigrateGroup(u.group, from, to, u.hint); err != nil {
+		return err
+	}
+	if u.rehome != nil {
+		if err := u.rehome(to); err != nil {
+			// Undo the physical move without re-running admission: the
+			// origin core was legal a moment ago and must take the
+			// reservation back even if its accounts shifted meanwhile.
+			if rb := s.machine.ForceMigrateGroup(u.group, to, from, u.hint); rb != nil {
+				panic(fmt.Sprintf("selftune: migration of %q stranded: %v after %v", h.Name(), rb, err))
+			}
+			return err
+		}
+	}
+	s.finishMove(u, to, "manual")
 	return nil
 }
 
-// Migrations returns the number of workloads moved across cores so
-// far (by any policy, admission passes and manual Migrate calls). A
+// Migrations returns the number of units moved across cores so far
+// (by any policy, admission passes and manual Migrate calls). A
 // migration rolled back because the destination supervisor rejected
-// the tuner does not count.
+// the tuner does not count; a group counts once.
 func (s *System) Migrations() int { return s.migrated }
 
-// Balancer returns the System's balancing policy.
-func (s *System) Balancer() BalancerPolicy {
+// Balancer returns the System's balancing policy, or nil when
+// placement is frozen at spawn time (the default).
+func (s *System) Balancer() Balancer {
 	if s.bal == nil {
-		return BalanceNone
+		return nil
 	}
 	return s.bal.policy
 }

@@ -31,6 +31,15 @@ const (
 	// one rebalance pass, if admission is machine-wide). Event.Source
 	// names the rejected instance and Event.Reason the placement error.
 	AdmissionRejectEvent
+	// MigrationBatchEvent fires once per executed balancer batch — a
+	// destination core claiming one or more migration units of a
+	// single plan through the machine's steal path. Every policy's
+	// moves flow through it: a push policy's batches carry one unit,
+	// the work-stealing policy's carry many. Event.Core is the
+	// claiming core, Event.Count how many units arrived, Event.Reason
+	// the plan's trigger. The individual MigrationEvents are published
+	// alongside.
+	MigrationBatchEvent
 )
 
 // String returns the kind's name.
@@ -46,6 +55,8 @@ func (k EventKind) String() string {
 		return "migration"
 	case AdmissionRejectEvent:
 		return "admission-reject"
+	case MigrationBatchEvent:
+		return "migration-batch"
 	default:
 		return "unknown"
 	}
@@ -73,10 +84,13 @@ type Event struct {
 	// From is the origin core of a MigrationEvent (Core holds the
 	// destination); meaningless for other kinds.
 	From int
-	// Reason is what triggered a MigrationEvent ("periodic",
-	// "imbalance", "admission" or "manual") or the placement error of
-	// an AdmissionRejectEvent.
+	// Reason is what triggered a MigrationEvent or MigrationBatchEvent
+	// ("periodic", "imbalance", "steal", "admission" or "manual") or
+	// the placement error of an AdmissionRejectEvent.
 	Reason string
+	// Count is the number of units moved by a MigrationBatchEvent;
+	// zero for other kinds.
+	Count int
 }
 
 // Observer receives System events.

@@ -34,7 +34,7 @@ type options struct {
 	tracerCap    int
 	clock        Clock
 	loadSample   Duration
-	balancer     BalancerPolicy
+	balancer     Balancer
 	balanceEvery Duration
 	imbalance    float64
 }
@@ -45,7 +45,6 @@ func defaultOptions() options {
 		ulub:         1,
 		tracerCap:    1 << 16,
 		loadSample:   250 * simtime.Millisecond,
-		balancer:     BalanceNone,
 		balanceEvery: 500 * simtime.Millisecond,
 		imbalance:    0.2,
 	}
@@ -115,28 +114,25 @@ func WithClock(c Clock) Option {
 	}
 }
 
-// WithBalancer selects the cross-core load-balancing policy:
-// BalanceNone (the default, placement frozen at spawn time),
-// BalancePeriodic (push migration every WithBalanceInterval), or
-// BalanceReactive (pull migration on sustained load imbalance observed
-// through the per-core load samples — enabling it starts the load
-// sampler). Any policy except BalanceNone also makes admission
-// machine-wide: a spawn that fails worst-fit placement triggers one
-// rebalance pass before it is rejected.
-func WithBalancer(p BalancerPolicy) Option {
+// WithBalancer installs a cross-core load-balancing policy. The
+// built-ins are BalancePeriodic() (one push migration per tick),
+// BalanceReactive() (pull after sustained imbalance) and
+// BalanceWorkStealing() (multi-migration de-consolidation); any
+// user-supplied Balancer implementation works the same way. nil — the
+// default — freezes placement at spawn time, the paper's partitioned
+// configuration. Any non-nil balancer also makes admission
+// machine-wide: a spawn that fails worst-fit placement lets the policy
+// plan room-making moves before it is rejected.
+func WithBalancer(b Balancer) Option {
 	return func(o *options) error {
-		switch p {
-		case BalanceNone, BalancePeriodic, BalanceReactive:
-			o.balancer = p
-			return nil
-		default:
-			return fmt.Errorf("selftune: WithBalancer(%d): unknown policy", int(p))
-		}
+		o.balancer = b
+		return nil
 	}
 }
 
-// WithBalanceInterval sets the period of the BalancePeriodic policy
-// (default 500ms of simulated time).
+// WithBalanceInterval sets the balance-tick period — how often the
+// configured Balancer is asked to Plan (default 500ms of simulated
+// time).
 func WithBalanceInterval(every Duration) Option {
 	return func(o *options) error {
 		if every <= 0 {
@@ -147,8 +143,9 @@ func WithBalanceInterval(every Duration) Option {
 	}
 }
 
-// WithBalanceThreshold sets the per-core load spread (max - min) above
-// which the periodic and reactive policies migrate (default 0.2).
+// WithBalanceThreshold sets the per-core load spread (max - min) below
+// which the built-in policies consider the machine balanced (default
+// 0.2). The value reaches custom policies as Snapshot.Threshold.
 func WithBalanceThreshold(x float64) Option {
 	return func(o *options) error {
 		if x <= 0 || x >= 1 {

@@ -30,7 +30,7 @@ func TestOptionValidation(t *testing.T) {
 
 // TestULubRejectedNotClamped is the regression test for the seed's
 // silent clamping: out-of-range bounds must surface as errors from the
-// options path, while the deprecated SystemConfig path keeps clamping.
+// options path.
 func TestULubRejectedNotClamped(t *testing.T) {
 	if _, err := selftune.NewSystem(selftune.WithULub(1.0001)); err == nil {
 		t.Fatal("ULub > 1 accepted by WithULub")
@@ -38,10 +38,6 @@ func TestULubRejectedNotClamped(t *testing.T) {
 	sys := newSystem(t, selftune.WithULub(0.8))
 	if got := sys.Core(0).Supervisor().ULub(); got != 0.8 {
 		t.Errorf("ULub = %v, want 0.8", got)
-	}
-	legacy := selftune.NewSystemFromConfig(selftune.SystemConfig{ULub: 1.0001})
-	if got := legacy.Supervisor().ULub(); got != 1 {
-		t.Errorf("legacy clamped ULub = %v, want 1", got)
 	}
 }
 

@@ -225,12 +225,13 @@ func lookup(name string) (Factory, bool) {
 // Handle is a spawned workload instance: the workload itself, where it
 // was placed, and the tuner managing it (if any).
 type Handle struct {
-	sys   *System
-	kind  string
-	core  int
-	hint  float64 // placement bandwidth charged for this instance
-	w     Workload
-	tuner *AutoTuner
+	sys    *System
+	kind   string
+	core   int
+	hint   float64 // placement bandwidth charged for this instance
+	w      Workload
+	tuner  *AutoTuner
+	shared *sharedGroup // non-nil when part of a TuneShared group
 }
 
 // Kind returns the registry name the handle was spawned under.
@@ -255,6 +256,16 @@ func (h *Handle) Player() *Player {
 // Tuner returns the attached AutoTuner, or nil when the instance was
 // spawned untuned.
 func (h *Handle) Tuner() *AutoTuner { return h.tuner }
+
+// Shared returns the MultiTuner managing the handle's shared
+// reservation group, or nil when the handle is not part of one
+// (TuneShared creates the group).
+func (h *Handle) Shared() *MultiTuner {
+	if h.shared == nil {
+		return nil
+	}
+	return h.shared.tuner
+}
 
 // Start begins the workload's activity at the given instant.
 func (h *Handle) Start(at Time) { h.w.Start(at) }
@@ -301,10 +312,10 @@ func (s *System) Spawn(kind string, opts ...SpawnOption) (*Handle, error) {
 	}
 	coreIdx, hint, err := s.place(spec)
 	if err != nil && s.bal != nil && spec.Core < 0 {
-		// Machine-wide admission: before rejecting, let the balancer
-		// migrate one reservation to defragment the worst-fit account,
-		// then retry placement once.
-		if s.bal.makeRoom(s.resolveHint(spec)) {
+		// Machine-wide admission: before rejecting, hand the policy an
+		// admission snapshot (PendingHint = the hint that failed) so it
+		// can plan room-making migrations, then retry placement once.
+		if s.runBalancer(PlanAdmissionReason, s.resolveHint(spec)) > 0 {
 			coreIdx, hint, err = s.place(spec)
 		}
 	}
@@ -437,6 +448,7 @@ var defaultUtil = map[string]float64{
 	"video":     0.25,
 	"rtload":    0.15,
 	"webserver": 0.30,
+	"gameloop":  0.20,
 }
 
 // Built-in workload kinds. Every example, test and benchmark drives
@@ -528,6 +540,26 @@ func init() {
 		cfg := workload.DefaultTranscoderConfig(spec.Name)
 		cfg.Sink = env.Tracer
 		return workload.NewTranscoder(env.Scheduler, env.Rand, cfg), nil
+	})
+
+	// "gameloop": a fixed-frame-rate game loop — 60 FPS frames on a
+	// rigid release grid, each with a hard deadline at the next frame
+	// and a per-frame service demand jittered ±35% around SpawnUtil of
+	// the core (scene complexity). The deadline-sensitive scenario of
+	// the balancing experiments: every frame stranded on an overloaded
+	// core is a visible miss.
+	Register("gameloop", func(env Env, spec SpawnSpec) (Workload, error) {
+		if err := spec.supports(true, false, false, false); err != nil {
+			return nil, err
+		}
+		cfg := workload.DefaultGameLoopConfig(spec.Name)
+		util := spec.Util
+		if util <= 0 {
+			util = defaultUtil["gameloop"]
+		}
+		cfg.MeanDemand = Duration(util * float64(cfg.FramePeriod))
+		cfg.Sink = env.Tracer
+		return workload.NewGameLoop(env.Scheduler, env.Rand, cfg), nil
 	})
 
 	// "webserver": a bursty request server — exponential think times

@@ -12,7 +12,7 @@ import (
 
 func TestBuiltinKindsRegistered(t *testing.T) {
 	kinds := selftune.Kinds()
-	for _, want := range []string{"video", "mp3", "player", "rtload", "noise", "transcoder"} {
+	for _, want := range []string{"video", "mp3", "player", "rtload", "noise", "transcoder", "webserver", "gameloop"} {
 		i := sort.SearchStrings(kinds, want)
 		if i >= len(kinds) || kinds[i] != want {
 			t.Errorf("kind %q not registered (have %v)", want, kinds)
@@ -153,37 +153,6 @@ func TestNilFactoryResultRejected(t *testing.T) {
 	}
 	if load := sys.Core(0).Load(); load != 0 {
 		t.Errorf("nil-workload spawn left phantom load %.3f", load)
-	}
-}
-
-// TestDeprecatedTuneFollowsSpawnCore tunes a spawned player through
-// the deprecated Tune method and checks the reservation lands on the
-// player's core instead of being pinned (and panicking) on core 0.
-func TestDeprecatedTuneFollowsSpawnCore(t *testing.T) {
-	sys := newSystem(t, selftune.WithSeed(5), selftune.WithCPUs(2))
-	h, err := sys.Spawn("video", selftune.OnCore(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	tuner, err := sys.Tune(h.Player(), selftune.DefaultTunerConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	h.Start(0)
-	sys.Run(10 * selftune.Second)
-	if f := tuner.DetectedFrequency(); math.Abs(f-25) > 0.5 {
-		t.Errorf("cross-core legacy Tune detected %.2f Hz, want 25", f)
-	}
-	if got := sys.Core(1).Scheduler().TotalReservedBandwidth(); got <= 0 {
-		t.Error("reservation did not land on the player's core")
-	}
-	// Mixed-core players are refused by the legacy multi tuner.
-	h0, err := sys.Spawn("mp3", selftune.OnCore(0))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := sys.TuneMulti([]*selftune.Player{h.Player(), h0.Player()}, []int{0, 1}, selftune.DefaultTunerConfig()); err == nil {
-		t.Error("TuneMulti across cores accepted")
 	}
 }
 
@@ -350,6 +319,49 @@ func TestWebserverKindSpawns(t *testing.T) {
 	}
 	if done := ws.Task().Stats().Completed; done < ws.Served()/2 {
 		t.Errorf("completed %d of %d requests under the tuner", done, ws.Served())
+	}
+}
+
+// TestGameloopKindSpawns drives the deadline-sensitive kind: a tuned
+// 60 FPS loop must lock onto its frame rate and keep its misses rare
+// once the reservation has adapted.
+func TestGameloopKindSpawns(t *testing.T) {
+	sys := newSystem(t, selftune.WithSeed(13))
+	h, err := sys.Spawn("gameloop",
+		selftune.SpawnName("game-1"),
+		selftune.SpawnUtil(0.25),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start(0)
+	sys.Run(20 * selftune.Second)
+	gl, ok := h.Workload().(*workload.GameLoop)
+	if !ok {
+		t.Fatalf("gameloop spawn built a %T", h.Workload())
+	}
+	// 20s at ~60 FPS is ~1200 frames.
+	if gl.Frames() < 1100 {
+		t.Errorf("only %d frames released in 20s", gl.Frames())
+	}
+	st := gl.Task().Stats()
+	if st.Completed < 1000 {
+		t.Errorf("only %d frames completed", st.Completed)
+	}
+	// The feedback law tracks the demand distribution, not its ±35%
+	// tail, so a fraction of the heaviest frames blows the granted
+	// budget and misses — the deadline pressure the kind exists to
+	// model. It must stay a tail, though, not a collapse.
+	if st.Missed > st.Completed/4 {
+		t.Errorf("%d of %d frames missed their deadline", st.Missed, st.Completed)
+	}
+	f := h.Tuner().DetectedFrequency()
+	if f < 55 || f > 65 {
+		t.Errorf("detected %.2f Hz, want ~60", f)
+	}
+	// SpawnCount is not a gameloop knob.
+	if _, err := sys.Spawn("gameloop", selftune.SpawnCount(2)); err == nil {
+		t.Error("kind \"gameloop\" silently accepted SpawnCount")
 	}
 }
 

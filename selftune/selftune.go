@@ -28,8 +28,6 @@
 package selftune
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/ktrace"
 	"repro/internal/sched"
@@ -93,132 +91,3 @@ const (
 
 // DefaultTunerConfig returns the paper's standard tuner parameters.
 func DefaultTunerConfig() TunerConfig { return core.DefaultConfig() }
-
-// SystemConfig parameterises a System.
-//
-// Deprecated: build Systems with NewSystem and functional options
-// (WithSeed, WithCPUs, WithULub, WithTracerCapacity, WithClock), which
-// validate instead of clamping. SystemConfig remains for one release.
-type SystemConfig struct {
-	// Seed makes the whole simulation deterministic; runs with equal
-	// seeds produce identical traces.
-	Seed uint64
-	// ULub is the supervisor's utilisation bound; values outside (0,1]
-	// (including zero) select 1. Prefer WithULub, which rejects them.
-	ULub float64
-	// TracerCapacity is the syscall ring size; zero selects 1<<16.
-	TracerCapacity int
-}
-
-// NewSystemFromConfig builds a uniprocessor System from the legacy
-// configuration struct, preserving its clamping behaviour.
-//
-// Deprecated: use NewSystem with functional options.
-func NewSystemFromConfig(cfg SystemConfig) *System {
-	opts := []Option{WithSeed(cfg.Seed)}
-	if cfg.ULub > 0 && cfg.ULub <= 1 {
-		opts = append(opts, WithULub(cfg.ULub))
-	}
-	if cfg.TracerCapacity > 0 {
-		opts = append(opts, WithTracerCapacity(cfg.TracerCapacity))
-	}
-	sys, err := NewSystem(opts...)
-	if err != nil {
-		// Unreachable: every option above is pre-validated.
-		panic(err)
-	}
-	return sys
-}
-
-// Scheduler exposes core 0's scheduling substrate.
-//
-// Deprecated: use Core(i).Scheduler(); on a multi-core System this is
-// only the first core.
-func (s *System) Scheduler() *Scheduler { return s.machine.Core(0) }
-
-// Supervisor exposes core 0's bandwidth supervisor.
-//
-// Deprecated: use Core(i).Supervisor(); on a multi-core System this is
-// only the first core.
-func (s *System) Supervisor() *Supervisor { return s.machine.Supervisor(0) }
-
-// NewVideoPlayer creates a 25 fps video player model with the given
-// mean CPU utilisation on core 0, already wired to the system tracer.
-//
-// Deprecated: use Spawn("video", SpawnName(name), SpawnUtil(util)).
-func (s *System) NewVideoPlayer(name string, util float64) *Player {
-	cfg := workload.VideoPlayerConfig(name, util)
-	cfg.Sink = s.tracer
-	return workload.NewPlayer(s.machine.Core(0), s.split(), cfg)
-}
-
-// NewMP3Player creates the paper's 32.5 Hz mp3 player model on core 0,
-// wired to the system tracer.
-//
-// Deprecated: use Spawn("mp3", SpawnName(name)).
-func (s *System) NewMP3Player(name string) *Player {
-	cfg := workload.MP3PlayerConfig(name)
-	cfg.Sink = s.tracer
-	return workload.NewPlayer(s.machine.Core(0), s.split(), cfg)
-}
-
-// NewPlayer creates a player from an explicit configuration on core 0.
-// Set cfg.Sink to s.Tracer() to make the application observable.
-//
-// Deprecated: use Spawn("player", SpawnPlayer(cfg)), which wires the
-// tracer by default.
-func (s *System) NewPlayer(cfg PlayerConfig) *Player {
-	return workload.NewPlayer(s.machine.Core(0), s.split(), cfg)
-}
-
-// StartBackgroundLoad spawns periodic real-time reservations totalling
-// roughly util of core 0, split across n tasks, starting immediately.
-//
-// Deprecated: use Spawn("rtload", SpawnUtil(util), SpawnCount(n)) and
-// Start the returned handle.
-func (s *System) StartBackgroundLoad(util float64, n int) {
-	workload.MakeLoad(s.machine.Core(0), s.split(), util, n)
-}
-
-// coreOfTask resolves which core a task was spawned on by scanning the
-// spawn handles; legacy-constructed tasks default to core 0.
-func (s *System) coreOfTask(task *Task) int {
-	for _, h := range s.handles {
-		if tn, ok := h.w.(Tunable); ok && tn.Task() == task {
-			return h.core
-		}
-	}
-	return 0
-}
-
-// Tune attaches an AutoTuner to the player's task on the player's core
-// (core 0 for players built with the deprecated constructors): from
-// then on the system infers the application's period from its syscalls
-// and adapts its reservation, with no cooperation from the
-// application.
-//
-// Deprecated: spawn the player with the Tuned option instead.
-func (s *System) Tune(p *Player, cfg TunerConfig) (*AutoTuner, error) {
-	return s.attachTuner(s.coreOfTask(p.Task()), p.Task(), cfg)
-}
-
-// TuneMulti places several players — the threads of one application —
-// into a single shared reservation on core 0 with the given fixed
-// priorities (lower value = higher priority; rate-monotonic assignment
-// is the sensible default) and manages it with a MultiTuner.
-//
-// Deprecated: spawn the players and use TuneShared on their handles.
-func (s *System) TuneMulti(players []*Player, prios []int, cfg TunerConfig) (*MultiTuner, error) {
-	if len(players) == 0 {
-		return nil, fmt.Errorf("selftune: TuneMulti needs at least one player")
-	}
-	coreIdx := s.coreOfTask(players[0].Task())
-	tasks := make([]*sched.Task, len(players))
-	for i, p := range players {
-		if c := s.coreOfTask(p.Task()); c != coreIdx {
-			return nil, fmt.Errorf("selftune: TuneMulti across cores %d and %d", coreIdx, c)
-		}
-		tasks[i] = p.Task()
-	}
-	return s.attachMultiTuner(coreIdx, tasks, prios, cfg)
-}

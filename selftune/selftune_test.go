@@ -171,79 +171,25 @@ func TestCustomPlayerConfig(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappers drives the legacy constructor surface — the
-// SystemConfig struct and the direct System methods — and checks it
-// still behaves like the seed release.
-func TestDeprecatedWrappers(t *testing.T) {
-	sys := selftune.NewSystemFromConfig(selftune.SystemConfig{Seed: 1, ULub: 1.5}) // 1.5 clamps to 1
-	if got := sys.Supervisor().ULub(); got != 1 {
-		t.Errorf("clamped ULub = %v, want 1", got)
-	}
-	if sys.Scheduler() == nil || sys.Supervisor() == nil {
-		t.Fatal("nil legacy accessors")
-	}
-	app := sys.NewVideoPlayer("mplayer", 0.25)
-	tuner, err := sys.Tune(app, selftune.DefaultTunerConfig())
+// TestTuneSharedRejectsAlreadyTuned: a handle spawned Tuned (or one
+// already in a shared group) cannot join another shared reservation.
+func TestTuneSharedRejectsAlreadyTuned(t *testing.T) {
+	sys := newSystem(t, selftune.WithSeed(11))
+	tuned, err := sys.Spawn("mp3", selftune.Tuned(selftune.DefaultTunerConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.StartBackgroundLoad(0.1, 1)
-	app.Start(0)
-	sys.Run(30 * selftune.Second)
-	if f := tuner.DetectedFrequency(); math.Abs(f-25) > 0.5 {
-		t.Errorf("legacy path detected %.2f Hz, want 25", f)
+	if _, err := sys.TuneShared([]*selftune.Handle{tuned}, []int{0}, selftune.DefaultTunerConfig()); err == nil {
+		t.Error("TuneShared of a Tuned handle accepted")
 	}
-	mp3sys := selftune.NewSystemFromConfig(selftune.SystemConfig{Seed: 2})
-	a := mp3sys.NewMP3Player("audio")
-	v := mp3sys.NewPlayer(selftune.PlayerConfig{
-		Name:       "video",
-		Period:     40 * selftune.Millisecond,
-		MeanDemand: 4 * selftune.Millisecond,
-		Sink:       mp3sys.Tracer(),
-	})
-	if _, err := mp3sys.TuneMulti([]*selftune.Player{a, v}, []int{0, 1}, selftune.DefaultTunerConfig()); err != nil {
-		t.Fatal(err)
-	}
-	a.Start(0)
-	v.Start(0)
-	mp3sys.Run(5 * selftune.Second)
-}
-
-// TestLegacyAndRegistryPathsAgree runs the same seeded tuned-video
-// scenario through the deprecated method surface and through the
-// registry, and requires identical results: the redesigned n=1 System
-// must behave exactly like the old uniprocessor path.
-func TestLegacyAndRegistryPathsAgree(t *testing.T) {
-	legacy := selftune.NewSystemFromConfig(selftune.SystemConfig{Seed: 17})
-	lp := legacy.NewVideoPlayer("mplayer", 0.25)
-	lt, err := legacy.Tune(lp, selftune.DefaultTunerConfig())
+	a, err := sys.Spawn("mp3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	lp.Start(0)
-	legacy.Run(20 * selftune.Second)
-
-	reg := newSystem(t, selftune.WithSeed(17))
-	h, err := reg.Spawn("video",
-		selftune.SpawnName("mplayer"),
-		selftune.SpawnUtil(0.25),
-		selftune.Tuned(selftune.DefaultTunerConfig()))
-	if err != nil {
+	if _, err := sys.TuneShared([]*selftune.Handle{a}, []int{0}, selftune.DefaultTunerConfig()); err != nil {
 		t.Fatal(err)
 	}
-	h.Start(0)
-	reg.Run(20 * selftune.Second)
-
-	if a, b := lt.DetectedFrequency(), h.Tuner().DetectedFrequency(); a != b {
-		t.Errorf("detected frequency: legacy %.4f vs registry %.4f", a, b)
-	}
-	if a, b := lt.Server().Budget(), h.Tuner().Server().Budget(); a != b {
-		t.Errorf("final budget: legacy %v vs registry %v", a, b)
-	}
-	if a, b := lp.Task().Stats().Completed, h.Player().Task().Stats().Completed; a != b {
-		t.Errorf("frames: legacy %d vs registry %d", a, b)
-	}
-	if a, b := len(lt.Snapshots()), len(h.Tuner().Snapshots()); a != b {
-		t.Errorf("snapshots: legacy %d vs registry %d", a, b)
+	if _, err := sys.TuneShared([]*selftune.Handle{a}, []int{0}, selftune.DefaultTunerConfig()); err == nil {
+		t.Error("TuneShared of a handle already in a group accepted")
 	}
 }

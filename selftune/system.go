@@ -29,9 +29,10 @@ type System struct {
 	observers  []*subscription
 
 	bal      *balancer
-	migrated int // workloads moved across cores
+	migrated int // units moved across cores
 
 	handles  []*Handle
+	groups   []*sharedGroup
 	spawnSeq int
 }
 
@@ -70,7 +71,7 @@ func NewSystem(opts ...Option) (*System, error) {
 	for i := 0; i < s.machine.Cores(); i++ {
 		s.installExhaustHook(i)
 	}
-	if o.balancer != BalanceNone {
+	if o.balancer != nil {
 		s.bal = &balancer{
 			sys:       s,
 			policy:    o.balancer,
@@ -179,7 +180,9 @@ func (s *System) attachTuner(coreIdx int, task *Task, cfg TunerConfig) (*AutoTun
 // threads of one application — into a single shared reservation with
 // the given fixed priorities (lower value = higher priority;
 // rate-monotonic assignment is the sensible default) and manages it
-// with a MultiTuner. All handles must live on the same core.
+// with a MultiTuner. All handles must live on the same core. The
+// handles become one shared group: they migrate together, as one
+// unit, with the MultiTuner rehoming on arrival.
 func (s *System) TuneShared(handles []*Handle, prios []int, cfg TunerConfig) (*MultiTuner, error) {
 	if len(handles) == 0 {
 		return nil, fmt.Errorf("selftune: TuneShared needs at least one handle")
@@ -187,8 +190,14 @@ func (s *System) TuneShared(handles []*Handle, prios []int, cfg TunerConfig) (*M
 	coreIdx := handles[0].core
 	tasks := make([]*sched.Task, len(handles))
 	for i, h := range handles {
+		if h.sys != s {
+			return nil, fmt.Errorf("selftune: TuneShared of a handle from another System")
+		}
 		if h.core != coreIdx {
 			return nil, fmt.Errorf("selftune: TuneShared across cores %d and %d", coreIdx, h.core)
+		}
+		if h.tuner != nil || h.shared != nil {
+			return nil, fmt.Errorf("selftune: workload %q is already tuned", h.Name())
 		}
 		tn, ok := h.w.(Tunable)
 		if !ok {
@@ -197,7 +206,20 @@ func (s *System) TuneShared(handles []*Handle, prios []int, cfg TunerConfig) (*M
 		}
 		tasks[i] = tn.Task()
 	}
-	return s.attachMultiTuner(coreIdx, tasks, prios, cfg)
+	tuner, err := s.attachMultiTuner(coreIdx, tasks, prios, cfg)
+	if err != nil {
+		return nil, err
+	}
+	grp := &sharedGroup{
+		handles: append([]*Handle(nil), handles...),
+		tuner:   tuner,
+		core:    coreIdx,
+	}
+	for _, h := range handles {
+		h.shared = grp
+	}
+	s.groups = append(s.groups, grp)
+	return tuner, nil
 }
 
 // attachMultiTuner builds a MultiTuner for the tasks on the given

@@ -88,9 +88,9 @@ func (s Snapshot) WriteCSV(w io.Writer) error {
 		histogramSeries("telemetry: per-core slack 1-load", s.Slack))
 
 	counters := report.NewSeries("telemetry: event counters",
-		"tuner_ticks", "exhaustions", "migrations", "admission_rejects", "load_samples")
+		"tuner_ticks", "exhaustions", "migrations", "migration_batches", "admission_rejects", "load_samples")
 	counters.Add(float64(s.Ticks), float64(s.Exhaustions), float64(s.Migrations),
-		float64(s.Rejects), float64(s.LoadEvents))
+		float64(s.Batches), float64(s.Rejects), float64(s.LoadEvents))
 	series = append(series, counters)
 
 	for i, sr := range series {

@@ -15,8 +15,9 @@ import (
 var update = flag.Bool("update", false, "rewrite the exporter golden files")
 
 // sampleSnapshot folds a small hand-written event sequence — two tuned
-// workloads, an exhaustion, a migration, an admission reject and two
-// load samples — so the exporters have a fully deterministic input.
+// workloads, an exhaustion, a migration with its batch, an admission
+// reject and two load samples — so the exporters have a fully
+// deterministic input.
 func sampleSnapshot() Snapshot {
 	c := NewCollector()
 	tick := func(at selftune.Time, core int, src string, period, req, granted selftune.Duration, detected float64) {
@@ -37,6 +38,7 @@ func sampleSnapshot() Snapshot {
 	tick(at(400), 0, "mplayer", ms(40), ms(11), ms(11), 25)
 	tick(at(400), 1, "web-1", ms(20), ms(8), ms(6), 50)
 	c.Observe(selftune.Event{Kind: selftune.MigrationEvent, At: at(450), Core: 0, From: 1, Source: "web-1", Reason: "imbalance"})
+	c.Observe(selftune.Event{Kind: selftune.MigrationBatchEvent, At: at(450), Core: 0, From: -1, Reason: "imbalance", Count: 1})
 	tick(at(600), 0, "web-1", ms(20), ms(8), ms(8), 50)
 	c.Observe(selftune.Event{Kind: selftune.CoreLoadEvent, At: at(500), Core: -1, Loads: []float64{0.65, 0.15}})
 	c.Observe(selftune.Event{Kind: selftune.AdmissionRejectEvent, At: at(600), Core: -1,
@@ -78,7 +80,7 @@ func TestWriteCSVGolden(t *testing.T) {
 		"# telemetry: budget trajectory of mplayer",
 		"# telemetry: budget trajectory of web-1",
 		"# telemetry: event counters",
-		"4,1,1,1,2",
+		"4,1,1,1,1,2",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("CSV output lacks %q", want)
@@ -115,9 +117,10 @@ func TestWriteTraceGolden(t *testing.T) {
 	for _, e := range tf.TraceEvents {
 		phases[e.Ph]++
 	}
-	// 3 metadata (process + 2 cores), 4 slices, 3 instants, 2 counters.
-	if phases["M"] != 3 || phases["X"] != 4 || phases["i"] != 3 || phases["C"] != 2 {
-		t.Errorf("event phase mix %v, want M:3 X:4 i:3 C:2", phases)
+	// 3 metadata (process + 2 cores), 4 slices, 4 instants (exhaust,
+	// migrate, steal batch, reject), 2 counters.
+	if phases["M"] != 3 || phases["X"] != 4 || phases["i"] != 4 || phases["C"] != 2 {
+		t.Errorf("event phase mix %v, want M:3 X:4 i:4 C:2", phases)
 	}
 	checkGolden(t, "snapshot.trace.json", b.Bytes())
 }

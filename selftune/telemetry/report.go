@@ -18,6 +18,7 @@ func (s Snapshot) Tables() []*report.Table {
 	counters.AddRowf("tuner ticks", s.Ticks)
 	counters.AddRowf("budget exhaustions", s.Exhaustions)
 	counters.AddRowf("migrations", s.Migrations)
+	counters.AddRowf("migration batches", s.Batches)
 	counters.AddRowf("admission rejects", s.Rejects)
 	counters.AddRowf("load samples", s.LoadEvents)
 	out := []*report.Table{counters}

@@ -1,7 +1,8 @@
 // Package telemetry is the measurement pipeline of the reproduction:
 // a streaming Collector that subscribes to a System's observer bus and
 // folds the event stream into typed series — counters (budget
-// exhaustions, migrations, admission rejects), gauges (per-core
+// exhaustions, migrations, balancer batches, admission rejects),
+// gauges (per-core
 // utilisation, per-workload budget) and fixed-bucket histograms
 // (supervisor compression error, per-core slack) — plus exporters that
 // turn a Snapshot into the paper's figure data (CSV), a Chrome
@@ -70,6 +71,17 @@ type MigrationRecord struct {
 	Reason   string
 }
 
+// BatchRecord is one executed balancer batch: a destination core
+// claiming Count migration units of one plan through the steal path
+// (every policy's moves flow through it; only the work-stealing
+// policy's batches typically exceed one unit).
+type BatchRecord struct {
+	At     selftune.Time
+	Core   int // the claiming (destination) core
+	Count  int
+	Reason string
+}
+
 // RejectRecord is one machine-wide admission rejection.
 type RejectRecord struct {
 	At     selftune.Time
@@ -135,6 +147,7 @@ type Snapshot struct {
 	Ticks       int
 	Exhaustions int
 	Migrations  int
+	Batches     int // executed balancer batches (MigrationBatchEvent)
 	Rejects     int
 	LoadEvents  int
 
@@ -148,6 +161,7 @@ type Snapshot struct {
 	Sources     []SourceSeries // sorted by name
 	Exhausts    []ExhaustRecord
 	Moves       []MigrationRecord
+	MoveBatches []BatchRecord
 	Rejections  []RejectRecord
 
 	// Fixed-bucket histograms: the supervisor's relative compression
@@ -168,6 +182,7 @@ type Collector struct {
 	ticks       int
 	exhaustions int
 	migrations  int
+	batches     int
 	rejections  int
 	loadEvents  int
 
@@ -176,6 +191,7 @@ type Collector struct {
 	sources     map[string]*SourceSeries
 	exhausts    []ExhaustRecord
 	moves       []MigrationRecord
+	moveBatches []BatchRecord
 	rejects     []RejectRecord
 
 	tunerError Histogram
@@ -288,6 +304,12 @@ func (c *Collector) Observe(e selftune.Event) {
 			At: e.At, From: e.From, To: e.Core, Source: e.Source, Reason: e.Reason,
 		})
 		c.moves = trim(c.moves, c.capacity)
+	case selftune.MigrationBatchEvent:
+		c.batches++
+		c.moveBatches = append(c.moveBatches, BatchRecord{
+			At: e.At, Core: e.Core, Count: e.Count, Reason: e.Reason,
+		})
+		c.moveBatches = trim(c.moveBatches, c.capacity)
 	case selftune.AdmissionRejectEvent:
 		c.rejections++
 		c.rejects = append(c.rejects, RejectRecord{At: e.At, Source: e.Source, Reason: e.Reason})
@@ -304,12 +326,14 @@ func (c *Collector) Snapshot() Snapshot {
 		Ticks:       c.ticks,
 		Exhaustions: c.exhaustions,
 		Migrations:  c.migrations,
+		Batches:     c.batches,
 		Rejects:     c.rejections,
 		LoadEvents:  c.loadEvents,
 		Cores:       len(c.loads),
 		Loads:       append([]float64(nil), c.loads...),
 		Exhausts:    append([]ExhaustRecord(nil), c.exhausts...),
 		Moves:       append([]MigrationRecord(nil), c.moves...),
+		MoveBatches: append([]BatchRecord(nil), c.moveBatches...),
 		Rejections:  append([]RejectRecord(nil), c.rejects...),
 		TunerError:  c.tunerError.clone(),
 		Slack:       c.slack.clone(),

@@ -113,6 +113,7 @@ func TestCollectorConcurrentPublishAndSnapshot(t *testing.T) {
 		{Kind: selftune.BudgetExhaustedEvent, Core: 1, Source: "b"},
 		{Kind: selftune.CoreLoadEvent, Core: -1, Loads: []float64{0.4, 0.6}},
 		{Kind: selftune.MigrationEvent, Core: 1, From: 0, Source: "a", Reason: "manual"},
+		{Kind: selftune.MigrationBatchEvent, Core: 1, From: -1, Reason: "steal", Count: 3},
 		{Kind: selftune.AdmissionRejectEvent, Core: -1, Source: "c", Reason: "full"},
 	}
 	for g := 0; g < 8; g++ {
@@ -135,7 +136,7 @@ func TestCollectorConcurrentPublishAndSnapshot(t *testing.T) {
 	}
 	wg.Wait()
 	s := c.Snapshot()
-	if total := s.Ticks + s.Exhaustions + s.Migrations + s.Rejects + s.LoadEvents; total != 8*500 {
+	if total := s.Ticks + s.Exhaustions + s.Migrations + s.Batches + s.Rejects + s.LoadEvents; total != 8*500 {
 		t.Errorf("folded %d events, want %d", total, 8*500)
 	}
 }

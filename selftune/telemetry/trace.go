@@ -21,7 +21,9 @@ import (
 //   - instant events for budget exhaustions (thread-scoped, on the
 //     exhausting core) and admission rejects (global);
 //   - migrations as flow-style instant events on the destination core,
-//     with the origin in args;
+//     with the origin in args; balancer batches (a core stealing
+//     several units in one tick) as thread-scoped instants on the
+//     claiming core's track;
 //   - a counter track with the per-core utilisation samples.
 
 // traceEvent is one entry of the traceEvents array.
@@ -59,7 +61,7 @@ func (s Snapshot) WriteTrace(w io.Writer) error {
 		}
 	}
 	events := make([]traceEvent, 0,
-		2+cores+len(s.LoadSamples)+len(s.Exhausts)+len(s.Moves)+len(s.Rejections))
+		2+cores+len(s.LoadSamples)+len(s.Exhausts)+len(s.Moves)+len(s.MoveBatches)+len(s.Rejections))
 
 	// Metadata: process and per-core thread names.
 	events = append(events, traceEvent{
@@ -106,6 +108,20 @@ func (s Snapshot) WriteTrace(w io.Writer) error {
 			Name: "migrate " + mv.Source, Cat: "balance", Ph: "i", S: "g",
 			TS: us(mv.At), PID: machinePID, TID: mv.To,
 			Args: map[string]any{"from": mv.From, "to": mv.To, "reason": mv.Reason},
+		})
+	}
+	for _, b := range s.MoveBatches {
+		// Batches of actual steals read "steal N"; a push policy's
+		// one-unit claims keep their own trigger as the label, so a
+		// periodic run's timeline never shows phantom steal markers.
+		name := b.Reason
+		if b.Reason == "steal" {
+			name = "steal " + strconv.Itoa(b.Count)
+		}
+		events = append(events, traceEvent{
+			Name: name, Cat: "balance", Ph: "i", S: "t",
+			TS: us(b.At), PID: machinePID, TID: b.Core,
+			Args: map[string]any{"count": b.Count, "reason": b.Reason},
 		})
 	}
 	for _, rj := range s.Rejections {

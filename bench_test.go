@@ -203,6 +203,24 @@ func BenchmarkMigrationContention64Core(b *testing.B) {
 	b.ReportMetric(last.RecoverySpreadEnd, "spread_after")
 }
 
+// BenchmarkNUMAContention64Core prices migrations on a 4×16-core NUMA
+// machine: the per-node consolidated boot recovered by plain
+// work-stealing versus the topology-aware cost-based policy. The
+// headline metrics are the final recovery spread, the migration
+// count, and the fraction of moves that crossed a node boundary —
+// topology-aware must cut cross-node traffic at a comparable spread.
+func BenchmarkNUMAContention64Core(b *testing.B) {
+	var last experiments.NUMAResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.NUMAContention(uint64(i+1), 4, 16, 2*simtime.Second)
+	}
+	b.ReportMetric(last.Topo.SpreadEnd, "spread_after")
+	b.ReportMetric(float64(last.Topo.Migrations), "migrations")
+	b.ReportMetric(last.Topo.CrossNodeFraction, "xnode_frac")
+	b.ReportMetric(last.Steal.SpreadEnd, "spread_after_steal")
+	b.ReportMetric(last.Steal.CrossNodeFraction, "xnode_frac_steal")
+}
+
 // BenchmarkTelemetryScenario times the full measurement pipeline —
 // collector folding plus both exporters — on the 4-core showcase.
 func BenchmarkTelemetryScenario(b *testing.B) {

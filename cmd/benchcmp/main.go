@@ -1,24 +1,35 @@
 // Benchcmp is the CI regression gate for benchmark metrics: it
-// compares the custom metrics of one benchmark between two `go test
-// -bench` output files (the previous run's uploaded artifact and the
-// current run) and fails when a watched metric regressed by more than
-// the tolerance.
+// compares the custom metrics of one or more benchmarks between two
+// `go test -bench` output files (the previous run's uploaded artifact
+// and the current run) and fails when a watched metric regressed by
+// more than the tolerance.
 //
-//	go run ./cmd/benchcmp -bench BenchmarkMigrationContention64Core \
-//	    -metric spread_after -metric migrations -tolerance 0.20 \
-//	    baseline/bench.txt bench.txt
+// Flags form repeated blocks: each -bench starts a new block and the
+// -metric flags that follow attach to it, so one invocation gates
+// several benchmarks against the same pair of files:
+//
+//	go run ./cmd/benchcmp \
+//	    -bench BenchmarkMigrationContention64Core \
+//	    -metric spread_after -metric migrations \
+//	    -bench BenchmarkNUMAContention64Core \
+//	    -metric xnode_frac -metric spread_after \
+//	    -tolerance 0.20 baseline/bench.txt bench.txt
 //
 // Watched metrics are named explicitly and must be lower-is-better:
 // the gate fails when new > old*(1+tolerance) + slack. The absolute
 // slack keeps near-zero metrics (a spread of 0.1) from tripping on
-// noise a relative bound cannot express. A metric missing from the
-// baseline is skipped with a note (the baseline may predate it); a
-// metric missing from the current run fails (the benchmark stopped
-// reporting it).
+// noise a relative bound cannot express.
+//
+// Missing data is asymmetric by design. A benchmark (or metric) absent
+// from the *baseline* is skipped with a note — the baseline artifact
+// may simply predate a newly added benchmark, and the first run after
+// adding one seeds the gate. A benchmark (or metric) absent from the
+// *current* run is an explicit failure: the suite stopped running or
+// reporting something the gate watches, which is exactly the
+// regression the gate exists to catch.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -27,16 +38,45 @@ import (
 	"strings"
 )
 
-// metricList collects repeated -metric flags.
-type metricList []string
+// block is one -bench flag with the -metric flags that followed it.
+type block struct {
+	bench   string
+	metrics []string
+}
 
-func (m *metricList) String() string { return strings.Join(*m, ",") }
+// blockFlags accumulates the repeated -bench/-metric flags in order:
+// the standard flag package calls Set in command-line order, so the
+// two flag.Values share this struct and -metric attaches to the block
+// the most recent -bench opened.
+type blockFlags struct {
+	blocks []*block
+}
 
-func (m *metricList) Set(v string) error {
+type benchFlag struct{ f *blockFlags }
+
+func (b benchFlag) String() string { return "" }
+
+func (b benchFlag) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty benchmark name")
+	}
+	b.f.blocks = append(b.f.blocks, &block{bench: v})
+	return nil
+}
+
+type metricFlag struct{ f *blockFlags }
+
+func (m metricFlag) String() string { return "" }
+
+func (m metricFlag) Set(v string) error {
 	if v == "" {
 		return fmt.Errorf("empty metric name")
 	}
-	*m = append(*m, v)
+	if len(m.f.blocks) == 0 {
+		return fmt.Errorf("-metric %s before any -bench", v)
+	}
+	last := m.f.blocks[len(m.f.blocks)-1]
+	last.metrics = append(last.metrics, v)
 	return nil
 }
 
@@ -45,11 +85,10 @@ func (m *metricList) Set(v string) error {
 // (ns/op, custom ReportMetric units, allocs). Multiple result lines
 // for the same benchmark (higher -benchtime counts, -cpu variants)
 // keep the last value.
-func parseBench(r io.Reader, bench string) (map[string]float64, error) {
+func parseBench(text, bench string) map[string]float64 {
 	out := make(map[string]float64)
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
 		if len(fields) < 4 {
 			continue
 		}
@@ -69,74 +108,88 @@ func parseBench(r io.Reader, bench string) (map[string]float64, error) {
 			out[rest[i+1]] = v
 		}
 	}
-	return out, sc.Err()
+	return out
+}
+
+// compare gates every block's metrics of newText against oldText and
+// returns an error when any watched metric regressed, stopped being
+// reported, or its benchmark disappeared from the current run.
+func compare(blocks []*block, oldText, newText string, tolerance, slack float64, w io.Writer) error {
+	failed := false
+	for _, bl := range blocks {
+		old := parseBench(oldText, bl.bench)
+		cur := parseBench(newText, bl.bench)
+		if len(cur) == 0 {
+			// The gate's reason to exist: a watched benchmark that no
+			// longer runs (or crashes before reporting) must fail loudly,
+			// never ride through as "nothing to compare".
+			fmt.Fprintf(w, "FAIL %s: benchmark missing from current run (present in baseline: %v)\n",
+				bl.bench, len(old) > 0)
+			failed = true
+			continue
+		}
+		if len(old) == 0 {
+			// A baseline without the benchmark cannot gate anything; CI
+			// treats the first run after adding a benchmark as the seed.
+			fmt.Fprintf(w, "skip %s: absent from baseline; seeding from this run\n", bl.bench)
+			continue
+		}
+		for _, unit := range bl.metrics {
+			now, ok := cur[unit]
+			if !ok {
+				fmt.Fprintf(w, "FAIL %s %s: metric missing from current run\n", bl.bench, unit)
+				failed = true
+				continue
+			}
+			was, ok := old[unit]
+			if !ok {
+				fmt.Fprintf(w, "skip %s %s: metric absent from baseline\n", bl.bench, unit)
+				continue
+			}
+			bound := was*(1+tolerance) + slack
+			status := "ok  "
+			if now > bound {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Fprintf(w, "%s %s %s: %g -> %g (bound %g)\n", status, bl.bench, unit, was, now, bound)
+		}
+	}
+	if failed {
+		return fmt.Errorf("benchmark metrics regressed beyond %.0f%%", tolerance*100)
+	}
+	return nil
 }
 
 func run() error {
 	var (
-		bench     = flag.String("bench", "", "benchmark name to compare (required)")
+		blocks    blockFlags
 		tolerance = flag.Float64("tolerance", 0.20, "allowed relative regression")
 		slack     = flag.Float64("slack", 0.02, "absolute slack added on top of the relative bound")
-		metrics   metricList
 	)
-	flag.Var(&metrics, "metric", "lower-is-better metric unit to gate on; repeatable, at least one required")
+	flag.Var(benchFlag{&blocks}, "bench", "benchmark name; starts a block, repeatable")
+	flag.Var(metricFlag{&blocks}, "metric", "lower-is-better metric unit gated for the preceding -bench; repeatable, at least one per block")
 	flag.Parse()
-	if *bench == "" || len(metrics) == 0 || flag.NArg() != 2 {
+	if len(blocks.blocks) == 0 || flag.NArg() != 2 {
 		// Metrics must be named explicitly: the gate is lower-is-better,
 		// and a benchmark's units mix directions (admitted counts grow
 		// on improvement) — auto-gating everything would fail on wins.
-		return fmt.Errorf("usage: benchcmp -bench <name> -metric <unit> [-metric <unit>]... [-tolerance 0.20] old.txt new.txt")
+		return fmt.Errorf("usage: benchcmp -bench <name> -metric <unit> [-metric <unit>]... [-bench <name> -metric <unit>...] [-tolerance 0.20] old.txt new.txt")
 	}
-	read := func(path string) (map[string]float64, error) {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
+	for _, bl := range blocks.blocks {
+		if len(bl.metrics) == 0 {
+			return fmt.Errorf("-bench %s names no -metric to gate on", bl.bench)
 		}
-		defer f.Close()
-		return parseBench(f, *bench)
 	}
-	old, err := read(flag.Arg(0))
+	oldText, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		return err
 	}
-	cur, err := read(flag.Arg(1))
+	newText, err := os.ReadFile(flag.Arg(1))
 	if err != nil {
 		return err
 	}
-	if len(cur) == 0 {
-		return fmt.Errorf("benchmark %s not found in %s", *bench, flag.Arg(1))
-	}
-	if len(old) == 0 {
-		// A baseline without the benchmark cannot gate anything; CI
-		// treats the first run after adding a benchmark as the seed.
-		fmt.Printf("benchcmp: %s absent from baseline %s; nothing to compare\n", *bench, flag.Arg(0))
-		return nil
-	}
-	failed := false
-	for _, unit := range metrics {
-		now, ok := cur[unit]
-		if !ok {
-			fmt.Printf("FAIL %s %s: metric missing from current run\n", *bench, unit)
-			failed = true
-			continue
-		}
-		was, ok := old[unit]
-		if !ok {
-			fmt.Printf("skip %s %s: metric absent from baseline\n", *bench, unit)
-			continue
-		}
-		bound := was*(1+*tolerance) + *slack
-		status := "ok  "
-		if now > bound {
-			status = "FAIL"
-			failed = true
-		}
-		fmt.Printf("%s %s %s: %g -> %g (bound %g)\n", status, *bench, unit, was, now, bound)
-	}
-	if failed {
-		return fmt.Errorf("benchmark metrics regressed beyond %.0f%%", *tolerance*100)
-	}
-	return nil
+	return compare(blocks.blocks, string(oldText), string(newText), *tolerance, *slack, os.Stdout)
 }
 
 func main() {

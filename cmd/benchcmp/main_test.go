@@ -10,14 +10,22 @@ goarch: amd64
 pkg: repro
 BenchmarkMigrationContention8Core 	       1	  42841132 ns/op	      16.00 admitted_rebalance	      15.00 admitted_static	       7.000 migrations	       0.1200 spread_after
 BenchmarkMigrationContention64Core 	       1	 169294643 ns/op	       128.0 admitted_rebalance	       127.0 admitted_static	        62.00 migrations	         0.1100 spread_after
+BenchmarkNUMAContention64Core 	       1	 301203111 ns/op	        52.00 migrations	         0.1050 spread_after	        0.1049 spread_after_steal	       0 xnode_frac	        0.7300 xnode_frac_steal
 PASS
 `
 
-func TestParseBenchExtractsMetrics(t *testing.T) {
-	got, err := parseBench(strings.NewReader(sample), "BenchmarkMigrationContention64Core")
-	if err != nil {
-		t.Fatal(err)
+// gate builds the block list a command line like
+// "-bench B1 -metric m -bench B2 -metric m..." would produce.
+func gate(pairs ...[]string) []*block {
+	var blocks []*block
+	for _, p := range pairs {
+		blocks = append(blocks, &block{bench: p[0], metrics: p[1:]})
 	}
+	return blocks
+}
+
+func TestParseBenchExtractsMetrics(t *testing.T) {
+	got := parseBench(sample, "BenchmarkMigrationContention64Core")
 	want := map[string]float64{
 		"ns/op":              169294643,
 		"admitted_rebalance": 128,
@@ -37,11 +45,149 @@ func TestParseBenchExtractsMetrics(t *testing.T) {
 }
 
 func TestParseBenchMissingBenchmark(t *testing.T) {
-	got, err := parseBench(strings.NewReader(sample), "BenchmarkNoSuchThing")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 0 {
+	if got := parseBench(sample, "BenchmarkNoSuchThing"); len(got) != 0 {
 		t.Errorf("found metrics for a missing benchmark: %v", got)
+	}
+}
+
+func TestCompareMultipleBlocksPass(t *testing.T) {
+	var out strings.Builder
+	err := compare(gate(
+		[]string{"BenchmarkMigrationContention64Core", "spread_after", "migrations"},
+		[]string{"BenchmarkNUMAContention64Core", "xnode_frac", "spread_after"},
+	), sample, sample, 0.20, 0.02, &out)
+	if err != nil {
+		t.Fatalf("identical files failed the gate: %v\n%s", err, out.String())
+	}
+	if strings.Count(out.String(), "ok  ") != 4 {
+		t.Errorf("expected 4 gated metrics across the blocks, got:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	regressed := strings.Replace(sample, "0.1050 spread_after", "0.9000 spread_after", 1)
+	var out strings.Builder
+	err := compare(gate(
+		[]string{"BenchmarkMigrationContention64Core", "spread_after"},
+		[]string{"BenchmarkNUMAContention64Core", "spread_after"},
+	), sample, regressed, 0.20, 0.02, &out)
+	if err == nil {
+		t.Fatalf("0.105 -> 0.9 spread passed the gate:\n%s", out.String())
+	}
+	// Only the NUMA block regressed; the other must still read ok.
+	if !strings.Contains(out.String(), "FAIL BenchmarkNUMAContention64Core spread_after") {
+		t.Errorf("missing per-block failure line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok   BenchmarkMigrationContention64Core spread_after") {
+		t.Errorf("healthy block dragged down:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsWhenBenchmarkMissingFromCurrent pins the fix for the
+// silent-pass hole: a benchmark the gate watches that is present in
+// the baseline but absent from the current run must fail with a clear
+// message — the suite stopped running it.
+func TestCompareFailsWhenBenchmarkMissingFromCurrent(t *testing.T) {
+	var withoutNUMA string
+	for _, line := range strings.Split(sample, "\n") {
+		if strings.HasPrefix(line, "BenchmarkNUMAContention64Core") {
+			continue
+		}
+		withoutNUMA += line + "\n"
+	}
+	var out strings.Builder
+	err := compare(gate(
+		[]string{"BenchmarkNUMAContention64Core", "xnode_frac"},
+	), sample, withoutNUMA, 0.20, 0.02, &out)
+	if err == nil {
+		t.Fatalf("benchmark missing from the current run passed silently:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "benchmark missing from current run") {
+		t.Errorf("failure message does not name the cause:\n%s", out.String())
+	}
+	// Same when the benchmark never existed anywhere: gating a
+	// nonexistent benchmark is a configuration error, not a pass.
+	out.Reset()
+	if err := compare(gate([]string{"BenchmarkNoSuchThing", "x"}),
+		sample, sample, 0.20, 0.02, &out); err == nil {
+		t.Errorf("gating a nonexistent benchmark passed:\n%s", out.String())
+	}
+}
+
+// TestCompareSkipsBenchmarkMissingFromBaseline pins the graceful half:
+// a benchmark newly added since the baseline artifact warns and seeds
+// instead of failing.
+func TestCompareSkipsBenchmarkMissingFromBaseline(t *testing.T) {
+	var oldFile string
+	for _, line := range strings.Split(sample, "\n") {
+		if strings.HasPrefix(line, "BenchmarkNUMAContention64Core") {
+			continue
+		}
+		oldFile += line + "\n"
+	}
+	var out strings.Builder
+	err := compare(gate(
+		[]string{"BenchmarkMigrationContention64Core", "spread_after"},
+		[]string{"BenchmarkNUMAContention64Core", "xnode_frac"},
+	), oldFile, sample, 0.20, 0.02, &out)
+	if err != nil {
+		t.Fatalf("newly added benchmark failed the gate against an older baseline: %v\n%s",
+			err, out.String())
+	}
+	if !strings.Contains(out.String(), "skip BenchmarkNUMAContention64Core: absent from baseline") {
+		t.Errorf("missing seed note:\n%s", out.String())
+	}
+}
+
+func TestCompareMetricMissingFromCurrentFails(t *testing.T) {
+	noFrac := strings.Replace(sample, "xnode_frac	", "other_unit	", 1)
+	var out strings.Builder
+	err := compare(gate([]string{"BenchmarkNUMAContention64Core", "xnode_frac"}),
+		sample, noFrac, 0.20, 0.02, &out)
+	if err == nil {
+		t.Fatalf("metric missing from current run passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "metric missing from current run") {
+		t.Errorf("failure message does not name the cause:\n%s", out.String())
+	}
+}
+
+func TestCompareMetricMissingFromBaselineSkips(t *testing.T) {
+	noFrac := strings.Replace(sample, "xnode_frac	", "other_unit	", 1)
+	var out strings.Builder
+	err := compare(gate([]string{"BenchmarkNUMAContention64Core", "xnode_frac", "spread_after"}),
+		noFrac, sample, 0.20, 0.02, &out)
+	if err != nil {
+		t.Fatalf("metric newly added since the baseline failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "skip BenchmarkNUMAContention64Core xnode_frac") {
+		t.Errorf("missing skip note:\n%s", out.String())
+	}
+}
+
+func TestBlockFlagsAttachMetricsInOrder(t *testing.T) {
+	var f blockFlags
+	b, m := benchFlag{&f}, metricFlag{&f}
+	if err := m.Set("orphan"); err == nil {
+		t.Error("-metric before any -bench accepted")
+	}
+	for _, step := range []struct {
+		flag interface{ Set(string) error }
+		v    string
+	}{
+		{b, "B1"}, {m, "m1"}, {m, "m2"}, {b, "B2"}, {m, "m3"},
+	} {
+		if err := step.flag.Set(step.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(f.blocks) != 2 {
+		t.Fatalf("%d blocks, want 2", len(f.blocks))
+	}
+	if got := strings.Join(f.blocks[0].metrics, ","); got != "m1,m2" {
+		t.Errorf("block 1 metrics %q, want m1,m2", got)
+	}
+	if got := strings.Join(f.blocks[1].metrics, ","); got != "m3" {
+		t.Errorf("block 2 metrics %q, want m3", got)
 	}
 }

@@ -12,7 +12,7 @@
 //	experiments all
 //
 // Experiments: fig1 fig2 table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// fig11 table2 fig12 fig13 fig14 table3 migration telemetry ablations
+// fig11 table2 fig12 fig13 fig14 table3 migration numa telemetry ablations
 package main
 
 import (
@@ -55,7 +55,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|fig2|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|fig12|fig13|fig14|table3|migration|telemetry|ablations|all>...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|fig2|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|fig12|fig13|fig14|table3|migration|numa|telemetry|ablations|all>...")
 		os.Exit(2)
 	}
 	want := make(map[string]bool)
@@ -177,6 +177,14 @@ func main() {
 	if run("migration") {
 		ran++
 		fmt.Fprintln(out, experiments.MigrationContention(*seed, 8, 4*simtime.Second).Table())
+	}
+	if run("numa") {
+		ran++
+		horizon := 4 * simtime.Second
+		if *quick {
+			horizon = 2 * simtime.Second
+		}
+		fmt.Fprintln(out, experiments.NUMAContention(*seed, 4, 16, horizon).Table())
 	}
 	if run("telemetry") {
 		ran++

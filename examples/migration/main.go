@@ -9,7 +9,11 @@
 // coldest one on a fixed period; under -policy reactive a sustained
 // imbalance across balance ticks makes the coldest core pull from the
 // hottest; under -policy stealing every cold core claims units in the
-// same tick, de-consolidating in one go. Each migration carries the
+// same tick, de-consolidating in one go; under -policy numa the cores
+// group into -nodes NUMA nodes and every candidate move is scored by
+// gain minus a distance-weighted cost, so the machine de-consolidates
+// with as few node crossings as the spread allows. Each migration
+// carries the
 // CBS server's remaining budget and deadline across schedulers, and
 // the tuner re-registers with the destination supervisor — playback
 // never stops. Policies are pluggable (selftune.Balancer): the map
@@ -39,8 +43,9 @@ import (
 
 func main() {
 	var (
-		policyName = flag.String("policy", "periodic", "balancer policy: none | periodic | reactive | stealing")
+		policyName = flag.String("policy", "periodic", "balancer policy: none | periodic | reactive | stealing | numa")
 		cpus       = flag.Int("cpus", 4, "number of scheduling cores")
+		nodes      = flag.Int("nodes", 2, "NUMA nodes the cores group into (1 = flat machine)")
 		duration   = flag.Duration("duration", 0, "simulated run time (wall-clock syntax, e.g. 8s)")
 		seed       = flag.Uint64("seed", 17, "simulation seed")
 		tracePath  = flag.String("trace", "", "export the recovery phase as Chrome trace-event JSON")
@@ -51,6 +56,7 @@ func main() {
 		"periodic": selftune.BalancePeriodic(),
 		"reactive": selftune.BalanceReactive(),
 		"stealing": selftune.BalanceWorkStealing(),
+		"numa":     selftune.BalanceTopologyAware(),
 	}
 	policy, ok := policies[*policyName]
 	if !ok {
@@ -61,10 +67,20 @@ func main() {
 	if horizon <= 0 {
 		horizon = 8 * selftune.Second
 	}
+	if *nodes < 1 || *cpus%*nodes != 0 {
+		fmt.Fprintf(os.Stderr, "-nodes %d does not divide -cpus %d\n", *nodes, *cpus)
+		os.Exit(2)
+	}
+	// The topology groups the cores into -nodes equal NUMA nodes. Only
+	// the "numa" policy prices node crossings, but every run gets the
+	// per-domain telemetry (node lanes in the trace, cross-node counter)
+	// once more than one node exists.
+	topology := selftune.UniformTopology(*cpus, *cpus / *nodes)
 
 	sys, err := selftune.NewSystem(
 		selftune.WithSeed(*seed),
 		selftune.WithCPUs(*cpus),
+		selftune.WithTopology(topology),
 		selftune.WithBalancer(policy),
 		selftune.WithBalanceInterval(500*selftune.Millisecond),
 		selftune.WithBalanceThreshold(0.15),
@@ -92,7 +108,8 @@ func main() {
 		tenants = append(tenants, h)
 	}
 
-	fmt.Printf("recovery phase: policy=%s cpus=%d, all tenants booted on core 0\n\n", *policyName, sys.CPUs())
+	fmt.Printf("recovery phase: policy=%s cpus=%d nodes=%d, all tenants booted on core 0\n\n",
+		*policyName, sys.CPUs(), sys.Topology().NumDomains())
 	sys.Run(horizon)
 	stop()
 	snap := col.Snapshot()
@@ -130,6 +147,7 @@ func main() {
 	frag, err := selftune.NewSystem(
 		selftune.WithSeed(*seed+1),
 		selftune.WithCPUs(*cpus),
+		selftune.WithTopology(topology),
 		selftune.WithULub(0.90),
 		selftune.WithBalancer(policy),
 	)

@@ -41,6 +41,10 @@ type Machine struct {
 	mu         sync.Mutex
 	placed     []float64 // bandwidth hints accepted per core
 	migrations int
+	crossNode  int // migrations that crossed a topology domain
+
+	topo     Topology
+	domainOf []int // per-core domain index, aligned with cores
 }
 
 // New builds a machine with n cores, each supervised at ulub.
@@ -48,7 +52,7 @@ func New(engine *sim.Engine, n int, ulub float64) *Machine {
 	if n <= 0 {
 		panic("smp: need at least one core")
 	}
-	m := &Machine{engine: engine, placed: make([]float64, n)}
+	m := &Machine{engine: engine, placed: make([]float64, n), domainOf: make([]int, n)}
 	for i := 0; i < n; i++ {
 		// Disjoint PID ranges per core: the cores share one syscall
 		// tracer, and per-PID trace drains must never mix tasks from
@@ -259,6 +263,9 @@ func (m *Machine) migrateGroup(g sched.Group, from, to int, hint float64, admit 
 		m.placed[to] = 0
 	}
 	m.migrations++
+	if m.domainAt(from) != m.domainAt(to) {
+		m.crossNode++
+	}
 	m.mu.Unlock()
 	return nil
 }

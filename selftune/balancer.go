@@ -85,9 +85,37 @@ type Snapshot struct {
 	Reserved []float64
 	// ULub is the per-core supervisor utilisation bound.
 	ULub []float64
+	// Domain is the per-core cache/NUMA domain index (all zero without
+	// WithTopology). Distance derives migration cost from it.
+	Domain []int
 	// Units are the machine's migration units; Move references them by
 	// index.
 	Units []Unit
+}
+
+// Distance returns the migration distance between two cores: 0 within
+// a cache/NUMA domain, 1 across domains. Out-of-range cores (and
+// machines without a topology) are distance 0.
+func (s Snapshot) Distance(a, b int) int {
+	if a < 0 || b < 0 || a >= len(s.Domain) || b >= len(s.Domain) {
+		return 0
+	}
+	if s.Domain[a] == s.Domain[b] {
+		return 0
+	}
+	return 1
+}
+
+// NumDomains returns how many cache/NUMA domains the snapshot's cores
+// span (1 without a topology).
+func (s Snapshot) NumDomains() int {
+	max := 0
+	for _, d := range s.Domain {
+		if d > max {
+			max = d
+		}
+	}
+	return max + 1
 }
 
 // Unit is one migration unit of a Snapshot: the set of CBS servers
@@ -478,6 +506,7 @@ func (s *System) snapshot(reason string, pendingHint float64, units []*migUnit) 
 		Loads:       s.machine.Loads(),
 		Reserved:    make([]float64, n),
 		ULub:        make([]float64, n),
+		Domain:      s.machine.DomainMap(),
 		Units:       make([]Unit, len(units)),
 	}
 	for i := 0; i < n; i++ {

@@ -24,7 +24,8 @@ const (
 	// MigrationEvent fires when a workload's reservation moves between
 	// cores: Event.Source names the workload, Event.From the origin
 	// core, Event.Core the destination, and Event.Reason the trigger
-	// ("periodic", "imbalance", "admission" or "manual").
+	// ("periodic", "imbalance", "steal", "numa", "admission" or
+	// "manual").
 	MigrationEvent
 	// AdmissionRejectEvent fires when Spawn turns a workload away
 	// because no core can take its bandwidth hint (after the balancer's
@@ -85,8 +86,8 @@ type Event struct {
 	// destination); meaningless for other kinds.
 	From int
 	// Reason is what triggered a MigrationEvent or MigrationBatchEvent
-	// ("periodic", "imbalance", "steal", "admission" or "manual") or
-	// the placement error of an AdmissionRejectEvent.
+	// ("periodic", "imbalance", "steal", "numa", "admission" or
+	// "manual") or the placement error of an AdmissionRejectEvent.
 	Reason string
 	// Count is the number of units moved by a MigrationBatchEvent;
 	// zero for other kinds.

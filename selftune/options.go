@@ -37,6 +37,8 @@ type options struct {
 	balancer     Balancer
 	balanceEvery Duration
 	imbalance    float64
+	topo         Topology
+	topoSet      bool
 }
 
 func defaultOptions() options {
@@ -114,10 +116,30 @@ func WithClock(c Clock) Option {
 	}
 }
 
+// WithTopology groups the machine's cores into cache/NUMA domains, so
+// distance-aware policies (BalanceTopologyAware) and the per-domain
+// telemetry know which migrations cross a node boundary. The topology
+// must partition the cores: build one with UniformTopology (consecutive
+// nodes of a fixed width) or list the domains explicitly; passing the
+// zero value selects the default grouping of 8 consecutive cores per
+// node. Whether the partition matches WithCPUs is checked by NewSystem,
+// which knows the core count. Without this option the machine is a
+// single domain and every migration is local — exactly the pre-topology
+// behaviour. Validation needs the core count, so it all happens in
+// NewSystem (smp.Topology.Validate), not here.
+func WithTopology(t Topology) Option {
+	return func(o *options) error {
+		o.topo = t
+		o.topoSet = true
+		return nil
+	}
+}
+
 // WithBalancer installs a cross-core load-balancing policy. The
 // built-ins are BalancePeriodic() (one push migration per tick),
-// BalanceReactive() (pull after sustained imbalance) and
-// BalanceWorkStealing() (multi-migration de-consolidation); any
+// BalanceReactive() (pull after sustained imbalance),
+// BalanceWorkStealing() (multi-migration de-consolidation) and
+// BalanceTopologyAware() (cost-based placement over WithTopology); any
 // user-supplied Balancer implementation works the same way. nil — the
 // default — freezes placement at spawn time, the paper's partitioned
 // configuration. Any non-nil balancer also makes admission

@@ -32,6 +32,7 @@ import (
 	"repro/internal/ktrace"
 	"repro/internal/sched"
 	"repro/internal/simtime"
+	"repro/internal/smp"
 	"repro/internal/supervisor"
 	"repro/internal/workload"
 )
@@ -79,6 +80,9 @@ type (
 	Player = workload.Player
 	// PlayerConfig parameterises a Player.
 	PlayerConfig = workload.PlayerConfig
+	// Topology groups a machine's cores into cache/NUMA domains
+	// (install one with WithTopology).
+	Topology = smp.Topology
 )
 
 // Re-exported CBS modes.
@@ -91,3 +95,12 @@ const (
 
 // DefaultTunerConfig returns the paper's standard tuner parameters.
 func DefaultTunerConfig() TunerConfig { return core.DefaultConfig() }
+
+// UniformTopology groups cores into consecutive NUMA nodes of
+// coresPerNode each (the last node takes the remainder). coresPerNode
+// <= 0 selects the default of 8 cores per node.
+func UniformTopology(cores, coresPerNode int) Topology { return smp.Uniform(cores, coresPerNode) }
+
+// FlatTopology returns the degenerate single-domain topology — every
+// core in one node, the behaviour of a machine without WithTopology.
+func FlatTopology(cores int) Topology { return smp.Flat(cores) }

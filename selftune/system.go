@@ -65,6 +65,15 @@ func NewSystem(opts ...Option) (*System, error) {
 		clock:      o.clock,
 		loadSample: o.loadSample,
 	}
+	if o.topoSet {
+		topo := o.topo
+		if topo.Empty() {
+			topo = smp.Uniform(o.cpus, smp.DefaultNodeCores)
+		}
+		if err := s.machine.SetTopology(topo); err != nil {
+			return nil, fmt.Errorf("selftune: WithTopology: %w", err)
+		}
+	}
 	if s.clock == nil {
 		s.clock = engineClock{eng}
 	}
@@ -116,6 +125,10 @@ func (c Core) Supervisor() *Supervisor { return c.sys.machine.Supervisor(c.Index
 // hints accepted for it and its actually reserved bandwidth.
 func (c Core) Load() float64 { return c.sys.machine.Load(c.Index) }
 
+// Domain returns the index of the cache/NUMA domain the core belongs
+// to (0 on a machine without WithTopology).
+func (c Core) Domain() int { return c.sys.machine.DomainOf(c.Index) }
+
 // CPUs returns the number of cores.
 func (s *System) CPUs() int { return s.machine.Cores() }
 
@@ -130,6 +143,10 @@ func (s *System) Core(i int) Core {
 // Machine exposes the underlying multiprocessor, for placement-aware
 // callers (per-core loads, total utilisation).
 func (s *System) Machine() *smp.Machine { return s.machine }
+
+// Topology returns the machine's cache/NUMA domain grouping (the zero
+// value — a single implicit domain — unless WithTopology set one).
+func (s *System) Topology() Topology { return s.machine.Topology() }
 
 // Tracer exposes the system-wide syscall tracer.
 func (s *System) Tracer() *Tracer { return s.tracer }

@@ -12,20 +12,17 @@ import (
 // signal: the per-core utilisation trajectory, one budget trajectory
 // per tuned workload, and the two fixed-bucket histograms.
 
-// LoadSeries returns the per-core utilisation trajectory as a series
-// (time_s, core0..coreN), or nil when no load sample arrived.
-func (s Snapshot) LoadSeries() *report.Series {
-	if len(s.LoadSamples) == 0 {
-		return nil
-	}
-	cols := make([]string, 1, s.Cores+1)
+// sampleSeries renders a load-sample trajectory as a series
+// (time_s, <prefix>0..<prefix>N) over width columns.
+func sampleSeries(title, prefix string, width int, samples []LoadSample) *report.Series {
+	cols := make([]string, 1, width+1)
 	cols[0] = "time_s"
-	for i := 0; i < s.Cores; i++ {
-		cols = append(cols, fmt.Sprintf("core%d", i))
+	for i := 0; i < width; i++ {
+		cols = append(cols, fmt.Sprintf("%s%d", prefix, i))
 	}
-	out := report.NewSeries("telemetry: per-core utilisation", cols...)
+	out := report.NewSeries(title, cols...)
 	row := make([]float64, len(cols))
-	for _, ls := range s.LoadSamples {
+	for _, ls := range samples {
 		row[0] = ls.At.Seconds()
 		for i := 1; i < len(cols); i++ {
 			if i-1 < len(ls.Loads) {
@@ -37,6 +34,26 @@ func (s Snapshot) LoadSeries() *report.Series {
 		out.Add(row...)
 	}
 	return out
+}
+
+// LoadSeries returns the per-core utilisation trajectory as a series
+// (time_s, core0..coreN), or nil when no load sample arrived.
+func (s Snapshot) LoadSeries() *report.Series {
+	if len(s.LoadSamples) == 0 {
+		return nil
+	}
+	return sampleSeries("telemetry: per-core utilisation", "core", s.Cores, s.LoadSamples)
+}
+
+// DomainSeries returns the per-domain mean-utilisation trajectory as a
+// series (time_s, node0..nodeN), or nil when the collector had no
+// multi-node topology (WithDomains) or no load sample arrived.
+func (s Snapshot) DomainSeries() *report.Series {
+	if len(s.DomainSamples) == 0 {
+		return nil
+	}
+	return sampleSeries("telemetry: per-domain utilisation", "node",
+		len(s.DomainSamples[0].Loads), s.DomainSamples)
 }
 
 // SourceSeriesCSV returns one workload's budget trajectory as a series
@@ -74,9 +91,12 @@ func histogramSeries(title string, h Histogram) *report.Series {
 // counters series. The format regenerates the paper's figure data; any
 // plotting tool (and cmd/periodscope's CSV reader idiom) consumes it.
 func (s Snapshot) WriteCSV(w io.Writer) error {
-	series := make([]*report.Series, 0, len(s.Sources)+4)
+	series := make([]*report.Series, 0, len(s.Sources)+5)
 	if ls := s.LoadSeries(); ls != nil {
 		series = append(series, ls)
+	}
+	if ds := s.DomainSeries(); ds != nil {
+		series = append(series, ds)
 	}
 	for _, src := range s.Sources {
 		if ss := s.SourceSeriesCSV(src); ss != nil {
@@ -87,10 +107,19 @@ func (s Snapshot) WriteCSV(w io.Writer) error {
 		histogramSeries("telemetry: supervisor compression error (requested-granted)/requested", s.TunerError),
 		histogramSeries("telemetry: per-core slack 1-load", s.Slack))
 
-	counters := report.NewSeries("telemetry: event counters",
-		"tuner_ticks", "exhaustions", "migrations", "migration_batches", "admission_rejects", "load_samples")
-	counters.Add(float64(s.Ticks), float64(s.Exhaustions), float64(s.Migrations),
-		float64(s.Batches), float64(s.Rejects), float64(s.LoadEvents))
+	// A topology-aware collector grows a cross-node column; a flat one
+	// keeps the historical shape, so existing figure pipelines never
+	// see a surprise column.
+	cols := []string{"tuner_ticks", "exhaustions", "migrations", "migration_batches",
+		"admission_rejects", "load_samples"}
+	vals := []float64{float64(s.Ticks), float64(s.Exhaustions), float64(s.Migrations),
+		float64(s.Batches), float64(s.Rejects), float64(s.LoadEvents)}
+	if len(s.Domain) > 0 {
+		cols = append(cols, "cross_node_migrations")
+		vals = append(vals, float64(s.CrossNodeMigrations))
+	}
+	counters := report.NewSeries("telemetry: event counters", cols...)
+	counters.Add(vals...)
 	series = append(series, counters)
 
 	for i, sr := range series {

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/selftune"
+)
+
+// domainCollector folds a small event sequence into a collector that
+// knows a 2×2 topology (cores {0,1} in node 0, {2,3} in node 1).
+func domainCollector() *Collector {
+	c := NewCollector(WithDomains([]int{0, 0, 1, 1}))
+	ms := func(n int) selftune.Duration { return selftune.Duration(n) * selftune.Millisecond }
+	at := func(n int) selftune.Time { return selftune.Time(ms(n)) }
+	// Binary-exact loads, so the per-node means compare exactly.
+	c.Observe(selftune.Event{Kind: selftune.CoreLoadEvent, At: at(250), Core: -1,
+		Loads: []float64{0.75, 0.25, 0.25, 0.0}})
+	c.Observe(selftune.Event{Kind: selftune.MigrationEvent, At: at(300), Core: 1, From: 0,
+		Source: "a", Reason: "numa"})
+	c.Observe(selftune.Event{Kind: selftune.MigrationEvent, At: at(350), Core: 2, From: 0,
+		Source: "b", Reason: "numa"})
+	c.Observe(selftune.Event{Kind: selftune.CoreLoadEvent, At: at(500), Core: -1,
+		Loads: []float64{0.5, 0.5, 0.5, 0.25}})
+	return c
+}
+
+func TestCollectorFoldsDomains(t *testing.T) {
+	snap := domainCollector().Snapshot()
+	if len(snap.Domain) != 4 || snap.Domain[2] != 1 {
+		t.Fatalf("snapshot domain map %v, want [0 0 1 1]", snap.Domain)
+	}
+	if len(snap.DomainLoads) != 2 {
+		t.Fatalf("domain load gauge %v, want 2 nodes", snap.DomainLoads)
+	}
+	// Latest sample: node 0 mean (0.5+0.5)/2, node 1 mean (0.5+0.25)/2.
+	if snap.DomainLoads[0] != 0.5 || snap.DomainLoads[1] != 0.375 {
+		t.Errorf("domain loads %v, want [0.5 0.375]", snap.DomainLoads)
+	}
+	if len(snap.DomainSamples) != 2 {
+		t.Fatalf("%d domain samples, want 2", len(snap.DomainSamples))
+	}
+	if snap.DomainSamples[0].Loads[0] != 0.5 || snap.DomainSamples[0].Loads[1] != 0.125 {
+		t.Errorf("first domain sample %v, want [0.5 0.125]", snap.DomainSamples[0].Loads)
+	}
+	// One migration stayed in node 0 (0->1), one crossed (0->2).
+	if snap.Migrations != 2 || snap.CrossNodeMigrations != 1 {
+		t.Errorf("migrations %d / cross-node %d, want 2 / 1", snap.Migrations, snap.CrossNodeMigrations)
+	}
+}
+
+func TestFlatCollectorHasNoDomainSignals(t *testing.T) {
+	c := NewCollector()
+	c.Observe(selftune.Event{Kind: selftune.CoreLoadEvent, At: 1, Core: -1, Loads: []float64{0.5, 0.2}})
+	c.Observe(selftune.Event{Kind: selftune.MigrationEvent, At: 2, Core: 1, From: 0, Source: "a"})
+	snap := c.Snapshot()
+	if len(snap.Domain) != 0 || len(snap.DomainLoads) != 0 || len(snap.DomainSamples) != 0 {
+		t.Error("flat collector grew domain signals")
+	}
+	if snap.CrossNodeMigrations != 0 {
+		t.Error("flat collector counted a cross-node migration")
+	}
+}
+
+// TestWithDomainsEmptyOptsOut pins the opt-out contract: an explicit
+// empty WithDomains switches the per-domain signals off even when an
+// earlier option (Attach's auto-wiring) installed a map.
+func TestWithDomainsEmptyOptsOut(t *testing.T) {
+	c := NewCollector(WithDomains([]int{0, 0, 1, 1}), WithDomains(nil))
+	c.Observe(selftune.Event{Kind: selftune.CoreLoadEvent, At: 1, Core: -1,
+		Loads: []float64{0.5, 0.2, 0.1, 0.0}})
+	c.Observe(selftune.Event{Kind: selftune.MigrationEvent, At: 2, Core: 2, From: 0, Source: "a"})
+	snap := c.Snapshot()
+	if len(snap.Domain) != 0 || len(snap.DomainSamples) != 0 || snap.CrossNodeMigrations != 0 {
+		t.Error("explicit empty WithDomains did not flatten the collector")
+	}
+}
+
+// TestDomainSnapshotDeepCopy pins the snapshot isolation contract for
+// the per-domain state: mutating a snapshot (or folding more events
+// into the live collector) must not leak through.
+func TestDomainSnapshotDeepCopy(t *testing.T) {
+	c := domainCollector()
+	snap := c.Snapshot()
+
+	// Mutate everything the snapshot handed out.
+	snap.Domain[0] = 99
+	snap.DomainLoads[0] = 99
+	snap.DomainSamples[0].Loads[0] = 99
+	snap.CrossNodeMigrations = 99
+
+	// The live collector keeps folding; a second snapshot must reflect
+	// only the real event stream.
+	c.Observe(selftune.Event{Kind: selftune.MigrationEvent, At: 400, Core: 3, From: 1,
+		Source: "c", Reason: "numa"})
+	again := c.Snapshot()
+	if again.Domain[0] != 0 {
+		t.Error("snapshot mutation leaked into the collector's domain map")
+	}
+	if again.DomainLoads[0] != 0.5 {
+		t.Errorf("snapshot mutation leaked into the domain gauge: %v", again.DomainLoads)
+	}
+	if again.DomainSamples[0].Loads[0] != 0.5 {
+		t.Errorf("snapshot mutation leaked into the domain series: %v", again.DomainSamples[0].Loads)
+	}
+	if again.CrossNodeMigrations != 2 {
+		t.Errorf("cross-node count %d, want 2 (one more fold after the first snapshot)",
+			again.CrossNodeMigrations)
+	}
+	// And the first snapshot kept its own copy of the new fold's view.
+	if snap.Migrations != 2 {
+		t.Errorf("first snapshot saw %d migrations, want its frozen 2", snap.Migrations)
+	}
+}
+
+func TestDomainCSVAndTables(t *testing.T) {
+	snap := domainCollector().Snapshot()
+	var b bytes.Buffer
+	if err := snap.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# telemetry: per-domain utilisation",
+		"time_s,node0,node1",
+		"0.25,0.5,0.125",
+		"cross_node_migrations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("domain CSV lacks %q", want)
+		}
+	}
+	var tb bytes.Buffer
+	for _, tab := range snap.Tables() {
+		tab.Render(&tb)
+	}
+	for _, want := range []string{"per-domain utilisation", "cross-node migrations"} {
+		if !strings.Contains(tb.String(), want) {
+			t.Errorf("tables lack %q", want)
+		}
+	}
+}
+
+// TestDomainTraceLanes checks the Chrome trace grows one process lane
+// per NUMA node, with each core's track under its node.
+func TestDomainTraceLanes(t *testing.T) {
+	var b bytes.Buffer
+	if err := domainCollector().Snapshot().WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &tf); err != nil {
+		t.Fatalf("domain trace does not parse: %v", err)
+	}
+	processes := map[string]int{}
+	corePID := map[int]int{}
+	nodeCounters := map[int]bool{}
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			processes[e.Args["name"].(string)] = e.PID
+		}
+		if e.Ph == "M" && e.Name == "thread_name" {
+			corePID[e.TID] = e.PID
+		}
+		if e.Ph == "C" && e.Name == "node utilisation" {
+			nodeCounters[e.PID] = true
+		}
+	}
+	if _, ok := processes["node 0"]; !ok {
+		t.Fatalf("no node 0 lane; processes: %v", processes)
+	}
+	if processes["node 1"]-processes["node 0"] != 1 {
+		t.Errorf("node lanes not adjacent: %v", processes)
+	}
+	if corePID[1] != processes["node 0"] || corePID[2] != processes["node 1"] {
+		t.Errorf("cores on wrong lanes: core->pid %v, processes %v", corePID, processes)
+	}
+	if len(nodeCounters) != 2 {
+		t.Errorf("node utilisation counters on %d lanes, want 2", len(nodeCounters))
+	}
+}

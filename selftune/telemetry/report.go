@@ -18,17 +18,40 @@ func (s Snapshot) Tables() []*report.Table {
 	counters.AddRowf("tuner ticks", s.Ticks)
 	counters.AddRowf("budget exhaustions", s.Exhaustions)
 	counters.AddRowf("migrations", s.Migrations)
+	if len(s.Domain) > 0 {
+		counters.AddRowf("cross-node migrations", s.CrossNodeMigrations)
+	}
 	counters.AddRowf("migration batches", s.Batches)
 	counters.AddRowf("admission rejects", s.Rejects)
 	counters.AddRowf("load samples", s.LoadEvents)
 	out := []*report.Table{counters}
 
 	if len(s.Loads) > 0 {
-		cores := report.NewTable("telemetry: per-core utilisation", "core", "load", "slack")
-		for i, l := range s.Loads {
-			cores.AddRowf(i, l, 1-l)
+		if len(s.Domain) > 0 {
+			cores := report.NewTable("telemetry: per-core utilisation", "core", "node", "load", "slack")
+			for i, l := range s.Loads {
+				node := 0
+				if i < len(s.Domain) {
+					node = s.Domain[i]
+				}
+				cores.AddRowf(i, node, l, 1-l)
+			}
+			out = append(out, cores)
+		} else {
+			cores := report.NewTable("telemetry: per-core utilisation", "core", "load", "slack")
+			for i, l := range s.Loads {
+				cores.AddRowf(i, l, 1-l)
+			}
+			out = append(out, cores)
 		}
-		out = append(out, cores)
+	}
+
+	if len(s.DomainLoads) > 0 {
+		nodes := report.NewTable("telemetry: per-domain utilisation", "node", "mean load")
+		for d, l := range s.DomainLoads {
+			nodes.AddRowf(d, l)
+		}
+		out = append(out, nodes)
 	}
 
 	if len(s.Sources) > 0 {

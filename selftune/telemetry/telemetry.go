@@ -156,13 +156,24 @@ type Snapshot struct {
 	Cores int
 	Loads []float64
 
+	// Topology: the per-core cache/NUMA domain map the collector was
+	// configured with (WithDomains; nil on a flat machine), the latest
+	// per-domain mean load gauge, and how many migrations crossed a
+	// domain boundary.
+	Domain              []int
+	DomainLoads         []float64
+	CrossNodeMigrations int
+
 	// Time series.
 	LoadSamples []LoadSample
-	Sources     []SourceSeries // sorted by name
-	Exhausts    []ExhaustRecord
-	Moves       []MigrationRecord
-	MoveBatches []BatchRecord
-	Rejections  []RejectRecord
+	// DomainSamples is the per-domain mean-load trajectory, one entry
+	// per CoreLoadEvent (only collected with WithDomains).
+	DomainSamples []LoadSample
+	Sources       []SourceSeries // sorted by name
+	Exhausts      []ExhaustRecord
+	Moves         []MigrationRecord
+	MoveBatches   []BatchRecord
+	Rejections    []RejectRecord
 
 	// Fixed-bucket histograms: the supervisor's relative compression
 	// error (requested - granted) / requested per tick, and the
@@ -185,6 +196,12 @@ type Collector struct {
 	batches     int
 	rejections  int
 	loadEvents  int
+
+	domain        []int // per-core domain map; nil = flat machine
+	domains       int   // number of domains (0 when domain is nil)
+	crossNode     int
+	domainLoads   []float64
+	domainSamples []LoadSample
 
 	loads       []float64
 	loadSamples []LoadSample
@@ -213,6 +230,30 @@ func WithSeriesCapacity(n int) CollectorOption {
 	}
 }
 
+// WithDomains gives the collector the machine's per-core cache/NUMA
+// domain map (domain[c] = node of core c), turning on the per-domain
+// signals: the domain load gauge and series, and the cross-node
+// migration counter. Attach passes the System's topology
+// automatically; an explicit empty (or nil) map switches the
+// per-domain signals off again, keeping the collector flat — the
+// opt-out for callers who want the historical output shape on a
+// topology-aware System.
+func WithDomains(domain []int) CollectorOption {
+	return func(c *Collector) {
+		if len(domain) == 0 {
+			c.domain, c.domains = nil, 0
+			return
+		}
+		c.domain = append([]int(nil), domain...)
+		c.domains = 0
+		for _, d := range c.domain {
+			if d+1 > c.domains {
+				c.domains = d + 1
+			}
+		}
+	}
+}
+
 // NewCollector returns an empty Collector.
 func NewCollector(opts ...CollectorOption) *Collector {
 	c := &Collector{
@@ -229,8 +270,13 @@ func NewCollector(opts ...CollectorOption) *Collector {
 }
 
 // Attach subscribes a fresh Collector to the System's observer bus and
-// returns it with the subscription's cancel function.
+// returns it with the subscription's cancel function. A System with a
+// multi-node topology (WithTopology) configures the per-domain signals
+// automatically; explicit options still win.
 func Attach(sys *selftune.System, opts ...CollectorOption) (*Collector, func()) {
+	if m := sys.Machine(); m.NumDomains() > 1 {
+		opts = append([]CollectorOption{WithDomains(m.DomainMap())}, opts...)
+	}
 	c := NewCollector(opts...)
 	return c, sys.Subscribe(c)
 }
@@ -298,8 +344,19 @@ func (c *Collector) Observe(e selftune.Event) {
 			Loads: append([]float64(nil), e.Loads...),
 		})
 		c.loadSamples = trim(c.loadSamples, c.capacity)
+		if c.domains > 0 {
+			c.domainLoads = c.foldDomains(e.Loads)
+			c.domainSamples = append(c.domainSamples, LoadSample{
+				At:    e.At,
+				Loads: append([]float64(nil), c.domainLoads...),
+			})
+			c.domainSamples = trim(c.domainSamples, c.capacity)
+		}
 	case selftune.MigrationEvent:
 		c.migrations++
+		if c.domains > 0 && c.domainOf(e.From) != c.domainOf(e.Core) {
+			c.crossNode++
+		}
 		c.moves = append(c.moves, MigrationRecord{
 			At: e.At, From: e.From, To: e.Core, Source: e.Source, Reason: e.Reason,
 		})
@@ -317,6 +374,31 @@ func (c *Collector) Observe(e selftune.Event) {
 	}
 }
 
+// domainOf maps a core to its domain (0 for out-of-range cores).
+func (c *Collector) domainOf(core int) int {
+	if core < 0 || core >= len(c.domain) {
+		return 0
+	}
+	return c.domain[core]
+}
+
+// foldDomains reduces a per-core load sample to per-domain means.
+func (c *Collector) foldDomains(loads []float64) []float64 {
+	sum := make([]float64, c.domains)
+	count := make([]int, c.domains)
+	for core, l := range loads {
+		d := c.domainOf(core)
+		sum[d] += l
+		count[d]++
+	}
+	for d := range sum {
+		if count[d] > 0 {
+			sum[d] /= float64(count[d])
+		}
+	}
+	return sum
+}
+
 // Snapshot returns a deep copy of the collector's state, safe to hold
 // and export while events keep arriving.
 func (c *Collector) Snapshot() Snapshot {
@@ -331,6 +413,11 @@ func (c *Collector) Snapshot() Snapshot {
 		LoadEvents:  c.loadEvents,
 		Cores:       len(c.loads),
 		Loads:       append([]float64(nil), c.loads...),
+		Domain:      append([]int(nil), c.domain...),
+		DomainLoads: append([]float64(nil), c.domainLoads...),
+
+		CrossNodeMigrations: c.crossNode,
+
 		Exhausts:    append([]ExhaustRecord(nil), c.exhausts...),
 		Moves:       append([]MigrationRecord(nil), c.moves...),
 		MoveBatches: append([]BatchRecord(nil), c.moveBatches...),
@@ -341,6 +428,12 @@ func (c *Collector) Snapshot() Snapshot {
 	s.LoadSamples = make([]LoadSample, len(c.loadSamples))
 	for i, ls := range c.loadSamples {
 		s.LoadSamples[i] = LoadSample{At: ls.At, Loads: append([]float64(nil), ls.Loads...)}
+	}
+	if len(c.domainSamples) > 0 {
+		s.DomainSamples = make([]LoadSample, len(c.domainSamples))
+		for i, ds := range c.domainSamples {
+			s.DomainSamples[i] = LoadSample{At: ds.At, Loads: append([]float64(nil), ds.Loads...)}
+		}
 	}
 	s.Sources = make([]SourceSeries, 0, len(c.sources))
 	for _, src := range c.sources {

@@ -25,6 +25,13 @@ import (
 //     several units in one tick) as thread-scoped instants on the
 //     claiming core's track;
 //   - a counter track with the per-core utilisation samples.
+//
+// A snapshot from a topology-aware collector (WithDomains) renders
+// each NUMA node as its own lane: one "node N" process per domain with
+// its cores' tracks inside it and a per-node mean-utilisation counter,
+// while machine-wide events (rejects, the per-core utilisation
+// counter) stay on the "selftune machine" process. Flat snapshots keep
+// the single-process layout byte-for-byte.
 
 // traceEvent is one entry of the traceEvents array.
 type traceEvent struct {
@@ -44,11 +51,45 @@ type traceFile struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
-// machinePID is the synthetic process id all tracks live under.
+// machinePID is the synthetic process id the machine-wide tracks live
+// under; with a topology, each NUMA node's lane is its own process at
+// machinePID+1+node.
 const machinePID = 1
 
 func us(t selftune.Time) float64         { return float64(t) / 1e3 }
 func usDur(d selftune.Duration) *float64 { v := float64(d) / 1e3; return &v }
+
+// numDomains returns how many NUMA-node lanes the snapshot renders (0
+// for a flat snapshot, which keeps everything on the machine process).
+func (s Snapshot) numDomains() int {
+	if len(s.Domain) == 0 {
+		return 0
+	}
+	max := 0
+	for _, d := range s.Domain {
+		if d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// domainOf maps a core to its NUMA node (0 for out-of-range cores).
+func (s Snapshot) domainOf(core int) int {
+	if core < 0 || core >= len(s.Domain) {
+		return 0
+	}
+	return s.Domain[core]
+}
+
+// pidOf returns the process a core's track belongs to: the node lane
+// of a topology-aware snapshot, or the machine process of a flat one.
+func (s Snapshot) pidOf(core int) int {
+	if core < 0 || core >= len(s.Domain) {
+		return machinePID
+	}
+	return machinePID + 1 + s.Domain[core]
+}
 
 // WriteTrace renders the snapshot in the Chrome trace-event format.
 func (s Snapshot) WriteTrace(w io.Writer) error {
@@ -60,17 +101,26 @@ func (s Snapshot) WriteTrace(w io.Writer) error {
 			}
 		}
 	}
+	nodes := s.numDomains()
 	events := make([]traceEvent, 0,
 		2+cores+len(s.LoadSamples)+len(s.Exhausts)+len(s.Moves)+len(s.MoveBatches)+len(s.Rejections))
 
-	// Metadata: process and per-core thread names.
+	// Metadata: process and per-core thread names — one process per
+	// NUMA node when the snapshot knows the topology, so the nodes
+	// render as separate lanes.
 	events = append(events, traceEvent{
 		Name: "process_name", Ph: "M", PID: machinePID, TID: 0,
 		Args: map[string]any{"name": "selftune machine"},
 	})
+	for d := 0; d < nodes; d++ {
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", PID: machinePID + 1 + d, TID: 0,
+			Args: map[string]any{"name": "node " + strconv.Itoa(d)},
+		})
+	}
 	for i := 0; i < cores; i++ {
 		events = append(events, traceEvent{
-			Name: "thread_name", Ph: "M", PID: machinePID, TID: i,
+			Name: "thread_name", Ph: "M", PID: s.pidOf(i), TID: i,
 			Args: map[string]any{"name": "core " + strconv.Itoa(i)},
 		})
 	}
@@ -86,7 +136,7 @@ func (s Snapshot) WriteTrace(w io.Writer) error {
 			}
 			events = append(events, traceEvent{
 				Name: src.Name, Cat: "budget", Ph: "X",
-				TS: us(tk.At), Dur: dur, PID: machinePID, TID: tk.Core,
+				TS: us(tk.At), Dur: dur, PID: s.pidOf(tk.Core), TID: tk.Core,
 				Args: map[string]any{
 					"granted_ms":  tk.Granted.Milliseconds(),
 					"period_ms":   tk.Period.Milliseconds(),
@@ -100,27 +150,32 @@ func (s Snapshot) WriteTrace(w io.Writer) error {
 	for _, ex := range s.Exhausts {
 		events = append(events, traceEvent{
 			Name: "exhaust " + ex.Source, Cat: "cbs", Ph: "i", S: "t",
-			TS: us(ex.At), PID: machinePID, TID: ex.Core,
+			TS: us(ex.At), PID: s.pidOf(ex.Core), TID: ex.Core,
 		})
 	}
 	for _, mv := range s.Moves {
+		args := map[string]any{"from": mv.From, "to": mv.To, "reason": mv.Reason}
+		if nodes > 0 {
+			args["cross_node"] = s.domainOf(mv.From) != s.domainOf(mv.To)
+		}
 		events = append(events, traceEvent{
 			Name: "migrate " + mv.Source, Cat: "balance", Ph: "i", S: "g",
-			TS: us(mv.At), PID: machinePID, TID: mv.To,
-			Args: map[string]any{"from": mv.From, "to": mv.To, "reason": mv.Reason},
+			TS: us(mv.At), PID: s.pidOf(mv.To), TID: mv.To,
+			Args: args,
 		})
 	}
 	for _, b := range s.MoveBatches {
-		// Batches of actual steals read "steal N"; a push policy's
-		// one-unit claims keep their own trigger as the label, so a
-		// periodic run's timeline never shows phantom steal markers.
+		// Multi-unit batches read "<reason> N" ("steal 7", "numa 4"); a
+		// push policy's one-unit claims keep their own trigger as the
+		// label, so a periodic run's timeline never shows phantom steal
+		// markers.
 		name := b.Reason
-		if b.Reason == "steal" {
-			name = "steal " + strconv.Itoa(b.Count)
+		if b.Reason == "steal" || b.Count > 1 {
+			name = b.Reason + " " + strconv.Itoa(b.Count)
 		}
 		events = append(events, traceEvent{
 			Name: name, Cat: "balance", Ph: "i", S: "t",
-			TS: us(b.At), PID: machinePID, TID: b.Core,
+			TS: us(b.At), PID: s.pidOf(b.Core), TID: b.Core,
 			Args: map[string]any{"count": b.Count, "reason": b.Reason},
 		})
 	}
@@ -132,7 +187,7 @@ func (s Snapshot) WriteTrace(w io.Writer) error {
 		})
 	}
 
-	// Per-core utilisation as a counter track.
+	// Per-core utilisation as a counter track on the machine process.
 	for _, ls := range s.LoadSamples {
 		args := make(map[string]any, len(ls.Loads))
 		for i, l := range ls.Loads {
@@ -142,6 +197,17 @@ func (s Snapshot) WriteTrace(w io.Writer) error {
 			Name: "utilisation", Cat: "load", Ph: "C",
 			TS: us(ls.At), PID: machinePID, TID: 0, Args: args,
 		})
+	}
+	// Per-node mean utilisation, one counter track inside each node
+	// lane.
+	for _, ds := range s.DomainSamples {
+		for d, l := range ds.Loads {
+			events = append(events, traceEvent{
+				Name: "node utilisation", Cat: "load", Ph: "C",
+				TS: us(ds.At), PID: machinePID + 1 + d, TID: 0,
+				Args: map[string]any{"mean_load": l},
+			})
+		}
 	}
 
 	enc := json.NewEncoder(w)

@@ -221,6 +221,24 @@ func BenchmarkNUMAContention64Core(b *testing.B) {
 	b.ReportMetric(last.Steal.CrossNodeFraction, "xnode_frac_steal")
 }
 
+// BenchmarkClusterContention runs the fleet surge study in reduced
+// form (24 machines x 16 cores, 4 realms) with the autoscaler on and
+// reports the headline qualities of the adaptive run: the admission
+// reject fraction and the cross-realm unfairness (1 - Jain index over
+// admitted fractions), both lower-is-better and gated in CI, plus the
+// static baseline's reject fraction for contrast and the simulation
+// throughput in events per wall second.
+func BenchmarkClusterContention(b *testing.B) {
+	var last experiments.ClusterResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.ClusterContention(uint64(i+1), 24, 16, 4, 12*simtime.Second)
+	}
+	b.ReportMetric(last.Auto.RejectFraction, "reject_frac")
+	b.ReportMetric(last.Auto.Unfairness, "unfairness")
+	b.ReportMetric(last.Static.RejectFraction, "reject_frac_static")
+	b.ReportMetric(last.Auto.EventsPerSecond(), "events_per_s")
+}
+
 // BenchmarkTelemetryScenario times the full measurement pipeline —
 // collector folding plus both exporters — on the 4-core showcase.
 func BenchmarkTelemetryScenario(b *testing.B) {

@@ -30,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -161,11 +162,30 @@ func compare(blocks []*block, oldText, newText string, tolerance, slack float64,
 	return nil
 }
 
+// dumpJSON writes every watched benchmark's parsed current-run metrics
+// (all units, not just the gated ones, so contrast metrics and
+// throughput ride along) as a JSON object keyed by benchmark name —
+// the machine-readable trajectory point CI archives after each run.
+func dumpJSON(blocks []*block, newText string, w io.Writer) error {
+	out := make(map[string]map[string]float64)
+	for _, bl := range blocks {
+		if cur := parseBench(newText, bl.bench); len(cur) > 0 {
+			out[bl.bench] = cur
+		}
+	}
+	// encoding/json sorts map keys, so committed trajectories diff
+	// cleanly run-over-run.
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 func run() error {
 	var (
 		blocks    blockFlags
 		tolerance = flag.Float64("tolerance", 0.20, "allowed relative regression")
 		slack     = flag.Float64("slack", 0.02, "absolute slack added on top of the relative bound")
+		jsonPath  = flag.String("json", "", "also write the current run's parsed metrics for every watched benchmark to this file as JSON")
 	)
 	flag.Var(benchFlag{&blocks}, "bench", "benchmark name; starts a block, repeatable")
 	flag.Var(metricFlag{&blocks}, "metric", "lower-is-better metric unit gated for the preceding -bench; repeatable, at least one per block")
@@ -188,6 +208,19 @@ func run() error {
 	newText, err := os.ReadFile(flag.Arg(1))
 	if err != nil {
 		return err
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := dumpJSON(blocks.blocks, string(newText), f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	return compare(blocks.blocks, string(oldText), string(newText), *tolerance, *slack, os.Stdout)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -162,6 +163,38 @@ func TestCompareMetricMissingFromBaselineSkips(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "skip BenchmarkNUMAContention64Core xnode_frac") {
 		t.Errorf("missing skip note:\n%s", out.String())
+	}
+}
+
+// TestDumpJSONWritesWatchedBenchmarks pins the -json trajectory dump:
+// every watched benchmark present in the current run appears with all
+// of its parsed units (gated or not), and absent benchmarks are simply
+// left out rather than erroring — the gate half handles those.
+func TestDumpJSONWritesWatchedBenchmarks(t *testing.T) {
+	var out strings.Builder
+	err := dumpJSON(gate(
+		[]string{"BenchmarkNUMAContention64Core", "xnode_frac"},
+		[]string{"BenchmarkNoSuchThing", "x"},
+	), sample, &out)
+	if err != nil {
+		t.Fatalf("dumpJSON: %v", err)
+	}
+	var got map[string]map[string]float64
+	if err := json.Unmarshal([]byte(out.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	numa, ok := got["BenchmarkNUMAContention64Core"]
+	if !ok {
+		t.Fatalf("watched benchmark missing from dump:\n%s", out.String())
+	}
+	if numa["xnode_frac_steal"] != 0.73 {
+		t.Errorf("ungated unit not carried along: %v", numa)
+	}
+	if numa["migrations"] != 52 {
+		t.Errorf("migrations = %v, want 52", numa["migrations"])
+	}
+	if _, ok := got["BenchmarkNoSuchThing"]; ok {
+		t.Error("benchmark absent from the run appeared in the dump")
 	}
 }
 

@@ -12,7 +12,8 @@
 //	experiments all
 //
 // Experiments: fig1 fig2 table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// fig11 table2 fig12 fig13 fig14 table3 migration numa telemetry ablations
+// fig11 table2 fig12 fig13 fig14 table3 migration numa telemetry
+// cluster ablations
 package main
 
 import (
@@ -55,7 +56,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|fig2|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|fig12|fig13|fig14|table3|migration|numa|telemetry|ablations|all>...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|fig2|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|fig12|fig13|fig14|table3|migration|numa|telemetry|cluster|ablations|all>...")
 		os.Exit(2)
 	}
 	want := make(map[string]bool)
@@ -207,6 +208,16 @@ func main() {
 		if *tracePath != "" {
 			exportTo(*tracePath, r.Snapshot.WriteTrace)
 		}
+	}
+	if run("cluster") {
+		ran++
+		machines, ccores, realms := 100, 64, 8
+		horizon := 30 * simtime.Second
+		if *quick {
+			machines, ccores, realms = 12, 16, 4
+			horizon = 9 * simtime.Second
+		}
+		fmt.Fprintln(out, experiments.ClusterContention(*seed, machines, ccores, realms, horizon).Table())
 	}
 	if run("ablations") {
 		ran++

@@ -316,6 +316,20 @@ func (a *AutoTuner) Stop() {
 	a.running = false
 }
 
+// Retire stops the tuner for good and releases its supervisor claim,
+// so the departed workload's bandwidth is no longer accounted against
+// the core. Used on teardown (selftune.System.Despawn); unlike after a
+// plain Stop, a retired tuner must not be started again — it no longer
+// holds a claim to request through. Idempotent.
+func (a *AutoTuner) Retire() {
+	a.Stop()
+	if a.client != nil {
+		a.client.Release()
+		a.sup.Unregister(a.client)
+		a.client = nil
+	}
+}
+
 // tick is one activation of the task controller: Figure 3's loop body.
 func (a *AutoTuner) tick() {
 	now := a.sd.Engine().Now()

@@ -119,6 +119,45 @@ func (r *Source) Exp(mean float64) float64 {
 	return -mean * math.Log(1-r.Float64())
 }
 
+// Poisson returns a Poisson-distributed count with the given mean.
+// Small means use Knuth's product-of-uniforms method; large means
+// (where the product would underflow and the cost is linear in the
+// mean) switch to a rounded, clamped normal approximation, which is
+// accurate to well under a percent at lambda = 30 and improves from
+// there. It panics if lambda <= 0.
+func (r *Source) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		panic("rng: Poisson with non-positive lambda")
+	}
+	if lambda < 30 {
+		limit := math.Exp(-lambda)
+		k := 0
+		p := r.Float64()
+		for p > limit {
+			k++
+			p *= r.Float64()
+		}
+		return k
+	}
+	k := int(math.Round(r.Norm(lambda, math.Sqrt(lambda))))
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// Pareto returns a Pareto-distributed float64 with scale (minimum) xm
+// and shape alpha, via inverse-transform sampling: xm * U^(-1/alpha).
+// Shapes alpha <= 1 have infinite mean — the classic heavy-tailed
+// service-time model. It panics if xm <= 0 or alpha <= 0.
+func (r *Source) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("rng: Pareto with non-positive scale or shape")
+	}
+	// 1-Float64 avoids the U=0 pole.
+	return xm * math.Pow(1-r.Float64(), -1/alpha)
+}
+
 // Bool returns true with probability p.
 func (r *Source) Bool(p float64) bool { return r.Float64() < p }
 

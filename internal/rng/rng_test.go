@@ -157,6 +157,77 @@ func TestExpPanicsOnNonPositive(t *testing.T) {
 	New(1).Exp(0)
 }
 
+func TestPoissonMoments(t *testing.T) {
+	// Both sampling regimes: Knuth below the switchover, normal
+	// approximation above. A Poisson's variance equals its mean.
+	for _, lambda := range []float64{0.5, 4, 25, 120} {
+		r := New(29)
+		const n = 200000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			v := r.Poisson(lambda)
+			if v < 0 {
+				t.Fatalf("Poisson(%v) returned negative %d", lambda, v)
+			}
+			f := float64(v)
+			sum += f
+			sumsq += f * f
+		}
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		if math.Abs(mean-lambda) > 0.02*lambda+0.02 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.05*lambda+0.05 {
+			t.Errorf("Poisson(%v) variance = %v, want ~lambda", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Poisson(0) did not panic")
+		}
+	}()
+	New(1).Poisson(0)
+}
+
+func TestParetoTail(t *testing.T) {
+	r := New(31)
+	const n = 200000
+	const xm, alpha = 2.0, 3.0
+	var sum float64
+	exceed := 0
+	for i := 0; i < n; i++ {
+		v := r.Pareto(xm, alpha)
+		if v < xm {
+			t.Fatalf("Pareto(%v,%v) = %v below scale", xm, alpha, v)
+		}
+		sum += v
+		if v > 2*xm {
+			exceed++
+		}
+	}
+	// Mean = alpha*xm/(alpha-1) = 3 for these parameters.
+	if mean := sum / n; math.Abs(mean-3) > 0.1 {
+		t.Errorf("Pareto mean = %v, want ~3", mean)
+	}
+	// P(X > 2*xm) = 2^-alpha = 0.125.
+	if p := float64(exceed) / n; math.Abs(p-0.125) > 0.01 {
+		t.Errorf("Pareto tail P(X>2xm) = %v, want ~0.125", p)
+	}
+}
+
+func TestParetoPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pareto(0, 1) did not panic")
+		}
+	}()
+	New(1).Pareto(0, 1)
+}
+
 func TestBoolProbability(t *testing.T) {
 	r := New(19)
 	hits := 0

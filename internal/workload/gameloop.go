@@ -53,6 +53,7 @@ type GameLoop struct {
 	task    *sched.Task
 	frames  int
 	started bool
+	stopped bool
 }
 
 // NewGameLoop prepares a game loop. The task exists from construction
@@ -94,12 +95,19 @@ func (g *GameLoop) Start(at simtime.Time) {
 	next := at
 	var frame func()
 	frame = func() {
+		if g.stopped {
+			return
+		}
 		g.release(eng.Now())
 		next = next.Add(g.cfg.FramePeriod)
 		eng.At(next, frame)
 	}
 	eng.At(next, frame)
 }
+
+// Stop quiesces the frame grid: the next scheduled frame becomes a
+// no-op. Idempotent; safe before Start.
+func (g *GameLoop) Stop() { g.stopped = true }
 
 // release queues one frame: jittered demand, deadline at the next
 // frame release, an input poll() at the start and a present write()

@@ -12,9 +12,15 @@ import (
 // running in its own hard reservation — the paper's background-load
 // generator ("a simple real-time periodic application", Sec. 5.3).
 type ReservedPeriodic struct {
-	Task   *sched.Task
-	Server *sched.Server
+	Task    *sched.Task
+	Server  *sched.Server
+	stopped bool
 }
+
+// Stop quiesces the release loop: the next scheduled release becomes a
+// no-op. The reservation itself stays on the scheduler (detach it via
+// migration or DetachAll to reclaim the bandwidth). Idempotent.
+func (rp *ReservedPeriodic) Stop() { rp.stopped = true }
 
 // StartReservedPeriodic creates a hard CBS (budget, period) and a
 // periodic task inside it whose jobs demand demandFrac of the budget
@@ -30,16 +36,20 @@ func StartReservedPeriodic(sd *sched.Scheduler, r *rng.Source, name string,
 	task := sd.NewTask(name)
 	task.AttachTo(srv, 0)
 	eng := sd.Engine()
+	rp := &ReservedPeriodic{Task: task, Server: srv}
 	next := offset
 	var release func()
 	release = func() {
+		if rp.stopped {
+			return
+		}
 		d := float64(budget) * demandFrac * r.Uniform(0.95, 1.0)
 		task.Release(sched.NewJob(eng.Now(), simtime.Duration(d), eng.Now().Add(period)))
 		next = next.Add(period)
 		eng.At(next, release)
 	}
 	eng.At(next, release)
-	return &ReservedPeriodic{Task: task, Server: srv}
+	return rp
 }
 
 // Reservation is a (budget, period) pair for one background task.
@@ -176,6 +186,15 @@ func (b *Background) Start(at simtime.Time) {
 	b.apps = MakeLoadAt(b.sd, b.r, b.util, b.n, at)
 }
 
+// Stop quiesces every reserved periodic task of the load: release
+// loops become no-ops at their next firing. The reservations stay on
+// the scheduler until detached. Idempotent; a no-op before Start.
+func (b *Background) Stop() {
+	for _, a := range b.apps {
+		a.Stop()
+	}
+}
+
 // Apps returns the spawned reserved periodic tasks (nil before Start).
 func (b *Background) Apps() []*ReservedPeriodic { return b.apps }
 
@@ -216,6 +235,7 @@ type Noise struct {
 	sink             SyscallSink
 	task             *sched.Task
 	started          bool
+	stopped          bool
 }
 
 // NewNoise prepares a Poisson noise source.
@@ -247,6 +267,9 @@ func (n *Noise) Start(at simtime.Time) {
 	t := n.task
 	var arrive func()
 	arrive = func() {
+		if n.stopped {
+			return
+		}
 		d := simtime.Duration(n.r.Exp(float64(n.meanDemand)))
 		if d < simtime.Microsecond {
 			d = simtime.Microsecond
@@ -272,6 +295,10 @@ func (n *Noise) Start(at simtime.Time) {
 	}
 	eng.At(at, arrive)
 }
+
+// Stop quiesces the arrival process: the next scheduled arrival
+// becomes a no-op. Idempotent; safe before Start.
+func (n *Noise) Stop() { n.stopped = true }
 
 // StartPoissonNoise creates a Poisson noise source whose arrivals
 // begin immediately.

@@ -97,6 +97,7 @@ type Player struct {
 	r    *rng.Source
 
 	startedRun bool
+	stopped    bool
 
 	frame    int
 	finishes []simtime.Time
@@ -214,6 +215,9 @@ func (p *Player) Start(at simtime.Time) {
 	next := at
 	var release func()
 	release = func() {
+		if p.stopped {
+			return
+		}
 		p.releaseFrame()
 		next = next.Add(p.cfg.Period)
 		p.eng.At(next, release)
@@ -257,7 +261,12 @@ func (p *Player) releaseFrame() {
 	// Apply release jitter by deferring the actual release slightly.
 	if jit := p.cfg.ReleaseJitter; jit > 0 {
 		d := simtime.Duration(p.r.Int63n(int64(2 * jit)))
-		p.eng.After(d, func() { p.task.Release(j) })
+		p.eng.After(d, func() {
+			if p.stopped {
+				return
+			}
+			p.task.Release(j)
+		})
 	} else {
 		p.task.Release(j)
 	}
@@ -313,6 +322,11 @@ func (p *Player) addSyscallHooks(j *sched.Job, total simtime.Duration) {
 		})
 	}
 }
+
+// Stop quiesces the player: the release loop and any in-flight
+// jittered releases become no-ops at their next firing. Jobs already
+// queued on the task are unaffected. Idempotent; safe before Start.
+func (p *Player) Stop() { p.stopped = true }
 
 // Frames returns the number of frames released so far.
 func (p *Player) Frames() int { return p.frame }

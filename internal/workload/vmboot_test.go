@@ -1,0 +1,131 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+func TestVMBootDemandRampThenSteady(t *testing.T) {
+	eng, sd := newSim()
+	r := rng.New(7)
+	cfg := workload.DefaultVMBootConfig("vm", 0.2)
+	cfg.Jitter = 0 // measure the ramp itself
+	v := workload.NewVMBoot(sd, r.Split(), cfg)
+	v.Start(0)
+
+	// Walk the run in windows and measure the mean consumed demand per
+	// slice in each (best-effort on an idle core: every slice runs to
+	// completion, so consumed time tracks the demand draw).
+	type window struct {
+		until simtime.Time
+		mult  float64 // expected demand multiplier
+	}
+	windows := []window{
+		{simtime.Time(200 * simtime.Millisecond), 0.4},  // firmware
+		{simtime.Time(600 * simtime.Millisecond), 2.2},  // kernel
+		{simtime.Time(1200 * simtime.Millisecond), 1.5}, // services
+		{simtime.Time(3 * simtime.Second), 1.0},         // steady
+	}
+	var prevConsumed simtime.Duration
+	var prevCompleted int
+	for _, w := range windows {
+		eng.RunUntil(w.until)
+		st := v.Task().Stats()
+		slices := st.Completed - prevCompleted
+		if slices < 5 {
+			t.Fatalf("window until %v: only %d slices completed", w.until, slices)
+		}
+		mean := float64(st.Consumed-prevConsumed) / float64(slices)
+		want := w.mult * float64(cfg.SteadyDemand)
+		if mean < 0.85*want || mean > 1.15*want {
+			t.Errorf("window until %v: mean slice demand %.0fns, want ~%.0fns (mult %.1f)",
+				w.until, mean, want, w.mult)
+		}
+		prevConsumed, prevCompleted = st.Consumed, st.Completed
+	}
+}
+
+func TestVMBootPhaseAccessor(t *testing.T) {
+	eng, sd := newSim()
+	r := rng.New(8)
+	v := workload.NewVMBoot(sd, r.Split(), workload.DefaultVMBootConfig("vm", 0.25))
+	if got := v.Phase(0); got != "" {
+		t.Errorf("Phase before Start = %q, want \"\"", got)
+	}
+	v.Start(0)
+	cases := []struct {
+		at   simtime.Time
+		want string
+	}{
+		{simtime.Time(100 * simtime.Millisecond), "firmware"},
+		{simtime.Time(400 * simtime.Millisecond), "kernel"},
+		{simtime.Time(900 * simtime.Millisecond), "services"},
+		{simtime.Time(2 * simtime.Second), "steady"},
+	}
+	for _, c := range cases {
+		if got := v.Phase(c.at); got != c.want {
+			t.Errorf("Phase(%v) = %q, want %q", c.at, got, c.want)
+		}
+	}
+	if v.Booted(simtime.Time(500 * simtime.Millisecond)) {
+		t.Error("Booted mid-kernel-phase")
+	}
+	if !v.Booted(simtime.Time(2 * simtime.Second)) {
+		t.Error("not Booted after the ramp")
+	}
+	eng.RunUntil(simtime.Time(100 * simtime.Millisecond))
+}
+
+func TestVMBootStopQuiesces(t *testing.T) {
+	eng, sd := newSim()
+	r := rng.New(9)
+	v := workload.NewVMBoot(sd, r.Split(), workload.DefaultVMBootConfig("vm", 0.25))
+	v.Start(0)
+	eng.RunUntil(simtime.Time(500 * simtime.Millisecond))
+	v.Stop()
+	at := v.Slices()
+	eng.RunUntil(simtime.Time(2 * simtime.Second))
+	// One slice may already be scheduled at Stop time; none after it.
+	if v.Slices() > at+1 {
+		t.Errorf("slices kept releasing after Stop: %d -> %d", at, v.Slices())
+	}
+}
+
+func TestWorkloadStopQuiescesArrivals(t *testing.T) {
+	// Every self-scheduling workload must go quiet after Stop: no new
+	// jobs released, engine drains (Despawn and the cluster layer
+	// depend on this).
+	eng, sd := newSim()
+	r := rng.New(10)
+
+	ws := workload.NewWebServer(sd, r.Split(), workload.DefaultWebServerConfig("web"))
+	gl := workload.NewGameLoop(sd, r.Split(), workload.DefaultGameLoopConfig("game"))
+	pl := workload.NewPlayer(sd, r.Split(), workload.VideoPlayerConfig("vid", 0.2))
+	bg := workload.NewBackground(sd, r.Split(), "bg", 0.2, 2)
+	no := workload.NewNoise(sd, r.Split(), "noise",
+		50*simtime.Millisecond, 2*simtime.Millisecond, nil)
+	for _, s := range []interface{ Start(simtime.Time) }{ws, gl, pl, bg, no} {
+		s.Start(0)
+	}
+	eng.RunUntil(simtime.Time(1 * simtime.Second))
+	for _, s := range []interface{ Stop() }{ws, gl, pl, bg, no} {
+		s.Stop()
+	}
+	// Give any already-scheduled release one period to fire, then
+	// sample counters and confirm nothing moves afterwards.
+	eng.RunUntil(simtime.Time(1200 * simtime.Millisecond))
+	served, frames, vframes := ws.Served(), gl.Frames(), pl.Frames()
+	eng.RunUntil(simtime.Time(5 * simtime.Second))
+	if ws.Served() != served {
+		t.Errorf("webserver served %d -> %d after Stop", served, ws.Served())
+	}
+	if gl.Frames() != frames {
+		t.Errorf("gameloop frames %d -> %d after Stop", frames, gl.Frames())
+	}
+	if pl.Frames() != vframes {
+		t.Errorf("player frames %d -> %d after Stop", vframes, pl.Frames())
+	}
+}

@@ -56,6 +56,7 @@ type WebServer struct {
 	served  int
 	bursts  int
 	started bool
+	stopped bool
 }
 
 // NewWebServer prepares a web server. The task exists from
@@ -96,6 +97,9 @@ func (s *WebServer) Start(at simtime.Time) {
 	eng := s.sd.Engine()
 	var burst func()
 	burst = func() {
+		if s.stopped {
+			return
+		}
 		s.bursts++
 		// Geometric burst size with the configured mean: each extra
 		// request follows with probability 1 - 1/Burst.
@@ -117,6 +121,11 @@ func (s *WebServer) Start(at simtime.Time) {
 	}
 	eng.At(at, burst)
 }
+
+// Stop quiesces the arrival process: the next scheduled burst becomes
+// a no-op. Requests already queued on the task are unaffected.
+// Idempotent; safe before Start.
+func (s *WebServer) Stop() { s.stopped = true }
 
 // release queues one request: an exponentially sized job with a
 // response deadline, emitting a read() on accept and a write() when

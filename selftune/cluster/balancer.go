@@ -1,0 +1,146 @@
+package cluster
+
+// The fleet balancer reuses the machine-level Balancer seam one level
+// up: a policy plans over an immutable FleetSnapshot and returns
+// Placements, and the Cluster executes them. The moves are
+// re-placements, not live migrations — a job moved across machines is
+// despawned on its source and respawned (fresh) on its destination;
+// within a machine, the per-machine selftune.Balancer still performs
+// real state-carrying migrations between cores.
+
+import (
+	"sort"
+
+	"repro/selftune"
+)
+
+// JobStat is one resident job as a fleet policy sees it.
+type JobStat struct {
+	// ID identifies the job for Placement.Job. IDs are stable for the
+	// job's lifetime.
+	ID int
+	// Realm is the owning realm's name.
+	Realm string
+	// Kind is the registered workload kind.
+	Kind string
+	// Machine is the machine index the job currently occupies.
+	Machine int
+	// Hint is the placement bandwidth the job is charged, in fractions
+	// of one core.
+	Hint float64
+}
+
+// FleetSnapshot is the immutable view of the cluster a ClusterBalancer
+// plans over.
+type FleetSnapshot struct {
+	// At is the planning instant.
+	At selftune.Time
+	// MachineCap is one machine's capacity in core-equivalents
+	// (cores x U_lub; the fleet is homogeneous).
+	MachineCap float64
+	// MachineUsed is the per-machine sum of resident jobs' hints.
+	MachineUsed []float64
+	// MachineLoads is the per-machine mean effective core load as the
+	// machines themselves report it (reservations included on machines
+	// running their workloads).
+	MachineLoads []float64
+	// Realms is the per-realm accounting at planning time.
+	Realms []RealmStats
+	// Jobs is every resident job, sorted by ID.
+	Jobs []JobStat
+}
+
+// Placement is one planned re-placement: job Job moves to machine To.
+type Placement struct {
+	Job int
+	To  int
+}
+
+// ClusterBalancer plans cross-machine re-placements. Plan runs
+// synchronously in the cluster tick; it must not touch the Cluster
+// directly — everything it may use is in the FleetSnapshot. Placements
+// that no longer apply (departed job, full destination) are skipped,
+// not errors.
+type ClusterBalancer interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Plan returns the re-placements for one balancing opportunity.
+	Plan(snap FleetSnapshot) []Placement
+}
+
+// FleetWorstFit returns the built-in fleet policy: while the
+// most-loaded machine exceeds the least-loaded by more than threshold
+// (in fractions of one machine's capacity), move the job that best
+// fills half the gap from the former to the latter, up to maxMoves
+// re-placements per plan. The fleet analogue of the machine-level push
+// policies.
+func FleetWorstFit(threshold float64, maxMoves int) ClusterBalancer {
+	if threshold <= 0 {
+		threshold = 0.1
+	}
+	if maxMoves <= 0 {
+		maxMoves = 8
+	}
+	return &fleetWorstFit{threshold: threshold, maxMoves: maxMoves}
+}
+
+type fleetWorstFit struct {
+	threshold float64
+	maxMoves  int
+}
+
+func (f *fleetWorstFit) Name() string { return "fleet-worst-fit" }
+
+func (f *fleetWorstFit) Plan(snap FleetSnapshot) []Placement {
+	if len(snap.MachineUsed) < 2 || snap.MachineCap <= 0 {
+		return nil
+	}
+	used := append([]float64(nil), snap.MachineUsed...)
+	// Jobs still on their planning-time machine, indexed by machine.
+	byMachine := make(map[int][]JobStat, len(used))
+	for _, j := range snap.Jobs {
+		byMachine[j.Machine] = append(byMachine[j.Machine], j)
+	}
+	moved := make(map[int]bool)
+	var plan []Placement
+	for len(plan) < f.maxMoves {
+		hot, cold := 0, 0
+		for i := range used {
+			if used[i] > used[hot] {
+				hot = i
+			}
+			if used[i] < used[cold] {
+				cold = i
+			}
+		}
+		gap := (used[hot] - used[cold]) / snap.MachineCap
+		if gap <= f.threshold {
+			break
+		}
+		// Best single job to shed: the largest hint that still fits in
+		// half the gap (moving more would overshoot and oscillate).
+		half := (used[hot] - used[cold]) / 2
+		best := -1
+		var bestHint float64
+		for _, j := range byMachine[hot] {
+			if moved[j.ID] || j.Hint > half {
+				continue
+			}
+			if j.Hint > bestHint || (j.Hint == bestHint && (best < 0 || j.ID < best)) {
+				best, bestHint = j.ID, j.Hint
+			}
+		}
+		if best < 0 {
+			break // nothing on the hot machine fits the gap
+		}
+		if used[cold]+bestHint > snap.MachineCap {
+			break
+		}
+		plan = append(plan, Placement{Job: best, To: cold})
+		moved[best] = true
+		used[hot] -= bestHint
+		used[cold] += bestHint
+	}
+	sort.Slice(plan, func(i, j int) bool { return plan[i].Job < plan[j].Job })
+	return plan
+}

@@ -1,0 +1,774 @@
+// Package cluster lifts the reproduction from one machine to a fleet:
+// a Cluster owns N selftune.System instances (each a full multi-core
+// Machine with its own schedulers, supervisors, balancer and
+// topology), slices fleet capacity into tenant realms, drives each
+// realm with an open-loop Poisson arrival stream over registered
+// workload kinds, admits or queues arrivals through a front-end queue
+// manager, re-places work across machines through a ClusterBalancer,
+// and adapts each realm's reservation with an autoscaler — the
+// paper's adaptive-reservation loop one level up, where the resource
+// is the fleet and the budget is a tenant's capacity slice.
+//
+// Time: every machine runs its own discrete-event engine. The Cluster
+// advances them in deterministic lockstep ticks (WithTick, default
+// 100ms): each tick it processes departures, runs the fleet balancer,
+// generates arrivals, drains queues, runs the autoscaler, folds
+// cluster telemetry, and then advances every machine engine to the
+// tick boundary in index order. Cluster control therefore operates at
+// tick granularity — service times quantise up to the next boundary —
+// while the machines simulate at full event resolution in between.
+//
+// Scale: WithDetail(n) bounds fidelity cost. Jobs landing on the
+// first n machines are Started — their workloads release real jobs,
+// their tuners and balancers act, their event streams flow — while
+// jobs on the remaining machines are placed (admission control,
+// capacity accounting, migration targets) but never Started. A
+// hundreds-of-machines fleet stays cheap, with full-fidelity machines
+// as a detailed core sample.
+//
+// Telemetry folds into the existing Collector unchanged by mapping
+// cluster concepts onto the machine-scope event vocabulary: machines
+// play cores in the load samples (one CoreLoadEvent per tick, entry i
+// = machine i's mean core load), a realm's reservation trajectory is
+// published as TunerTickEvents (Source = realm, Requested = demand,
+// Granted = reservation, Detected = queue depth), queued arrivals as
+// BudgetExhaustedEvents, queue-full rejections as
+// AdmissionRejectEvents, and fleet re-placements as MigrationEvents
+// (From/To = machine indices). Every CSV, trace and report sink works
+// on a cluster Snapshot exactly as on a machine one.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/smp"
+	"repro/selftune"
+	"repro/selftune/telemetry"
+)
+
+// options collects the configuration assembled by functional options.
+type options struct {
+	seed       uint64
+	machines   int
+	cores      int
+	nodeCores  int // 0 = auto, -1 = flat
+	ulub       float64
+	tick       selftune.Duration
+	detail     int
+	machineBal func() selftune.Balancer
+	fleetBal   ClusterBalancer
+	fleetEvery selftune.Duration
+	scaler     *AutoscalerConfig
+	statsEvery selftune.Duration
+	colOpts    []telemetry.CollectorOption
+}
+
+func defaultClusterOptions() options {
+	return options{
+		machines:   4,
+		cores:      8,
+		ulub:       1,
+		tick:       100 * selftune.Millisecond,
+		detail:     1,
+		fleetEvery: 500 * selftune.Millisecond,
+		statsEvery: 1 * selftune.Second,
+	}
+}
+
+// Option configures a Cluster under construction.
+type Option func(*options) error
+
+// WithSeed makes the whole fleet deterministic: machine seeds and
+// every realm's arrival stream derive from it.
+func WithSeed(seed uint64) Option {
+	return func(o *options) error {
+		o.seed = seed
+		return nil
+	}
+}
+
+// WithMachines sets the fleet size (default 4).
+func WithMachines(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("cluster: WithMachines(%d): need at least one machine", n)
+		}
+		o.machines = n
+		return nil
+	}
+}
+
+// WithCores sets every machine's core count (default 8; the fleet is
+// homogeneous).
+func WithCores(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("cluster: WithCores(%d): need at least one core", n)
+		}
+		o.cores = n
+		return nil
+	}
+}
+
+// WithNodeCores groups every machine's cores into cache/NUMA nodes of
+// the given width (selftune.WithTopology per machine). The default
+// groups nodes of 8 when the core count divides evenly and leaves the
+// machine flat otherwise; 0 forces flat machines.
+func WithNodeCores(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("cluster: WithNodeCores(%d)", n)
+		}
+		if n == 0 {
+			o.nodeCores = -1
+		} else {
+			o.nodeCores = n
+		}
+		return nil
+	}
+}
+
+// WithULub sets every core's supervisor utilisation bound (default 1).
+func WithULub(u float64) Option {
+	return func(o *options) error {
+		if u <= 0 || u > 1 {
+			return fmt.Errorf("cluster: WithULub(%v): bound must be in (0,1]", u)
+		}
+		o.ulub = u
+		return nil
+	}
+}
+
+// WithTick sets the cluster control tick (default 100ms): the
+// granularity of arrivals, departures, balancing and scaling.
+func WithTick(d selftune.Duration) Option {
+	return func(o *options) error {
+		if d <= 0 {
+			return fmt.Errorf("cluster: WithTick(%v): tick must be positive", d)
+		}
+		o.tick = d
+		return nil
+	}
+}
+
+// WithDetail runs the spawned workloads on the first n machines at
+// full event fidelity (Start, tuners, balancers, observable event
+// streams); jobs on the remaining machines are placement-only.
+// Default 1; 0 makes the whole fleet placement-only, n >= machines
+// makes it fully detailed.
+func WithDetail(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("cluster: WithDetail(%d)", n)
+		}
+		o.detail = n
+		return nil
+	}
+}
+
+// WithMachineBalancer installs a per-machine cross-core balancing
+// policy: the factory runs once per machine (policies keep state).
+// The default leaves machines unbalanced (spawn-time placement), the
+// single-machine default.
+func WithMachineBalancer(factory func() selftune.Balancer) Option {
+	return func(o *options) error {
+		o.machineBal = factory
+		return nil
+	}
+}
+
+// WithFleetBalancer installs a cross-machine re-placement policy,
+// planned every WithFleetBalanceInterval (default 500ms).
+func WithFleetBalancer(b ClusterBalancer) Option {
+	return func(o *options) error {
+		o.fleetBal = b
+		return nil
+	}
+}
+
+// WithFleetBalanceInterval sets how often the fleet balancer plans
+// (default 500ms; rounded up to whole ticks).
+func WithFleetBalanceInterval(d selftune.Duration) Option {
+	return func(o *options) error {
+		if d <= 0 {
+			return fmt.Errorf("cluster: WithFleetBalanceInterval(%v): interval must be positive", d)
+		}
+		o.fleetEvery = d
+		return nil
+	}
+}
+
+// WithAutoscaler turns on the per-realm reservation controller. The
+// zero config selects DefaultAutoscalerConfig.
+func WithAutoscaler(cfg AutoscalerConfig) Option {
+	return func(o *options) error {
+		if err := cfg.validate(); err != nil {
+			return err
+		}
+		o.scaler = &cfg
+		return nil
+	}
+}
+
+// WithTelemetry passes options to the cluster-scope telemetry
+// Collector (series capacity, sampling stride).
+func WithTelemetry(opts ...telemetry.CollectorOption) Option {
+	return func(o *options) error {
+		o.colOpts = append(o.colOpts, opts...)
+		return nil
+	}
+}
+
+// job is one admitted, resident request.
+type job struct {
+	id      int
+	realm   *Realm
+	spec    int
+	name    string
+	hint    float64
+	machine int
+	handle  *selftune.Handle
+	depart  selftune.Time
+	pos     int // index in Cluster.active
+}
+
+// departHeap orders resident jobs by departure instant (job id breaks
+// ties deterministically).
+type departHeap []*job
+
+func (h departHeap) Len() int { return len(h) }
+func (h departHeap) Less(i, j int) bool {
+	if h[i].depart != h[j].depart {
+		return h[i].depart < h[j].depart
+	}
+	return h[i].id < h[j].id
+}
+func (h departHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *departHeap) Push(x any)   { *h = append(*h, x.(*job)) }
+func (h *departHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// Cluster is a fleet of Machines serving tenant realms.
+type Cluster struct {
+	opt      options
+	machines []*selftune.System
+	mused    []float64 // per-machine sum of resident jobs' hints
+	mcap     float64   // per-machine capacity, core-equivalents
+	rand     *rng.Source
+	col      *telemetry.Collector
+
+	realms      []*Realm
+	realmByName map[string]bool
+
+	now   selftune.Time
+	tickN int
+
+	jobSeq  int
+	jobs    map[int]*job // lookup only; never iterated
+	active  []*job       // resident jobs, swap-removed on depart
+	departQ departHeap
+
+	fleetEveryTicks int
+	scaleEveryTicks int
+	replacements    int
+}
+
+// New builds a Cluster from functional options:
+//
+//	c, err := cluster.New(
+//		cluster.WithSeed(1),
+//		cluster.WithMachines(100),
+//		cluster.WithCores(64),
+//		cluster.WithAutoscaler(cluster.DefaultAutoscalerConfig()),
+//	)
+func New(opts ...Option) (*Cluster, error) {
+	o := defaultClusterOptions()
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if o.detail > o.machines {
+		o.detail = o.machines
+	}
+	c := &Cluster{
+		opt:         o,
+		machines:    make([]*selftune.System, o.machines),
+		mused:       make([]float64, o.machines),
+		mcap:        float64(o.cores) * o.ulub,
+		rand:        rng.New(o.seed),
+		jobs:        make(map[int]*job),
+		realmByName: make(map[string]bool),
+	}
+	seeds := c.rand.Split()
+	for i := range c.machines {
+		mopts := []selftune.Option{
+			selftune.WithSeed(seeds.Uint64()),
+			selftune.WithCPUs(o.cores),
+			selftune.WithULub(o.ulub),
+		}
+		switch {
+		case o.nodeCores > 0:
+			if o.cores%o.nodeCores != 0 {
+				return nil, fmt.Errorf("cluster: WithNodeCores(%d) does not divide %d cores",
+					o.nodeCores, o.cores)
+			}
+			mopts = append(mopts, selftune.WithTopology(selftune.UniformTopology(o.cores, o.nodeCores)))
+		case o.nodeCores == 0 && o.cores > smp.DefaultNodeCores && o.cores%smp.DefaultNodeCores == 0:
+			mopts = append(mopts, selftune.WithTopology(selftune.UniformTopology(o.cores, smp.DefaultNodeCores)))
+		}
+		if o.machineBal != nil {
+			mopts = append(mopts, selftune.WithBalancer(o.machineBal()))
+		}
+		sys, err := selftune.NewSystem(mopts...)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
+		}
+		c.machines[i] = sys
+	}
+	c.col = telemetry.NewCollector(o.colOpts...)
+	c.fleetEveryTicks = c.ticksOf(o.fleetEvery)
+	every := o.statsEvery
+	if o.scaler != nil {
+		every = o.scaler.Every
+	}
+	c.scaleEveryTicks = c.ticksOf(every)
+	return c, nil
+}
+
+// ticksOf converts a duration to whole ticks, rounding up, minimum 1.
+func (c *Cluster) ticksOf(d selftune.Duration) int {
+	n := int((d + c.opt.tick - 1) / c.opt.tick)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// AddRealm registers a tenant realm. The sum of all realms' initial
+// reservations must fit the fleet capacity — the static promises must
+// be honourable even before the autoscaler moves anything.
+func (c *Cluster) AddRealm(cfg RealmConfig) (*Realm, error) {
+	if err := cfg.validate(c.Capacity()); err != nil {
+		return nil, err
+	}
+	if c.realmByName[cfg.Name] {
+		return nil, fmt.Errorf("cluster: realm %q added twice", cfg.Name)
+	}
+	if c.Reserved()+cfg.Reservation > c.Capacity()+1e-9 {
+		return nil, fmt.Errorf("cluster: realm %q: reservation %v overcommits the fleet (%.1f of %.1f already reserved)",
+			cfg.Name, cfg.Reservation, c.Reserved(), c.Capacity())
+	}
+	r := &Realm{
+		c:           c,
+		cfg:         cfg,
+		r:           c.rand.Split(),
+		rate:        cfg.Rate,
+		reservation: cfg.Reservation,
+		floor:       cfg.Reservation,
+	}
+	var cum float64
+	for _, s := range cfg.Mix {
+		w := s.Weight
+		if w <= 0 {
+			w = 1
+		}
+		cum += w
+		r.mixCum = append(r.mixCum, cum)
+	}
+	c.realms = append(c.realms, r)
+	c.realmByName[cfg.Name] = true
+	return r, nil
+}
+
+// Machines returns the fleet size.
+func (c *Cluster) Machines() int { return len(c.machines) }
+
+// Machine returns machine i — a full selftune.System; attach
+// per-machine collectors or inspect cores through it.
+func (c *Cluster) Machine(i int) *selftune.System { return c.machines[i] }
+
+// Realms returns the registered realms in registration order.
+func (c *Cluster) Realms() []*Realm { return append([]*Realm(nil), c.realms...) }
+
+// Capacity returns the fleet capacity in core-equivalents
+// (machines x cores x U_lub).
+func (c *Cluster) Capacity() float64 { return float64(len(c.machines)) * c.mcap }
+
+// Reserved returns the sum of all realms' current reservations.
+func (c *Cluster) Reserved() float64 {
+	var sum float64
+	for _, r := range c.realms {
+		sum += r.reservation
+	}
+	return sum
+}
+
+// Now returns the cluster instant (machine engines are in lockstep
+// with it at tick boundaries).
+func (c *Cluster) Now() selftune.Time { return c.now }
+
+// Collector returns the cluster-scope telemetry collector; its
+// Snapshot feeds every existing sink (CSV, Chrome trace, reports).
+func (c *Cluster) Collector() *telemetry.Collector { return c.col }
+
+// Replacements returns how many cross-machine re-placements the fleet
+// balancer has executed.
+func (c *Cluster) Replacements() int { return c.replacements }
+
+// Steps returns the total discrete-event steps executed by the
+// machine engines — the fleet's simulation work so far.
+func (c *Cluster) Steps() uint64 {
+	var sum uint64
+	for _, m := range c.machines {
+		sum += m.Machine().Engine().Steps()
+	}
+	return sum
+}
+
+// Resident returns the number of jobs currently resident on the fleet.
+func (c *Cluster) Resident() int { return len(c.active) }
+
+// Run advances the cluster by the given horizon: control work on
+// every tick boundary, machine engines advanced in lockstep between
+// them. Run may be called repeatedly (change arrival rates between
+// calls to model surges).
+func (c *Cluster) Run(horizon selftune.Duration) {
+	end := c.now.Add(horizon)
+	for c.now < end {
+		c.processDepartures()
+		if c.opt.fleetBal != nil && c.tickN%c.fleetEveryTicks == 0 {
+			c.rebalance()
+		}
+		c.generateArrivals()
+		c.drainQueues()
+		if c.tickN%c.scaleEveryTicks == 0 {
+			if c.opt.scaler != nil {
+				c.autoscale()
+				c.drainQueues() // grown realms admit immediately
+			}
+			c.foldRealmTicks()
+		}
+		c.foldLoads()
+		step := c.opt.tick
+		if remain := end.Sub(c.now); remain < step {
+			step = remain
+		}
+		next := c.now.Add(step)
+		for _, m := range c.machines {
+			m.Run(next.Sub(m.Now()))
+		}
+		c.now = next
+		c.tickN++
+	}
+}
+
+// processDepartures despawns every job whose residency ended at or
+// before the current tick boundary.
+func (c *Cluster) processDepartures() {
+	for len(c.departQ) > 0 && c.departQ[0].depart <= c.now {
+		j := heap.Pop(&c.departQ).(*job)
+		if err := c.machines[j.machine].Despawn(j.handle); err != nil {
+			panic(fmt.Sprintf("cluster: depart %s from machine %d: %v", j.name, j.machine, err))
+		}
+		c.mused[j.machine] -= j.hint
+		j.realm.used -= j.hint
+		j.realm.departed++
+		// Swap-remove from the active list, keeping positions current.
+		last := len(c.active) - 1
+		c.active[j.pos] = c.active[last]
+		c.active[j.pos].pos = j.pos
+		c.active = c.active[:last]
+		delete(c.jobs, j.id)
+	}
+}
+
+// generateArrivals draws each realm's Poisson arrivals for this tick
+// and admits, queues or rejects them.
+func (c *Cluster) generateArrivals() {
+	tickSec := float64(c.opt.tick) / float64(selftune.Second)
+	for _, r := range c.realms {
+		if r.rate <= 0 {
+			continue
+		}
+		n := r.r.Poisson(r.rate * tickSec)
+		for i := 0; i < n; i++ {
+			spec := r.pickSpec()
+			service := r.cfg.Mix[spec].Service.Sample(r.r)
+			if service < selftune.Millisecond {
+				service = selftune.Millisecond
+			}
+			a := arrival{spec: spec, service: service, at: c.now}
+			r.arrived++
+			if len(r.queue) == 0 && c.admit(r, a) {
+				continue
+			}
+			if len(r.queue) < r.queueCap() {
+				r.queue = append(r.queue, a)
+				r.queuedT++
+				c.col.Observe(selftune.Event{
+					Kind:   selftune.BudgetExhaustedEvent,
+					At:     c.now,
+					Core:   -1,
+					Source: r.cfg.Name,
+				})
+			} else {
+				r.rejected++
+				c.col.Observe(selftune.Event{
+					Kind:   selftune.AdmissionRejectEvent,
+					At:     c.now,
+					Core:   -1,
+					Source: r.cfg.Name,
+					Reason: "queue full",
+				})
+			}
+		}
+	}
+}
+
+// drainQueues admits queued arrivals FIFO per realm, realms in
+// registration order, until each realm's head no longer fits.
+func (c *Cluster) drainQueues() {
+	for _, r := range c.realms {
+		for len(r.queue) > 0 && c.admit(r, r.queue[0]) {
+			copy(r.queue, r.queue[1:])
+			r.queue = r.queue[:len(r.queue)-1]
+		}
+	}
+}
+
+// admit tries to place one arrival: the realm must have reservation
+// headroom for the job's hint, and some machine must fit it. On
+// success the job is resident (and Started, on a detail machine).
+func (c *Cluster) admit(r *Realm, a arrival) bool {
+	hint := r.specHint(a.spec)
+	if r.used+hint > r.reservation+1e-9 {
+		return false
+	}
+	// Worst-fit across machines, like smp.Machine.Place across cores:
+	// try the freest machines first (a spawn can still fail there on
+	// per-core fragmentation), give up after a few.
+	const tries = 4
+	tried := [tries]int{}
+	for t := 0; t < tries; t++ {
+		best := -1
+		for i := range c.mused {
+			skip := false
+			for _, p := range tried[:t] {
+				if p == i {
+					skip = true
+					break
+				}
+			}
+			if skip || c.mused[i]+hint > c.mcap+1e-9 {
+				continue
+			}
+			if best < 0 || c.mused[i] < c.mused[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		tried[t] = best
+		c.jobSeq++
+		name := fmt.Sprintf("%s/%d", r.cfg.Name, c.jobSeq)
+		h, err := c.spawn(best, r, a.spec, name, hint)
+		if err != nil {
+			c.jobSeq-- // name not used; keep the sequence dense
+			continue   // fragmentation on that machine; try the next
+		}
+		j := &job{
+			id:      c.jobSeq,
+			realm:   r,
+			spec:    a.spec,
+			name:    name,
+			hint:    hint,
+			machine: best,
+			handle:  h,
+			depart:  c.now.Add(a.service),
+			pos:     len(c.active),
+		}
+		c.active = append(c.active, j)
+		c.jobs[j.id] = j
+		heap.Push(&c.departQ, j)
+		c.mused[best] += hint
+		r.used += hint
+		r.admitted++
+		if best < c.opt.detail {
+			h.Start(c.now)
+		}
+		return true
+	}
+	return false
+}
+
+// spawn places one job's workload on a machine.
+func (c *Cluster) spawn(machine int, r *Realm, spec int, name string, hint float64) (*selftune.Handle, error) {
+	s := r.cfg.Mix[spec]
+	opts := []selftune.SpawnOption{
+		selftune.SpawnName(name),
+		selftune.SpawnHint(hint),
+	}
+	if s.Util > 0 {
+		opts = append(opts, selftune.SpawnUtil(s.Util))
+	}
+	return c.machines[machine].Spawn(s.Kind, opts...)
+}
+
+// rebalance plans and executes one fleet balancing opportunity.
+func (c *Cluster) rebalance() {
+	snap := c.Snapshot()
+	plan := c.opt.fleetBal.Plan(snap)
+	if len(plan) == 0 {
+		return
+	}
+	perDest := make(map[int]int)
+	for _, p := range plan {
+		j := c.jobs[p.Job]
+		if j == nil || p.To < 0 || p.To >= len(c.machines) || p.To == j.machine {
+			continue
+		}
+		if c.mused[p.To]+j.hint > c.mcap+1e-9 {
+			continue
+		}
+		h, err := c.spawn(p.To, j.realm, j.spec, j.name, j.hint)
+		if err != nil {
+			continue // per-core fragmentation on the destination
+		}
+		if err := c.machines[j.machine].Despawn(j.handle); err != nil {
+			panic(fmt.Sprintf("cluster: re-place %s off machine %d: %v", j.name, j.machine, err))
+		}
+		from := j.machine
+		c.mused[from] -= j.hint
+		c.mused[p.To] += j.hint
+		j.machine = p.To
+		j.handle = h
+		if p.To < c.opt.detail {
+			h.Start(c.now)
+		}
+		j.realm.replaced++
+		c.replacements++
+		perDest[p.To]++
+		c.col.Observe(selftune.Event{
+			Kind:   selftune.MigrationEvent,
+			At:     c.now,
+			Core:   p.To,
+			From:   from,
+			Source: j.name,
+			Reason: "fleet",
+		})
+	}
+	// One batch record per destination machine, like the machine-level
+	// steal path's per-destination batches. Destinations in index
+	// order for determinism.
+	for dest := 0; dest < len(c.machines); dest++ {
+		if n := perDest[dest]; n > 0 {
+			c.col.Observe(selftune.Event{
+				Kind:   selftune.MigrationBatchEvent,
+				At:     c.now,
+				Core:   dest,
+				Count:  n,
+				Reason: "fleet",
+			})
+		}
+	}
+}
+
+// machineLoads returns the per-machine mean effective core load.
+func (c *Cluster) machineLoads() []float64 {
+	out := make([]float64, len(c.machines))
+	for i, m := range c.machines {
+		loads := m.Machine().Loads()
+		var sum float64
+		for _, l := range loads {
+			sum += l
+		}
+		out[i] = sum / float64(len(loads))
+	}
+	return out
+}
+
+// foldLoads publishes the per-machine load sample (machines play the
+// cores of the cluster-scope collector).
+func (c *Cluster) foldLoads() {
+	c.col.Observe(selftune.Event{
+		Kind:  selftune.CoreLoadEvent,
+		At:    c.now,
+		Core:  -1,
+		Loads: c.machineLoads(),
+	})
+}
+
+// foldRealmTicks publishes each realm's reservation state as a tuner
+// tick: the autoscaler is an adaptive reservation at cluster scope,
+// so its trajectory renders through the existing budget charts —
+// Requested is the realm's observed demand, Granted its reservation
+// (both scaled as durations per second of cluster time), Bandwidth
+// its share of fleet capacity in use, Detected the queue depth.
+func (c *Cluster) foldRealmTicks() {
+	for _, r := range c.realms {
+		c.col.Observe(selftune.Event{
+			Kind:   selftune.TunerTickEvent,
+			At:     c.now,
+			Core:   -1,
+			Source: r.cfg.Name,
+			Snapshot: selftune.TunerSnapshot{
+				At:        c.now,
+				Period:    1 * selftune.Second,
+				Requested: selftune.Duration(r.demand() / c.Capacity() * float64(selftune.Second)),
+				Granted:   selftune.Duration(r.reservation / c.Capacity() * float64(selftune.Second)),
+				Bandwidth: r.used / c.Capacity(),
+				Detected:  float64(len(r.queue)),
+			},
+		})
+	}
+}
+
+// Snapshot freezes the fleet view a ClusterBalancer plans over (also
+// the determinism witness: equal seeds yield deeply equal snapshots).
+func (c *Cluster) Snapshot() FleetSnapshot {
+	snap := FleetSnapshot{
+		At:           c.now,
+		MachineCap:   c.mcap,
+		MachineUsed:  append([]float64(nil), c.mused...),
+		MachineLoads: c.machineLoads(),
+		Realms:       make([]RealmStats, len(c.realms)),
+		Jobs:         make([]JobStat, len(c.active)),
+	}
+	for i, r := range c.realms {
+		snap.Realms[i] = r.Stats()
+	}
+	for i, j := range c.active {
+		snap.Jobs[i] = JobStat{
+			ID:      j.id,
+			Realm:   j.realm.cfg.Name,
+			Kind:    j.realm.cfg.Mix[j.spec].Kind,
+			Machine: j.machine,
+			Hint:    j.hint,
+		}
+	}
+	sortJobs(snap.Jobs)
+	return snap
+}
+
+// sortJobs orders a job list by ID (insertion order is perturbed by
+// swap-removal on departure).
+func sortJobs(js []JobStat) {
+	for i := 1; i < len(js); i++ {
+		for k := i; k > 0 && js[k].ID < js[k-1].ID; k-- {
+			js[k], js[k-1] = js[k-1], js[k]
+		}
+	}
+}

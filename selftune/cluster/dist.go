@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/selftune"
+)
+
+// Dist is a service-time distribution: Sample draws one job residency
+// from a realm's private random stream. Implementations must be pure
+// functions of the stream — no wall clock, no shared state — so a
+// seeded cluster run is reproducible.
+type Dist interface {
+	// Sample draws one duration; results are clamped to at least 1ms
+	// by the arrival generator (a job shorter than the cluster tick
+	// departs on the next tick anyway).
+	Sample(r *rng.Source) selftune.Duration
+	// Mean returns the distribution's mean, or 0 when it has none
+	// (Pareto with shape <= 1) — used only for reporting.
+	Mean() selftune.Duration
+	// String describes the distribution in reports.
+	String() string
+}
+
+// Fixed is a degenerate distribution: every job takes exactly D.
+func Fixed(d selftune.Duration) Dist { return fixedDist{d} }
+
+type fixedDist struct{ d selftune.Duration }
+
+func (f fixedDist) Sample(*rng.Source) selftune.Duration { return f.d }
+func (f fixedDist) Mean() selftune.Duration              { return f.d }
+func (f fixedDist) String() string                       { return fmt.Sprintf("fixed(%v)", f.d) }
+
+// Exp is an exponential service-time distribution with the given
+// mean — the M/M building block.
+func Exp(mean selftune.Duration) Dist {
+	if mean <= 0 {
+		panic("cluster: Exp with non-positive mean")
+	}
+	return expDist{mean}
+}
+
+type expDist struct{ mean selftune.Duration }
+
+func (e expDist) Sample(r *rng.Source) selftune.Duration {
+	return selftune.Duration(r.Exp(float64(e.mean)))
+}
+func (e expDist) Mean() selftune.Duration { return e.mean }
+func (e expDist) String() string          { return fmt.Sprintf("exp(%v)", e.mean) }
+
+// Uniform is a uniform service-time distribution over [lo, hi).
+func Uniform(lo, hi selftune.Duration) Dist {
+	if lo <= 0 || hi <= lo {
+		panic("cluster: Uniform needs 0 < lo < hi")
+	}
+	return uniformDist{lo, hi}
+}
+
+type uniformDist struct{ lo, hi selftune.Duration }
+
+func (u uniformDist) Sample(r *rng.Source) selftune.Duration {
+	return selftune.Duration(r.Uniform(float64(u.lo), float64(u.hi)))
+}
+func (u uniformDist) Mean() selftune.Duration { return (u.lo + u.hi) / 2 }
+func (u uniformDist) String() string          { return fmt.Sprintf("uniform(%v,%v)", u.lo, u.hi) }
+
+// Pareto is a heavy-tailed service-time distribution with minimum
+// (scale) xm and shape alpha: most jobs are short, a few are very
+// long, and for alpha <= 2 the variance is infinite — the classic
+// model for the stragglers that make fleet scheduling hard. The mean
+// is alpha*xm/(alpha-1) for alpha > 1, infinite otherwise.
+func Pareto(xm selftune.Duration, alpha float64) Dist {
+	if xm <= 0 || alpha <= 0 {
+		panic("cluster: Pareto needs positive scale and shape")
+	}
+	return paretoDist{xm, alpha}
+}
+
+type paretoDist struct {
+	xm    selftune.Duration
+	alpha float64
+}
+
+func (p paretoDist) Sample(r *rng.Source) selftune.Duration {
+	return selftune.Duration(r.Pareto(float64(p.xm), p.alpha))
+}
+
+func (p paretoDist) Mean() selftune.Duration {
+	if p.alpha <= 1 {
+		return 0
+	}
+	return selftune.Duration(p.alpha * float64(p.xm) / (p.alpha - 1))
+}
+
+func (p paretoDist) String() string { return fmt.Sprintf("pareto(%v,%.2f)", p.xm, p.alpha) }

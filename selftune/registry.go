@@ -449,6 +449,7 @@ var defaultUtil = map[string]float64{
 	"rtload":    0.15,
 	"webserver": 0.30,
 	"gameloop":  0.20,
+	"vmboot":    0.25,
 }
 
 // Built-in workload kinds. Every example, test and benchmark drives
@@ -560,6 +561,24 @@ func init() {
 		cfg.MeanDemand = Duration(util * float64(cfg.FramePeriod))
 		cfg.Sink = env.Tracer
 		return workload.NewGameLoop(env.Scheduler, env.Rand, cfg), nil
+	})
+
+	// "vmboot": a booting virtual machine — a staged demand ramp
+	// (firmware, a saturating kernel burst, service startup) over the
+	// first ~1.2s, then steady state at SpawnUtil of the core. The
+	// heavyweight tenant of the cluster scenarios: scaling a realm out
+	// means riding a boot storm before the capacity earns its keep.
+	Register("vmboot", func(env Env, spec SpawnSpec) (Workload, error) {
+		if err := spec.supports(true, false, false, false); err != nil {
+			return nil, err
+		}
+		util := spec.Util
+		if util <= 0 {
+			util = defaultUtil["vmboot"]
+		}
+		cfg := workload.DefaultVMBootConfig(spec.Name, util)
+		cfg.Sink = env.Tracer
+		return workload.NewVMBoot(env.Scheduler, env.Rand, cfg), nil
 	})
 
 	// "webserver": a bursty request server — exponential think times

@@ -7,11 +7,16 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/ktrace"
+	"repro/internal/sim"
 	"repro/internal/simtime"
+	"repro/selftune"
+	"repro/selftune/cluster"
 )
 
 func BenchmarkFig1MinBandwidthSingle(b *testing.B) {
@@ -231,12 +236,114 @@ func BenchmarkNUMAContention64Core(b *testing.B) {
 func BenchmarkClusterContention(b *testing.B) {
 	var last experiments.ClusterResult
 	for i := 0; i < b.N; i++ {
-		last = experiments.ClusterContention(uint64(i+1), 24, 16, 4, 12*simtime.Second)
+		last = experiments.ClusterContention(uint64(i+1), 24, 16, 4, 12*simtime.Second, 0)
 	}
 	b.ReportMetric(last.Auto.RejectFraction, "reject_frac")
 	b.ReportMetric(last.Auto.Unfairness, "unfairness")
 	b.ReportMetric(last.Static.RejectFraction, "reject_frac_static")
 	b.ReportMetric(last.Auto.EventsPerSecond(), "events_per_s")
+}
+
+// BenchmarkEngineHotPath times the pooled discrete-event core on its
+// steady state: 64 self-rescheduling event trains, each tick also
+// scheduling and cancelling a victim so every step exercises the full
+// pool cycle (get, fire or cancel, release) plus a heap remove. Each
+// iteration is a fixed batch of steps so the events_per_s metric is
+// meaningful even under -benchtime=1x; it is gated higher-is-better
+// in CI.
+func BenchmarkEngineHotPath(b *testing.B) {
+	e := sim.New()
+	const trains = 64
+	for i := 0; i < trains; i++ {
+		period := simtime.Duration(i+1) * simtime.Microsecond
+		var tick func()
+		tick = func() {
+			e.After(period, tick)
+			e.Cancel(e.After(2*period, func() {}))
+		}
+		e.After(period, tick)
+	}
+	const batch = 1 << 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < batch; k++ {
+			e.Step()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "events_per_s")
+	b.ReportMetric(b.Elapsed().Seconds()*1e9/(float64(b.N)*batch), "ns_per_event")
+}
+
+// parallelFleet builds the fully detailed 8-machine fleet the parallel
+// tick benchmark advances: every machine runs its workloads at event
+// fidelity, so the per-tick engine work dominates and the worker pool
+// has something to win.
+func parallelFleet(b *testing.B, parallel int) *cluster.Cluster {
+	b.Helper()
+	c, err := cluster.New(
+		cluster.WithSeed(11),
+		cluster.WithMachines(8),
+		cluster.WithCores(8),
+		cluster.WithDetail(8),
+		cluster.WithParallelism(parallel),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.AddRealm(cluster.RealmConfig{
+		Name: "load", Reservation: 48, Rate: 60, QueueCap: 64,
+		Mix: []cluster.WorkloadSpec{
+			{Kind: "webserver", Hint: 0.3, Service: cluster.Exp(1500 * selftune.Millisecond), Weight: 2},
+			{Kind: "rtload", Hint: 0.25, Util: 0.25, Service: cluster.Exp(1200 * selftune.Millisecond)},
+		},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkClusterParallelTicks measures what WithParallelism buys on
+// a fleet of eight fully detailed machines: each iteration advances
+// the same seeded scenario by half a simulated second at GOMAXPROCS
+// workers, reporting events per wall second and the simulation-time
+// speed. After the timed run, the identical scenario replays serially
+// over the same horizon; speedup_x is the ratio of the two
+// throughputs (reported for the trajectory, not gated — it depends on
+// the runner's core count).
+func BenchmarkClusterParallelTicks(b *testing.B) {
+	const (
+		warmup = 2 * selftune.Second // fill the fleet with residents first
+		step   = 2 * selftune.Second
+	)
+	c := parallelFleet(b, runtime.GOMAXPROCS(0))
+	c.Run(warmup)
+	warmSteps := c.Steps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(step)
+	}
+	b.StopTimer()
+	wall := b.Elapsed().Seconds()
+	events := float64(c.Steps() - warmSteps)
+	simSec := float64(c.Now()-selftune.Time(warmup)) / float64(selftune.Second)
+	b.ReportMetric(events/wall, "events_per_s")
+	b.ReportMetric(simSec/wall, "sim_s_per_wall_s")
+
+	// Serial replay of the identical scenario over the same horizon
+	// (warmup untimed on both sides). Equal steps double-checks the
+	// determinism contract; the ratio prices the worker pool.
+	serial := parallelFleet(b, 1)
+	serial.Run(warmup)
+	start := time.Now()
+	serial.Run(selftune.Duration(c.Now()) - warmup)
+	serialWall := time.Since(start).Seconds()
+	if serial.Steps() != c.Steps() {
+		b.Fatalf("serial replay diverged: %d vs %d steps", serial.Steps(), c.Steps())
+	}
+	if wall > 0 && serialWall > 0 {
+		b.ReportMetric(serialWall/wall, "speedup_x")
+	}
 }
 
 // BenchmarkTelemetryScenario times the full measurement pipeline —

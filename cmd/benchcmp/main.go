@@ -15,10 +15,12 @@
 //	    -metric xnode_frac -metric spread_after \
 //	    -tolerance 0.20 baseline/bench.txt bench.txt
 //
-// Watched metrics are named explicitly and must be lower-is-better:
-// the gate fails when new > old*(1+tolerance) + slack. The absolute
-// slack keeps near-zero metrics (a spread of 0.1) from tripping on
-// noise a relative bound cannot express.
+// Watched metrics are named explicitly with their direction: -metric
+// is lower-is-better (the gate fails when new > old*(1+tolerance) +
+// slack), -metric-up is higher-is-better (the gate fails when new <
+// old*(1-tolerance) - slack; throughputs like events_per_s go here).
+// The absolute slack keeps near-zero metrics (a spread of 0.1) from
+// tripping on noise a relative bound cannot express.
 //
 // Missing data is asymmetric by design. A benchmark (or metric) absent
 // from the *baseline* is skipped with a note — the baseline artifact
@@ -39,10 +41,17 @@ import (
 	"strings"
 )
 
-// block is one -bench flag with the -metric flags that followed it.
+// watch is one gated metric: its unit and its improvement direction.
+type watch struct {
+	unit string
+	up   bool // higher-is-better: gate on drops instead of rises
+}
+
+// block is one -bench flag with the -metric/-metric-up flags that
+// followed it.
 type block struct {
 	bench   string
-	metrics []string
+	metrics []watch
 }
 
 // blockFlags accumulates the repeated -bench/-metric flags in order:
@@ -65,7 +74,10 @@ func (b benchFlag) Set(v string) error {
 	return nil
 }
 
-type metricFlag struct{ f *blockFlags }
+type metricFlag struct {
+	f  *blockFlags
+	up bool
+}
 
 func (m metricFlag) String() string { return "" }
 
@@ -74,10 +86,14 @@ func (m metricFlag) Set(v string) error {
 		return fmt.Errorf("empty metric name")
 	}
 	if len(m.f.blocks) == 0 {
-		return fmt.Errorf("-metric %s before any -bench", v)
+		name := "-metric"
+		if m.up {
+			name = "-metric-up"
+		}
+		return fmt.Errorf("%s %s before any -bench", name, v)
 	}
 	last := m.f.blocks[len(m.f.blocks)-1]
-	last.metrics = append(last.metrics, v)
+	last.metrics = append(last.metrics, watch{unit: v, up: m.up})
 	return nil
 }
 
@@ -135,25 +151,33 @@ func compare(blocks []*block, oldText, newText string, tolerance, slack float64,
 			fmt.Fprintf(w, "skip %s: absent from baseline; seeding from this run\n", bl.bench)
 			continue
 		}
-		for _, unit := range bl.metrics {
-			now, ok := cur[unit]
+		for _, m := range bl.metrics {
+			now, ok := cur[m.unit]
 			if !ok {
-				fmt.Fprintf(w, "FAIL %s %s: metric missing from current run\n", bl.bench, unit)
+				fmt.Fprintf(w, "FAIL %s %s: metric missing from current run\n", bl.bench, m.unit)
 				failed = true
 				continue
 			}
-			was, ok := old[unit]
+			was, ok := old[m.unit]
 			if !ok {
-				fmt.Fprintf(w, "skip %s %s: metric absent from baseline\n", bl.bench, unit)
+				fmt.Fprintf(w, "skip %s %s: metric absent from baseline\n", bl.bench, m.unit)
 				continue
 			}
+			// The bound sits tolerance (plus slack) on the regression side
+			// of the baseline: above it for lower-is-better metrics, below
+			// it for higher-is-better ones.
 			bound := was*(1+tolerance) + slack
+			regressed := now > bound
+			if m.up {
+				bound = was*(1-tolerance) - slack
+				regressed = now < bound
+			}
 			status := "ok  "
-			if now > bound {
+			if regressed {
 				status = "FAIL"
 				failed = true
 			}
-			fmt.Fprintf(w, "%s %s %s: %g -> %g (bound %g)\n", status, bl.bench, unit, was, now, bound)
+			fmt.Fprintf(w, "%s %s %s: %g -> %g (bound %g)\n", status, bl.bench, m.unit, was, now, bound)
 		}
 	}
 	if failed {
@@ -188,17 +212,18 @@ func run() error {
 		jsonPath  = flag.String("json", "", "also write the current run's parsed metrics for every watched benchmark to this file as JSON")
 	)
 	flag.Var(benchFlag{&blocks}, "bench", "benchmark name; starts a block, repeatable")
-	flag.Var(metricFlag{&blocks}, "metric", "lower-is-better metric unit gated for the preceding -bench; repeatable, at least one per block")
+	flag.Var(metricFlag{f: &blocks}, "metric", "lower-is-better metric unit gated for the preceding -bench; repeatable")
+	flag.Var(metricFlag{f: &blocks, up: true}, "metric-up", "higher-is-better metric unit gated for the preceding -bench; repeatable")
 	flag.Parse()
 	if len(blocks.blocks) == 0 || flag.NArg() != 2 {
 		// Metrics must be named explicitly: the gate is lower-is-better,
 		// and a benchmark's units mix directions (admitted counts grow
 		// on improvement) — auto-gating everything would fail on wins.
-		return fmt.Errorf("usage: benchcmp -bench <name> -metric <unit> [-metric <unit>]... [-bench <name> -metric <unit>...] [-tolerance 0.20] old.txt new.txt")
+		return fmt.Errorf("usage: benchcmp -bench <name> {-metric|-metric-up} <unit>... [-bench <name> ...] [-tolerance 0.20] old.txt new.txt")
 	}
 	for _, bl := range blocks.blocks {
 		if len(bl.metrics) == 0 {
-			return fmt.Errorf("-bench %s names no -metric to gate on", bl.bench)
+			return fmt.Errorf("-bench %s names no -metric or -metric-up to gate on", bl.bench)
 		}
 	}
 	oldText, err := os.ReadFile(flag.Arg(0))

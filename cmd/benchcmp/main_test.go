@@ -16,11 +16,20 @@ PASS
 `
 
 // gate builds the block list a command line like
-// "-bench B1 -metric m -bench B2 -metric m..." would produce.
+// "-bench B1 -metric m -bench B2 -metric m..." would produce. A "+"
+// prefix on a metric marks it higher-is-better (-metric-up).
 func gate(pairs ...[]string) []*block {
 	var blocks []*block
 	for _, p := range pairs {
-		blocks = append(blocks, &block{bench: p[0], metrics: p[1:]})
+		bl := &block{bench: p[0]}
+		for _, m := range p[1:] {
+			w := watch{unit: m}
+			if strings.HasPrefix(m, "+") {
+				w = watch{unit: m[1:], up: true}
+			}
+			bl.metrics = append(bl.metrics, w)
+		}
+		blocks = append(blocks, bl)
 	}
 	return blocks
 }
@@ -200,7 +209,9 @@ func TestDumpJSONWritesWatchedBenchmarks(t *testing.T) {
 
 func TestBlockFlagsAttachMetricsInOrder(t *testing.T) {
 	var f blockFlags
-	b, m := benchFlag{&f}, metricFlag{&f}
+	b := benchFlag{&f}
+	m := metricFlag{f: &f}
+	mu := metricFlag{f: &f, up: true}
 	if err := m.Set("orphan"); err == nil {
 		t.Error("-metric before any -bench accepted")
 	}
@@ -208,7 +219,7 @@ func TestBlockFlagsAttachMetricsInOrder(t *testing.T) {
 		flag interface{ Set(string) error }
 		v    string
 	}{
-		{b, "B1"}, {m, "m1"}, {m, "m2"}, {b, "B2"}, {m, "m3"},
+		{b, "B1"}, {m, "m1"}, {mu, "m2"}, {b, "B2"}, {m, "m3"},
 	} {
 		if err := step.flag.Set(step.v); err != nil {
 			t.Fatal(err)
@@ -217,10 +228,43 @@ func TestBlockFlagsAttachMetricsInOrder(t *testing.T) {
 	if len(f.blocks) != 2 {
 		t.Fatalf("%d blocks, want 2", len(f.blocks))
 	}
-	if got := strings.Join(f.blocks[0].metrics, ","); got != "m1,m2" {
-		t.Errorf("block 1 metrics %q, want m1,m2", got)
+	want1 := []watch{{unit: "m1"}, {unit: "m2", up: true}}
+	if got := f.blocks[0].metrics; len(got) != 2 || got[0] != want1[0] || got[1] != want1[1] {
+		t.Errorf("block 1 metrics %+v, want %+v", got, want1)
 	}
-	if got := strings.Join(f.blocks[1].metrics, ","); got != "m3" {
-		t.Errorf("block 2 metrics %q, want m3", got)
+	if got := f.blocks[1].metrics; len(got) != 1 || got[0] != (watch{unit: "m3"}) {
+		t.Errorf("block 2 metrics %+v, want m3 (lower-is-better)", got)
+	}
+}
+
+// TestCompareMetricUpDirection pins the higher-is-better gate: a
+// throughput that drops beyond tolerance fails, one that merely grows
+// — which the lower-is-better bound would flag — passes.
+func TestCompareMetricUpDirection(t *testing.T) {
+	// migrations: 52 in the baseline. Gate it as higher-is-better.
+	dropped := strings.Replace(sample, "52.00 migrations", "30.00 migrations", 1)
+	var out strings.Builder
+	err := compare(gate([]string{"BenchmarkNUMAContention64Core", "+migrations"}),
+		sample, dropped, 0.20, 0.02, &out)
+	if err == nil {
+		t.Fatalf("52 -> 30 passed a higher-is-better gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkNUMAContention64Core migrations") {
+		t.Errorf("missing failure line:\n%s", out.String())
+	}
+
+	grown := strings.Replace(sample, "52.00 migrations", "90.00 migrations", 1)
+	out.Reset()
+	if err := compare(gate([]string{"BenchmarkNUMAContention64Core", "+migrations"}),
+		sample, grown, 0.20, 0.02, &out); err != nil {
+		t.Fatalf("52 -> 90 failed a higher-is-better gate: %v\n%s", err, out.String())
+	}
+
+	// A small wobble within tolerance passes in both directions.
+	wobble := strings.Replace(sample, "52.00 migrations", "48.00 migrations", 1)
+	out.Reset()
+	if err := compare(gate([]string{"BenchmarkNUMAContention64Core", "+migrations"}),
+		sample, wobble, 0.20, 0.02, &out); err != nil {
+		t.Fatalf("52 -> 48 failed at 20%% tolerance: %v\n%s", err, out.String())
 	}
 }

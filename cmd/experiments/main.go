@@ -35,6 +35,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink reps/frames for a fast smoke run")
 	outPath := flag.String("o", "", "write the output to this file instead of stdout")
 	cores := flag.Int("cores", 4, "cores of the telemetry scenario machine")
+	parallel := flag.Int("parallel", 0, "worker goroutines advancing the cluster experiment's machine engines per tick (0 = GOMAXPROCS; results are identical at every setting)")
 	csvPath := flag.String("csv", "", "export the telemetry scenario's CSV series to this file")
 	tracePath := flag.String("trace", "", "export the telemetry scenario's Chrome trace-event JSON to this file")
 	flag.Parse()
@@ -217,7 +218,7 @@ func main() {
 			machines, ccores, realms = 12, 16, 4
 			horizon = 9 * simtime.Second
 		}
-		fmt.Fprintln(out, experiments.ClusterContention(*seed, machines, ccores, realms, horizon).Table())
+		fmt.Fprintln(out, experiments.ClusterContention(*seed, machines, ccores, realms, horizon, *parallel).Table())
 	}
 	if run("ablations") {
 		ran++

@@ -36,6 +36,9 @@ type ClusterRunResult struct {
 	// Replacements counts cross-machine re-placements by the fleet
 	// balancer.
 	Replacements int
+	// Parallelism is the number of worker goroutines that advanced the
+	// machine engines each tick (1 = serial advance).
+	Parallelism int
 	// Events is the simulation work: machine engine steps plus cluster
 	// admissions, departures and re-placements.
 	Events uint64
@@ -68,8 +71,9 @@ func (r ClusterResult) Table() string {
 	s := fmt.Sprintf("== Cluster contention (%d machines x %d cores, %d realms, %v) ==\n",
 		r.Machines, r.Cores, r.RealmN, r.Horizon)
 	for _, run := range []ClusterRunResult{r.Static, r.Auto} {
-		s += fmt.Sprintf("%-7s reject %.4f | unfairness %.4f | replacements %d | %.0f events/s\n",
-			run.Policy, run.RejectFraction, run.Unfairness, run.Replacements, run.EventsPerSecond())
+		s += fmt.Sprintf("%-7s reject %.4f | unfairness %.4f | replacements %d | %.0f events/s (x%d workers)\n",
+			run.Policy, run.RejectFraction, run.Unfairness, run.Replacements, run.EventsPerSecond(),
+			run.Parallelism)
 		for _, st := range run.Realms {
 			s += fmt.Sprintf("        %-10s res %6.1f arrived %6d admitted %6d rejected %5d (%.4f) grows %d shrinks %d\n",
 				st.Name, st.Reservation, st.Arrived, st.Admitted, st.Rejected,
@@ -86,7 +90,10 @@ func (r ClusterResult) Table() string {
 // 30s. Both runs see identical arrival streams: the realms' random
 // streams are derived from the cluster seed and never consumed by
 // admission decisions, so the comparison is paired sample-for-sample.
-func ClusterContention(seed uint64, machines, cores, realms int, horizon simtime.Duration) ClusterResult {
+// parallel sets the per-tick engine-advance workers (0 = GOMAXPROCS);
+// it moves only the wall clock, never a result — the cluster's
+// determinism contract.
+func ClusterContention(seed uint64, machines, cores, realms int, horizon simtime.Duration, parallel int) ClusterResult {
 	if machines < 2 {
 		machines = 100
 	}
@@ -100,8 +107,8 @@ func ClusterContention(seed uint64, machines, cores, realms int, horizon simtime
 		horizon = 30 * simtime.Second
 	}
 	res := ClusterResult{Machines: machines, Cores: cores, RealmN: realms, Horizon: horizon}
-	res.Static = clusterRun(seed, machines, cores, realms, horizon, false)
-	res.Auto = clusterRun(seed, machines, cores, realms, horizon, true)
+	res.Static = clusterRun(seed, machines, cores, realms, horizon, false, parallel)
+	res.Auto = clusterRun(seed, machines, cores, realms, horizon, true, parallel)
 	return res
 }
 
@@ -169,13 +176,16 @@ func clusterScenarios(machines, cores, realms int) []clusterScenario {
 }
 
 // clusterRun executes the scenario once.
-func clusterRun(seed uint64, machines, cores, realms int, horizon simtime.Duration, auto bool) ClusterRunResult {
+func clusterRun(seed uint64, machines, cores, realms int, horizon simtime.Duration, auto bool, parallel int) ClusterRunResult {
 	opts := []cluster.Option{
 		cluster.WithSeed(seed),
 		cluster.WithMachines(machines),
 		cluster.WithCores(cores),
 		cluster.WithDetail(1),
 		cluster.WithFleetBalancer(cluster.FleetWorstFit(0, 0)),
+	}
+	if parallel > 0 {
+		opts = append(opts, cluster.WithParallelism(parallel))
 	}
 	if auto {
 		opts = append(opts, cluster.WithAutoscaler(cluster.DefaultAutoscalerConfig()))
@@ -213,7 +223,12 @@ func clusterRun(seed uint64, machines, cores, realms int, horizon simtime.Durati
 	c.Run(horizon - 2*third)
 	wall := time.Since(start).Seconds()
 
-	out := ClusterRunResult{Policy: "static", WallSeconds: wall, Replacements: c.Replacements()}
+	out := ClusterRunResult{
+		Policy:       "static",
+		WallSeconds:  wall,
+		Replacements: c.Replacements(),
+		Parallelism:  c.Parallelism(),
+	}
 	if auto {
 		out.Policy = "auto"
 	}

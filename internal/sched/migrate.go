@@ -18,7 +18,11 @@ package sched
 // bandwidth claim it held on the old one, so the per-core Σ Q/T bound
 // (checked by the caller, smp.Machine.Migrate) is preserved.
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // Owns reports whether srv currently belongs to this scheduler.
 func (sd *Scheduler) Owns(srv *Server) bool {
@@ -50,11 +54,11 @@ func (sd *Scheduler) Detach(srv *Server) error {
 	if srv.heapIndex >= 0 {
 		sd.edfRemove(srv)
 	}
-	if srv.replenishEv != nil {
+	if srv.replenishEv.Pending() {
 		// A throttled server keeps state srvThrottled and its deadline;
 		// Adopt re-arms the replenishment timer at the same instant.
 		sd.engine.Cancel(srv.replenishEv)
-		srv.replenishEv = nil
+		srv.replenishEv = sim.Timer{}
 	}
 	for i, x := range sd.servers {
 		if x == srv {
@@ -295,7 +299,7 @@ func (sd *Scheduler) Adopt(srv *Server) error {
 			srv.d = when
 		}
 		srv.replenishEv = sd.engine.At(when, func() {
-			srv.replenishEv = nil
+			srv.replenishEv = sim.Timer{}
 			srv.replenish()
 		})
 	case srvReady:

@@ -47,7 +47,8 @@ type Scheduler struct {
 	runServer *Server
 	runTask   *Task
 	runStart  simtime.Time
-	sliceEv   *sim.Event
+	sliceEv   sim.Timer
+	sliceFn   func() // slice-end callback, allocated once
 	lastTask  *Task
 
 	busy  bool
@@ -94,6 +95,10 @@ func New(cfg Config) *Scheduler {
 		engine:    cfg.Engine,
 		beQuantum: q,
 		nextPID:   pidBase,
+	}
+	sd.sliceFn = func() {
+		sd.sliceEv = sim.Timer{}
+		sd.dispatch()
 	}
 	if cfg.LogCapacity > 0 {
 		sd.log = NewLog(cfg.LogCapacity)
@@ -292,9 +297,9 @@ func (sd *Scheduler) suspendLocked() {
 	nowt := sd.now()
 	srv := sd.runServer
 	elapsed := nowt.Sub(sd.runStart)
-	if sd.sliceEv != nil {
+	if sd.sliceEv.Pending() {
 		sd.engine.Cancel(sd.sliceEv)
-		sd.sliceEv = nil
+		sd.sliceEv = sim.Timer{}
 	}
 	sd.runTask = nil
 	sd.runServer = nil
@@ -413,10 +418,7 @@ func (sd *Scheduler) start(srv *Server, t *Task, nowt simtime.Time) {
 	sd.runServer = srv
 	sd.runTask = t
 	sd.runStart = nowt
-	sd.sliceEv = sd.engine.After(slice, func() {
-		sd.sliceEv = nil
-		sd.dispatch()
-	})
+	sd.sliceEv = sd.engine.After(slice, sd.sliceFn)
 }
 
 // --- EDF ready heap ------------------------------------------------
@@ -523,7 +525,7 @@ func (sd *Scheduler) Validate() error {
 		if s.q < 0 || s.q > s.budget {
 			return fmt.Errorf("server %v budget out of range: q=%v", s, s.q)
 		}
-		if s.state == srvThrottled && s.replenishEv == nil {
+		if s.state == srvThrottled && !s.replenishEv.Pending() {
 			return fmt.Errorf("throttled server %v without replenish event", s)
 		}
 		if s.state != srvReady && s.heapIndex != -1 {

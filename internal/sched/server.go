@@ -71,7 +71,7 @@ type Server struct {
 
 	tasks []*Task
 
-	replenishEv *sim.Event
+	replenishEv sim.Timer
 	heapIndex   int // position in the EDF ready heap, -1 if absent
 
 	stats          ServerStats
@@ -162,7 +162,7 @@ func (s *Server) SetParams(budget, period simtime.Duration) {
 	s.sched.trace(EvParamChange, nil, "srv=%s Q=%v T=%v", s.name, budget, period)
 	if s.state == srvThrottled && s.q > 0 {
 		s.unthrottle()
-	} else if s.state == srvThrottled && s.replenishEv != nil {
+	} else if s.state == srvThrottled && s.replenishEv.Pending() {
 		// Keep waiting; replenishment amount will use the new Q.
 	}
 	s.sched.dispatch()
@@ -258,7 +258,7 @@ func (s *Server) throttle(now simtime.Time) {
 	}
 	s.sched.trace(EvThrottle, nil, "srv=%s until=%v", s.name, when)
 	s.replenishEv = s.sched.engine.At(when, func() {
-		s.replenishEv = nil
+		s.replenishEv = sim.Timer{}
 		s.replenish()
 	})
 }
@@ -285,9 +285,9 @@ func (s *Server) replenish() {
 func (s *Server) unthrottle() {
 	now := s.sched.now()
 	s.stats.ThrottledTime += now.Sub(s.throttledSince)
-	if s.replenishEv != nil {
+	if s.replenishEv.Pending() {
 		s.sched.engine.Cancel(s.replenishEv)
-		s.replenishEv = nil
+		s.replenishEv = sim.Timer{}
 	}
 	if s.runnableTask() != nil {
 		s.state = srvReady

@@ -6,38 +6,61 @@
 // executes it, advancing the simulated clock. Events scheduled for the
 // same instant execute in scheduling order (FIFO), which keeps runs
 // deterministic.
+//
+// Event storage is pooled: the moment an event fires or is cancelled
+// its storage returns to a per-engine pool for reuse. Callers
+// therefore never hold events directly — At and After return an
+// opaque, generation-tagged Timer handle that goes stale when its
+// event is done, so a retained handle can never reach into storage
+// that has since been recycled for someone else.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 
 	"repro/internal/simtime"
 )
 
-// Event is a scheduled callback. The zero Event is invalid.
-type Event struct {
-	when   simtime.Time
-	seq    uint64
-	fn     func()
-	index  int // position in the heap, -1 when not queued
-	cancel bool
+// Timer is an opaque handle to a scheduled event. The zero Timer is
+// valid and never pending. A handle goes stale the instant its event
+// fires or is cancelled; Cancel ignores stale handles and Reschedule
+// rejects them.
+type Timer struct {
+	ev  *event
+	gen uint64
 }
 
-// When returns the instant the event is scheduled for.
-func (e *Event) When() simtime.Time { return e.when }
+// Pending reports whether the timer's event is still scheduled.
+func (t Timer) Pending() bool { return t.ev != nil && t.ev.gen == t.gen }
+
+// event is pooled storage for one scheduled callback.
+type event struct {
+	when  simtime.Time
+	seq   uint64
+	gen   uint64
+	fn    func()
+	index int // position in the heap, -1 when not queued
+}
 
 // Engine is a single-goroutine discrete-event simulator.
 type Engine struct {
 	now    simtime.Time
-	queue  eventQueue
+	queue  []*event // min-heap ordered by (when, seq)
 	seq    uint64
 	nsteps uint64
+	// pool recycles event storage. It is per-engine, not global:
+	// timers never cross engines, so a stale handle's generation read
+	// can never race another engine reusing the same storage when
+	// many engines run on concurrent goroutines.
+	pool sync.Pool
 }
 
 // New returns an engine with the clock at the simulation origin.
 func New() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.pool.New = func() any { return &event{index: -1} }
+	return e
 }
 
 // Now returns the current simulated time.
@@ -48,81 +71,93 @@ func (e *Engine) Steps() uint64 { return e.nsteps }
 
 // At schedules fn to run at instant t. Scheduling in the past
 // (before Now) panics: it always indicates a simulator bug.
-func (e *Engine) At(t simtime.Time, fn func()) *Event {
+func (e *Engine) At(t simtime.Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
+	ev := e.pool.Get().(*event)
+	ev.when = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current instant.
-func (e *Engine) After(d simtime.Duration, fn func()) *Event {
+func (e *Engine) After(d simtime.Duration, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: scheduling event with negative delay %v", d))
 	}
 	return e.At(e.now.Add(d), fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancel {
+// release retires an event's storage to the pool. The generation bump
+// is what invalidates every Timer still pointing at it.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	e.pool.Put(ev)
+}
+
+// Cancel removes a pending event. A stale handle — the event already
+// fired or was cancelled, or the Timer is zero — is a no-op.
+func (e *Engine) Cancel(t Timer) {
+	if !t.Pending() {
 		return
 	}
-	ev.cancel = true
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
-	}
+	ev := t.ev
+	e.remove(ev.index)
+	e.release(ev)
 }
 
 // Reschedule moves a pending event to a new instant, preserving its
-// callback. If the event already fired or was cancelled it panics.
-func (e *Engine) Reschedule(ev *Event, t simtime.Time) {
-	if ev == nil || ev.cancel || ev.index < 0 {
+// callback; the handle stays valid. A stale handle panics: the event
+// already fired or was cancelled, and its callback is gone.
+func (e *Engine) Reschedule(t Timer, at simtime.Time) {
+	if !t.Pending() {
 		panic("sim: rescheduling dead event")
 	}
-	if t < e.now {
-		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", t, e.now))
+	if at < e.now {
+		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", at, e.now))
 	}
-	ev.when = t
+	ev := t.ev
+	ev.when = at
 	ev.seq = e.seq
 	e.seq++
-	heap.Fix(&e.queue, ev.index)
+	e.fix(ev.index)
 }
 
 // Empty reports whether no events are pending.
-func (e *Engine) Empty() bool { return e.queue.Len() == 0 }
+func (e *Engine) Empty() bool { return len(e.queue) == 0 }
 
 // Peek returns the instant of the earliest pending event,
 // or simtime.Never if none is pending.
 func (e *Engine) Peek() simtime.Time {
-	if e.queue.Len() == 0 {
+	if len(e.queue) == 0 {
 		return simtime.Never
 	}
 	return e.queue[0].when
 }
 
 // Step executes the earliest pending event and returns true, or
-// returns false if the queue is empty.
+// returns false if the queue is empty. The event's storage is
+// recycled before its callback runs, so handles to it are stale from
+// the callback's point of view.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancel {
-			continue
-		}
-		e.now = ev.when
-		e.nsteps++
-		ev.index = -1
-		ev.fn()
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := e.pop()
+	e.now = ev.when
+	e.nsteps++
+	fn := ev.fn
+	e.release(ev)
+	fn()
+	return true
 }
 
 // RunUntil executes events until the clock would pass the horizon or
@@ -131,7 +166,7 @@ func (e *Engine) Step() bool {
 // event strictly before the horizon remains pending. Events scheduled
 // exactly at the horizon are executed.
 func (e *Engine) RunUntil(horizon simtime.Time) {
-	for e.queue.Len() > 0 && e.queue[0].when <= horizon {
+	for len(e.queue) > 0 && e.queue[0].when <= horizon {
 		e.Step()
 	}
 	if e.now < horizon {
@@ -147,36 +182,94 @@ func (e *Engine) Run() {
 	}
 }
 
-// eventQueue is a min-heap ordered by (when, seq).
-type eventQueue []*Event
+// The queue is a hand-rolled binary min-heap ordered by (when, seq):
+// container/heap's interface indirection is measurable on the hot
+// path, and the engine needs remove-by-index for Cancel anyway.
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
+func (e *Engine) less(i, j int) bool {
+	a, b := e.queue[i], e.queue[j]
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
+func (e *Engine) swap(i, j int) {
+	q := e.queue
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+func (e *Engine) push(ev *event) {
+	ev.index = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.up(ev.index)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+func (e *Engine) pop() *event {
+	n := len(e.queue) - 1
+	e.swap(0, n)
+	ev := e.queue[n]
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
 	ev.index = -1
-	*q = old[:n-1]
+	if n > 0 {
+		e.down(0)
+	}
 	return ev
+}
+
+// remove deletes the event at heap position i.
+func (e *Engine) remove(i int) {
+	n := len(e.queue) - 1
+	if i != n {
+		e.swap(i, n)
+	}
+	ev := e.queue[n]
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	ev.index = -1
+	if i != n {
+		e.fix(i)
+	}
+}
+
+// fix restores heap order after the event at position i changed key.
+func (e *Engine) fix(i int) {
+	if !e.down(i) {
+		e.up(i)
+	}
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) bool {
+	n := len(e.queue)
+	i0 := i
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && e.less(r, l) {
+			j = r
+		}
+		if !e.less(j, i) {
+			break
+		}
+		e.swap(i, j)
+		i = j
+	}
+	return i > i0
 }

@@ -90,9 +90,90 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	// Double cancel and nil cancel are no-ops.
+	// Double cancel and zero-Timer cancel are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Timer{})
+}
+
+func TestTimerPending(t *testing.T) {
+	e := New()
+	var zero Timer
+	if zero.Pending() {
+		t.Error("zero Timer reports pending")
+	}
+	tm := e.At(10, func() {})
+	if !tm.Pending() {
+		t.Error("fresh timer not pending")
+	}
+	e.Cancel(tm)
+	if tm.Pending() {
+		t.Error("cancelled timer still pending")
+	}
+	tm = e.At(20, func() {})
+	e.Run()
+	if tm.Pending() {
+		t.Error("fired timer still pending")
+	}
+}
+
+func TestStaleTimerAfterPoolReuse(t *testing.T) {
+	// A fired event's storage is recycled for later events; the stale
+	// handle must stay stale (Cancel a no-op) even when its storage is
+	// live again under a newer generation.
+	e := New()
+	stale := e.At(1, func() {})
+	e.Run()
+	fired := false
+	fresh := e.At(10, func() { fired = true })
+	e.Cancel(stale) // stale: must not cancel whatever reused the storage
+	e.Run()
+	if !fired {
+		t.Error("cancelling a stale timer killed an unrelated live event")
+	}
+	if fresh.Pending() {
+		t.Error("fired timer still pending")
+	}
+}
+
+func TestRescheduleKeepsHandleValid(t *testing.T) {
+	e := New()
+	var at simtime.Time
+	tm := e.At(10, func() { at = e.Now() })
+	e.Reschedule(tm, 20)
+	if !tm.Pending() {
+		t.Fatal("timer went stale across Reschedule")
+	}
+	e.Reschedule(tm, 30)
+	e.Run()
+	if at != 30 {
+		t.Errorf("event fired at %v, want 30", at)
+	}
+}
+
+func TestRescheduleCancelledEventPanics(t *testing.T) {
+	e := New()
+	tm := e.At(5, func() {})
+	e.Cancel(tm)
+	defer func() {
+		if recover() == nil {
+			t.Error("rescheduling cancelled event did not panic")
+		}
+	}()
+	e.Reschedule(tm, 10)
+}
+
+func TestTimerStaleInsideOwnCallback(t *testing.T) {
+	// By the time fn runs its event is already retired, so the
+	// self-handle pattern `tm = zero` inside fn is redundant but the
+	// handle must read as not pending.
+	e := New()
+	var tm Timer
+	pendingInside := true
+	tm = e.At(10, func() { pendingInside = tm.Pending() })
+	e.Run()
+	if pendingInside {
+		t.Error("timer still pending inside its own callback")
+	}
 }
 
 func TestCancelFromEarlierEvent(t *testing.T) {

@@ -371,6 +371,18 @@ func (m *Machine) Loads() []float64 {
 	return m.loads()
 }
 
+// LoadsInto appends a snapshot of the per-core effective loads to dst
+// and returns the extended slice — the allocation-free form of Loads
+// for periodic samplers (pass dst[:0] to reuse its storage).
+func (m *Machine) LoadsInto(dst []float64) []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.cores {
+		dst = append(dst, m.load(i))
+	}
+	return dst
+}
+
 // Load returns core i's effective load.
 func (m *Machine) Load(i int) float64 {
 	m.mu.Lock()

@@ -46,7 +46,9 @@ import (
 // executes them (and ignores moves that fail admission on their
 // destination). Plan runs on the simulation goroutine; it must not
 // touch the System directly — everything it may use is in the
-// Snapshot.
+// Snapshot. The snapshot's slices reuse the System's planning buffers
+// and are valid only for the duration of the call: a policy that
+// keeps planning state across calls must copy what it retains.
 type Balancer interface {
 	// Name identifies the policy in reports.
 	Name() string
@@ -391,6 +393,7 @@ type sharedGroup struct {
 	handles []*Handle
 	tuner   *MultiTuner
 	core    int
+	seenGen uint64 // last units() enumeration that visited the group
 }
 
 // migUnit is the live counterpart of a snapshot Unit: the sched.Group
@@ -479,40 +482,54 @@ func (s *System) handleUnit(h *Handle) *migUnit {
 }
 
 // units enumerates the machine's migration units in spawn order,
-// shared groups collapsed to one unit each.
+// shared groups collapsed to one unit each. The result reuses a
+// per-System buffer; it is only valid until the next call. Group
+// dedup uses a generation counter instead of a per-call map — the
+// enumeration runs on every balance tick.
 func (s *System) units() []*migUnit {
-	seen := make(map[*sharedGroup]bool)
-	out := make([]*migUnit, 0, len(s.handles))
+	s.unitsGen++
+	out := s.unitsBuf[:0]
 	for _, h := range s.handles {
 		if h.shared != nil {
-			if seen[h.shared] {
+			if h.shared.seenGen == s.unitsGen {
 				continue
 			}
-			seen[h.shared] = true
+			h.shared.seenGen = s.unitsGen
 		}
 		out = append(out, s.unitFor(h))
 	}
+	s.unitsBuf = out
 	return out
 }
 
-// snapshot freezes the planning view over the given live units.
+// snapshot freezes the planning view over the given live units. The
+// snapshot's slices reuse per-System buffers: it is valid for the
+// duration of the Plan call it feeds, and a policy that keeps
+// planning state across calls must copy what it retains.
 func (s *System) snapshot(reason string, pendingHint float64, units []*migUnit) Snapshot {
 	n := s.machine.Cores()
+	if cap(s.snapUnits) < len(units) {
+		s.snapUnits = make([]Unit, len(units))
+	}
+	if s.domainMap == nil {
+		s.domainMap = s.machine.DomainMap()
+	}
 	snap := Snapshot{
 		At:          s.clock.Now(),
 		Reason:      reason,
 		Threshold:   s.bal.threshold,
 		PendingHint: pendingHint,
-		Loads:       s.machine.Loads(),
-		Reserved:    make([]float64, n),
-		ULub:        make([]float64, n),
-		Domain:      s.machine.DomainMap(),
-		Units:       make([]Unit, len(units)),
+		Loads:       s.machine.LoadsInto(s.snapLoads[:0]),
+		Reserved:    s.snapReserved[:0],
+		ULub:        s.snapULub[:0],
+		Domain:      s.domainMap,
+		Units:       s.snapUnits[:len(units)],
 	}
 	for i := 0; i < n; i++ {
-		snap.Reserved[i] = s.machine.Core(i).TotalReservedBandwidth()
-		snap.ULub[i] = s.machine.Supervisor(i).ULub()
+		snap.Reserved = append(snap.Reserved, s.machine.Core(i).TotalReservedBandwidth())
+		snap.ULub = append(snap.ULub, s.machine.Supervisor(i).ULub())
 	}
+	s.snapLoads, s.snapReserved, s.snapULub = snap.Loads, snap.Reserved, snap.ULub
 	for i, u := range units {
 		reserved := u.group.Bandwidth()
 		charge := u.hint
@@ -578,34 +595,40 @@ func (s *System) execute(units []*migUnit, snap Snapshot, moves []Move) int {
 	if len(moves) == 0 {
 		return 0
 	}
-	type planned struct {
-		u      *migUnit
-		reason string
+	cores := s.machine.Cores()
+	if len(s.perDest) < cores {
+		s.perDest = make([][]plannedMove, cores)
 	}
-	perDest := make(map[int][]planned)
-	var destOrder []int
-	taken := make(map[*migUnit]bool)
+	if len(s.takenBuf) < len(units) {
+		s.takenBuf = make([]bool, len(units))
+	}
+	taken := s.takenBuf[:len(units)]
+	for i := range taken {
+		taken[i] = false
+	}
+	destOrder := s.destOrder[:0]
 	for _, mv := range moves {
 		if mv.Unit < 0 || mv.Unit >= len(units) {
 			continue
 		}
 		u := units[mv.Unit]
-		if taken[u] || mv.To < 0 || mv.To >= s.machine.Cores() || mv.To == u.core || u.group.Empty() {
+		if taken[mv.Unit] || mv.To < 0 || mv.To >= cores || mv.To == u.core || u.group.Empty() {
 			continue
 		}
-		taken[u] = true
+		taken[mv.Unit] = true
 		reason := mv.Reason
 		if reason == "" {
 			reason = snap.Reason
 		}
-		if _, seen := perDest[mv.To]; !seen {
+		if len(s.perDest[mv.To]) == 0 {
 			destOrder = append(destOrder, mv.To)
 		}
-		perDest[mv.To] = append(perDest[mv.To], planned{u: u, reason: reason})
+		s.perDest[mv.To] = append(s.perDest[mv.To], plannedMove{u: u, reason: reason})
 	}
+	s.destOrder = destOrder
 	total := 0
 	for _, dest := range destOrder {
-		batch := perDest[dest]
+		batch := s.perDest[dest]
 		cands := make([]smp.StealCandidate, len(batch))
 		for i, p := range batch {
 			cands[i] = smp.StealCandidate{Group: p.u.group, From: p.u.core, Hint: p.u.hint}
@@ -636,7 +659,22 @@ func (s *System) execute(units []*migUnit, snap Snapshot, moves []Move) int {
 			})
 		}
 	}
+	// Reset the per-destination staging for the next plan, dropping
+	// the unit references so retired workloads can be collected.
+	for _, dest := range destOrder {
+		batch := s.perDest[dest]
+		for i := range batch {
+			batch[i] = plannedMove{}
+		}
+		s.perDest[dest] = batch[:0]
+	}
 	return total
+}
+
+// plannedMove is one validated move of an execute batch.
+type plannedMove struct {
+	u      *migUnit
+	reason string
 }
 
 // finishMove updates the bookkeeping after a unit's physical move and

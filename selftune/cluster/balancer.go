@@ -58,7 +58,10 @@ type Placement struct {
 
 // ClusterBalancer plans cross-machine re-placements. Plan runs
 // synchronously in the cluster tick; it must not touch the Cluster
-// directly — everything it may use is in the FleetSnapshot. Placements
+// directly — everything it may use is in the FleetSnapshot. The
+// snapshot's slices reuse the cluster's planning buffers and are
+// valid only for the duration of the call: a policy that keeps
+// planning state across calls must copy what it retains. Placements
 // that no longer apply (departed job, full destination) are skipped,
 // not errors.
 type ClusterBalancer interface {

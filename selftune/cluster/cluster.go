@@ -14,9 +14,18 @@
 // 100ms): each tick it processes departures, runs the fleet balancer,
 // generates arrivals, drains queues, runs the autoscaler, folds
 // cluster telemetry, and then advances every machine engine to the
-// tick boundary in index order. Cluster control therefore operates at
-// tick granularity — service times quantise up to the next boundary —
+// tick boundary. Cluster control therefore operates at tick
+// granularity — service times quantise up to the next boundary —
 // while the machines simulate at full event resolution in between.
+//
+// Parallelism: the per-machine engines of one tick are independent —
+// machines share no mutable state between tick boundaries — so
+// WithParallelism(n) advances them on a bounded worker pool (default
+// GOMAXPROCS). Cross-machine effects are confined to the serial
+// control phase, and per-machine telemetry staged through shards
+// (WithMachineTelemetry) merges in machine-index order at the tick
+// barrier, so a seeded run is byte-identical at every parallelism
+// level.
 //
 // Scale: WithDetail(n) bounds fidelity cost. Jobs landing on the
 // first n machines are Started — their workloads release real jobs,
@@ -41,6 +50,9 @@ package cluster
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/rng"
 	"repro/internal/smp"
@@ -50,19 +62,22 @@ import (
 
 // options collects the configuration assembled by functional options.
 type options struct {
-	seed       uint64
-	machines   int
-	cores      int
-	nodeCores  int // 0 = auto, -1 = flat
-	ulub       float64
-	tick       selftune.Duration
-	detail     int
-	machineBal func() selftune.Balancer
-	fleetBal   ClusterBalancer
-	fleetEvery selftune.Duration
-	scaler     *AutoscalerConfig
-	statsEvery selftune.Duration
-	colOpts    []telemetry.CollectorOption
+	seed        uint64
+	machines    int
+	cores       int
+	nodeCores   int // 0 = auto, -1 = flat
+	ulub        float64
+	tick        selftune.Duration
+	detail      int
+	parallel    int // 0 = GOMAXPROCS
+	machineBal  func() selftune.Balancer
+	fleetBal    ClusterBalancer
+	fleetEvery  selftune.Duration
+	scaler      *AutoscalerConfig
+	statsEvery  selftune.Duration
+	colOpts     []telemetry.CollectorOption
+	machineTel  bool
+	machineColO []telemetry.CollectorOption
 }
 
 func defaultClusterOptions() options {
@@ -221,6 +236,46 @@ func WithTelemetry(opts ...telemetry.CollectorOption) Option {
 	}
 }
 
+// WithParallelism advances the machine engines of each lockstep tick
+// on a bounded pool of n worker goroutines (default GOMAXPROCS,
+// capped at the fleet size). Machines share no mutable state between
+// tick boundaries and all cross-machine effects are staged and
+// applied in machine-index order at the tick barrier, so a seeded run
+// produces byte-identical telemetry for every parallelism level.
+// WithParallelism(1) forces the serial advance. n < 1 is an error.
+//
+// Observers subscribed to an individual machine (telemetry.Attach on
+// Machine(i)) receive that machine's events on whichever worker
+// advances it; one observer attached to several machines would be
+// called concurrently — feed a shared collector through
+// WithMachineTelemetry instead, which stages per machine and drains
+// in index order at the barrier.
+func WithParallelism(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("cluster: WithParallelism(%d): need at least one worker", n)
+		}
+		o.parallel = n
+		return nil
+	}
+}
+
+// WithMachineTelemetry attaches one cluster-owned Collector (reached
+// via MachineCollector) to every machine's observer bus through
+// per-machine staging shards: each machine's events collect lock-free
+// while the engines advance — possibly concurrently, under
+// WithParallelism — and the shards drain into the collector in
+// machine-index order at every tick barrier. The folded state is
+// therefore identical, byte for byte, for any parallelism level. The
+// options configure the collector (series capacity, sampling stride).
+func WithMachineTelemetry(opts ...telemetry.CollectorOption) Option {
+	return func(o *options) error {
+		o.machineTel = true
+		o.machineColO = append(o.machineColO, opts...)
+		return nil
+	}
+}
+
 // job is one admitted, resident request.
 type job struct {
 	id      int
@@ -264,6 +319,13 @@ type Cluster struct {
 	mcap     float64   // per-machine capacity, core-equivalents
 	rand     *rng.Source
 	col      *telemetry.Collector
+	parallel int // advance workers per tick
+
+	// Per-machine telemetry staging (WithMachineTelemetry): shard i
+	// subscribes to machine i, and the barrier drains the shards into
+	// mcol in index order.
+	mcol   *telemetry.Collector
+	shards []*telemetry.Shard
 
 	realms      []*Realm
 	realmByName map[string]bool
@@ -279,6 +341,13 @@ type Cluster struct {
 	fleetEveryTicks int
 	scaleEveryTicks int
 	replacements    int
+
+	// Reused per-tick buffers: the fleet balancer's snapshot, its
+	// per-destination batch counts, and the load-fold sample.
+	snapBuf     FleetSnapshot
+	perDestBuf  []int
+	loadsBuf    []float64
+	coreLoadBuf []float64
 }
 
 // New builds a Cluster from functional options:
@@ -338,6 +407,21 @@ func New(opts ...Option) (*Cluster, error) {
 		c.machines[i] = sys
 	}
 	c.col = telemetry.NewCollector(o.colOpts...)
+	c.parallel = o.parallel
+	if c.parallel == 0 {
+		c.parallel = runtime.GOMAXPROCS(0)
+	}
+	if c.parallel > o.machines {
+		c.parallel = o.machines
+	}
+	if o.machineTel {
+		c.mcol = telemetry.NewCollector(o.machineColO...)
+		c.shards = make([]*telemetry.Shard, o.machines)
+		for i, m := range c.machines {
+			c.shards[i] = telemetry.NewShard()
+			m.Subscribe(c.shards[i])
+		}
+	}
 	c.fleetEveryTicks = c.ticksOf(o.fleetEvery)
 	every := o.statsEvery
 	if o.scaler != nil {
@@ -423,6 +507,16 @@ func (c *Cluster) Now() selftune.Time { return c.now }
 // Snapshot feeds every existing sink (CSV, Chrome trace, reports).
 func (c *Cluster) Collector() *telemetry.Collector { return c.col }
 
+// MachineCollector returns the collector fed by every machine's event
+// stream through the per-machine shards (nil without
+// WithMachineTelemetry). Its state is current as of the last tick
+// barrier.
+func (c *Cluster) MachineCollector() *telemetry.Collector { return c.mcol }
+
+// Parallelism returns the number of worker goroutines advancing
+// machine engines each tick.
+func (c *Cluster) Parallelism() int { return c.parallel }
+
 // Replacements returns how many cross-machine re-placements the fleet
 // balancer has executed.
 func (c *Cluster) Replacements() int { return c.replacements }
@@ -466,11 +560,55 @@ func (c *Cluster) Run(horizon selftune.Duration) {
 			step = remain
 		}
 		next := c.now.Add(step)
+		c.advance(next)
+		c.now = next
+		c.tickN++
+	}
+}
+
+// advance brings every machine engine to the next tick boundary, then
+// merges the staged cross-machine effects at the barrier. With
+// parallelism 1 the machines advance serially in index order; with
+// more, a bounded pool of workers claims machines off a shared
+// counter. Both paths produce identical state: machines share nothing
+// mutable between tick boundaries (placements, despawns and realm
+// accounting all happen in the serial control phase before the
+// advance), each machine's event execution is a pure function of its
+// own pre-tick state, and the one cross-machine sink — the shared
+// machine-telemetry collector — is fed through per-machine shards
+// drained here in machine-index order. The WaitGroup barrier orders
+// every worker's writes before the merge and the next control phase.
+func (c *Cluster) advance(next selftune.Time) {
+	if c.parallel <= 1 || len(c.machines) == 1 {
 		for _, m := range c.machines {
 			m.Run(next.Sub(m.Now()))
 		}
-		c.now = next
-		c.tickN++
+	} else {
+		var idx atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < c.parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(idx.Add(1)) - 1
+					if i >= len(c.machines) {
+						return
+					}
+					m := c.machines[i]
+					m.Run(next.Sub(m.Now()))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Merge barrier: fold the staged per-machine event streams in
+	// machine-index order. Draining on the serial path too keeps the
+	// fold order — and the collector's bytes — parallelism-invariant.
+	if c.mcol != nil {
+		for _, s := range c.shards {
+			s.Drain(c.mcol)
+		}
 	}
 }
 
@@ -627,14 +765,23 @@ func (c *Cluster) spawn(machine int, r *Realm, spec int, name string, hint float
 	return c.machines[machine].Spawn(s.Kind, opts...)
 }
 
-// rebalance plans and executes one fleet balancing opportunity.
+// rebalance plans and executes one fleet balancing opportunity. The
+// planning snapshot reuses the cluster's buffers (valid for the Plan
+// call), and the per-destination batch counts reuse a slice instead
+// of a per-tick map.
 func (c *Cluster) rebalance() {
-	snap := c.Snapshot()
-	plan := c.opt.fleetBal.Plan(snap)
+	c.snapshotInto(&c.snapBuf)
+	plan := c.opt.fleetBal.Plan(c.snapBuf)
 	if len(plan) == 0 {
 		return
 	}
-	perDest := make(map[int]int)
+	if len(c.perDestBuf) < len(c.machines) {
+		c.perDestBuf = make([]int, len(c.machines))
+	}
+	perDest := c.perDestBuf[:len(c.machines)]
+	for i := range perDest {
+		perDest[i] = 0
+	}
 	for _, p := range plan {
 		j := c.jobs[p.Job]
 		if j == nil || p.To < 0 || p.To >= len(c.machines) || p.To == j.machine {
@@ -686,28 +833,30 @@ func (c *Cluster) rebalance() {
 	}
 }
 
-// machineLoads returns the per-machine mean effective core load.
-func (c *Cluster) machineLoads() []float64 {
-	out := make([]float64, len(c.machines))
-	for i, m := range c.machines {
-		loads := m.Machine().Loads()
+// machineLoadsInto appends the per-machine mean effective core load
+// to dst (pass dst[:0] to reuse its storage).
+func (c *Cluster) machineLoadsInto(dst []float64) []float64 {
+	for _, m := range c.machines {
+		c.coreLoadBuf = m.Machine().LoadsInto(c.coreLoadBuf[:0])
 		var sum float64
-		for _, l := range loads {
+		for _, l := range c.coreLoadBuf {
 			sum += l
 		}
-		out[i] = sum / float64(len(loads))
+		dst = append(dst, sum/float64(len(c.coreLoadBuf)))
 	}
-	return out
+	return dst
 }
 
 // foldLoads publishes the per-machine load sample (machines play the
-// cores of the cluster-scope collector).
+// cores of the cluster-scope collector; the collector copies the
+// reused sample buffer on fold).
 func (c *Cluster) foldLoads() {
+	c.loadsBuf = c.machineLoadsInto(c.loadsBuf[:0])
 	c.col.Observe(selftune.Event{
 		Kind:  selftune.CoreLoadEvent,
 		At:    c.now,
 		Core:  -1,
-		Loads: c.machineLoads(),
+		Loads: c.loadsBuf,
 	})
 }
 
@@ -738,29 +887,37 @@ func (c *Cluster) foldRealmTicks() {
 
 // Snapshot freezes the fleet view a ClusterBalancer plans over (also
 // the determinism witness: equal seeds yield deeply equal snapshots).
+// The returned snapshot is freshly allocated and safe to retain.
 func (c *Cluster) Snapshot() FleetSnapshot {
-	snap := FleetSnapshot{
-		At:           c.now,
-		MachineCap:   c.mcap,
-		MachineUsed:  append([]float64(nil), c.mused...),
-		MachineLoads: c.machineLoads(),
-		Realms:       make([]RealmStats, len(c.realms)),
-		Jobs:         make([]JobStat, len(c.active)),
+	var snap FleetSnapshot
+	c.snapshotInto(&snap)
+	return snap
+}
+
+// snapshotInto fills snap with the current fleet view, reusing its
+// slice storage — the allocation-free path behind the per-tick
+// rebalance. The filled snapshot is valid until the next call with
+// the same target.
+func (c *Cluster) snapshotInto(snap *FleetSnapshot) {
+	snap.At = c.now
+	snap.MachineCap = c.mcap
+	snap.MachineUsed = append(snap.MachineUsed[:0], c.mused...)
+	snap.MachineLoads = c.machineLoadsInto(snap.MachineLoads[:0])
+	snap.Realms = snap.Realms[:0]
+	for _, r := range c.realms {
+		snap.Realms = append(snap.Realms, r.Stats())
 	}
-	for i, r := range c.realms {
-		snap.Realms[i] = r.Stats()
-	}
-	for i, j := range c.active {
-		snap.Jobs[i] = JobStat{
+	snap.Jobs = snap.Jobs[:0]
+	for _, j := range c.active {
+		snap.Jobs = append(snap.Jobs, JobStat{
 			ID:      j.id,
 			Realm:   j.realm.cfg.Name,
 			Kind:    j.realm.cfg.Mix[j.spec].Kind,
 			Machine: j.machine,
 			Hint:    j.hint,
-		}
+		})
 	}
 	sortJobs(snap.Jobs)
-	return snap
 }
 
 // sortJobs orders a job list by ID (insertion order is perturbed by

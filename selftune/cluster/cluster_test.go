@@ -303,19 +303,20 @@ func TestFleetWorstFitPlans(t *testing.T) {
 	}
 }
 
-// buildDeterministic assembles the fleet the determinism test runs
-// twice: detail machines, an autoscaler, a fleet balancer, heavy-tailed
-// service and a vmboot mix — every moving part in one pot.
-func buildDeterministic(t *testing.T) *Cluster {
+// buildDeterministic assembles the fleet the determinism tests run
+// repeatedly: detail machines, an autoscaler, a fleet balancer,
+// heavy-tailed service and a vmboot mix — every moving part in one
+// pot. Extra options (parallelism, machine telemetry) stack on top.
+func buildDeterministic(t *testing.T, extra ...Option) *Cluster {
 	t.Helper()
-	c, err := New(
+	c, err := New(append([]Option{
 		WithSeed(42),
 		WithMachines(3),
 		WithCores(8),
 		WithDetail(1),
 		WithAutoscaler(DefaultAutoscalerConfig()),
 		WithFleetBalancer(FleetWorstFit(0, 0)),
-	)
+	}, extra...)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/selftune"
+)
+
+// runDeterministic builds the shared determinism scenario with machine
+// telemetry at the given parallelism, runs it for 4 simulated seconds,
+// and returns the three determinism witnesses: total engine steps, the
+// fleet snapshot, and the marshalled cluster- and machine-scope
+// telemetry.
+func runDeterministic(t *testing.T, parallel int) (uint64, FleetSnapshot, []byte, []byte) {
+	t.Helper()
+	c := buildDeterministic(t,
+		WithParallelism(parallel),
+		WithMachineTelemetry(),
+	)
+	c.Run(4 * selftune.Second)
+
+	col, err := json.Marshal(c.Collector().Snapshot())
+	if err != nil {
+		t.Fatalf("marshal cluster telemetry: %v", err)
+	}
+	mcol, err := json.Marshal(c.MachineCollector().Snapshot())
+	if err != nil {
+		t.Fatalf("marshal machine telemetry: %v", err)
+	}
+	return c.Steps(), c.Snapshot(), col, mcol
+}
+
+// TestParallelismDeterminism is the contract behind WithParallelism:
+// the same seed produces byte-identical telemetry — cluster-scope and
+// shard-merged machine-scope — and deeply equal fleet snapshots at
+// every parallelism level. The scenario is the full determinism pot
+// (detail machine, autoscaler, fleet balancer, heavy-tailed mixes);
+// parallelism 16 exceeds the 3-machine fleet to exercise the cap.
+func TestParallelismDeterminism(t *testing.T) {
+	steps1, snap1, col1, mcol1 := runDeterministic(t, 1)
+	if len(snap1.Jobs) == 0 {
+		t.Fatal("determinism test ran an empty scenario")
+	}
+	for _, parallel := range []int{4, 16} {
+		steps, snap, col, mcol := runDeterministic(t, parallel)
+		if steps != steps1 {
+			t.Errorf("parallelism %d: engine steps %d, serial ran %d", parallel, steps, steps1)
+		}
+		if !reflect.DeepEqual(snap, snap1) {
+			t.Errorf("parallelism %d: fleet snapshot diverged from serial:\n%+v\nvs\n%+v",
+				parallel, snap, snap1)
+		}
+		if !bytes.Equal(col, col1) {
+			t.Errorf("parallelism %d: cluster telemetry not byte-identical to serial (%d vs %d bytes)",
+				parallel, len(col), len(col1))
+		}
+		if !bytes.Equal(mcol, mcol1) {
+			t.Errorf("parallelism %d: machine telemetry not byte-identical to serial (%d vs %d bytes)",
+				parallel, len(mcol), len(mcol1))
+		}
+	}
+}
+
+// TestParallelClusterRace drives an 8-machine fully detailed fleet
+// with four workers and shard-staged machine telemetry — the
+// configuration with the most cross-goroutine traffic. Its job is to
+// put the parallel advance under the CI race detector; the assertions
+// just prove the machines actually did concurrent work that reached
+// the shared collector.
+func TestParallelClusterRace(t *testing.T) {
+	c, err := New(
+		WithSeed(9),
+		WithMachines(8),
+		WithCores(4),
+		WithDetail(8),
+		WithParallelism(4),
+		WithMachineTelemetry(),
+		WithFleetBalancer(FleetWorstFit(0.05, 4)),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := c.Parallelism(); got != 4 {
+		t.Fatalf("Parallelism() = %d, want 4", got)
+	}
+	if _, err := c.AddRealm(RealmConfig{
+		Name: "load", Reservation: 12, Rate: 30, QueueCap: 32,
+		Mix: []WorkloadSpec{
+			{Kind: "webserver", Hint: 0.25, Service: Exp(700 * selftune.Millisecond), Weight: 2},
+			{Kind: "gameloop", Hint: 0.3, Service: Uniform(400*selftune.Millisecond, 1500*selftune.Millisecond)},
+		},
+	}); err != nil {
+		t.Fatalf("AddRealm: %v", err)
+	}
+	c.Run(2 * selftune.Second)
+
+	if c.Resident() == 0 {
+		t.Fatal("race scenario admitted nothing")
+	}
+	tel := c.MachineCollector().Snapshot()
+	if tel.LoadEvents == 0 {
+		t.Fatal("no machine-level load samples crossed the shard barrier")
+	}
+	if tel.Cores != 4 {
+		t.Fatalf("machine collector sees %d cores, want 4", tel.Cores)
+	}
+}

@@ -80,7 +80,10 @@ type Event struct {
 	Source string
 	// Snapshot is the activation record of a TunerTickEvent.
 	Snapshot TunerSnapshot
-	// Loads is the per-core effective load of a CoreLoadEvent.
+	// Loads is the per-core effective load of a CoreLoadEvent. The
+	// slice is the publisher's reused sample buffer: it is valid only
+	// for the duration of Observe, and an observer that retains the
+	// sample must copy it (every collector in this module does).
 	Loads []float64
 	// From is the origin core of a MigrationEvent (Core holds the
 	// destination); meaningless for other kinds.
@@ -187,11 +190,12 @@ func (s *System) startSampler() {
 	s.obsMu.Unlock()
 	var tick func()
 	tick = func() {
+		s.sampleBuf = s.machine.LoadsInto(s.sampleBuf[:0])
 		s.publish(Event{
 			Kind:  CoreLoadEvent,
 			At:    s.clock.Now(),
 			Core:  -1,
-			Loads: s.machine.Loads(),
+			Loads: s.sampleBuf,
 		})
 		s.obsMu.Lock()
 		if len(s.observers) == 0 {

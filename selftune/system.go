@@ -34,6 +34,22 @@ type System struct {
 	handles  []*Handle
 	groups   []*sharedGroup
 	spawnSeq int
+
+	// Reused hot-path buffers: the load sampler's per-core sample, the
+	// balancer's unit enumeration and snapshot slices (rebuilt every
+	// balance tick), and execute's per-destination staging. All are
+	// touched only from the simulation goroutine.
+	sampleBuf    []float64
+	unitsGen     uint64
+	unitsBuf     []*migUnit
+	domainMap    []int // cached; the topology is fixed at construction
+	snapLoads    []float64
+	snapReserved []float64
+	snapULub     []float64
+	snapUnits    []Unit
+	perDest      [][]plannedMove
+	destOrder    []int
+	takenBuf     []bool
 }
 
 // NewSystem builds a System from functional options:

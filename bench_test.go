@@ -229,9 +229,10 @@ func BenchmarkNUMAContention64Core(b *testing.B) {
 // BenchmarkClusterContention runs the fleet surge study in reduced
 // form (24 machines x 16 cores, 4 realms) with the autoscaler on and
 // reports the headline qualities of the adaptive run: the admission
-// reject fraction and the cross-realm unfairness (1 - Jain index over
-// admitted fractions), both lower-is-better and gated in CI, plus the
-// static baseline's reject fraction for contrast and the simulation
+// reject fraction, the cross-realm unfairness (1 - Jain index over
+// admitted fractions) and the p99 request latency on the detail
+// machine, all lower-is-better and gated in CI, plus the static
+// baseline's reject fraction for contrast and the simulation
 // throughput in events per wall second.
 func BenchmarkClusterContention(b *testing.B) {
 	var last experiments.ClusterResult
@@ -240,6 +241,7 @@ func BenchmarkClusterContention(b *testing.B) {
 	}
 	b.ReportMetric(last.Auto.RejectFraction, "reject_frac")
 	b.ReportMetric(last.Auto.Unfairness, "unfairness")
+	b.ReportMetric(last.Auto.LatencyP99.Milliseconds(), "p99_ms")
 	b.ReportMetric(last.Static.RejectFraction, "reject_frac_static")
 	b.ReportMetric(last.Auto.EventsPerSecond(), "events_per_s")
 }

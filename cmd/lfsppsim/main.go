@@ -3,8 +3,9 @@
 // managed by an AutoTuner, optionally next to background real-time
 // load. Reporting goes through selftune/telemetry: -live prints
 // periodic reports during the run, the final summary renders the
-// collector's snapshot, and -csv/-trace export it as figure data and
-// a Chrome trace-event file.
+// collector's snapshot, -csv/-trace export it as figure data and a
+// Chrome trace-event file, and -metrics serves it live in Prometheus
+// text format.
 //
 // Examples:
 //
@@ -18,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -57,6 +60,7 @@ func main() {
 		csvPath    = flag.String("csv", "", "export the session's telemetry CSV series to this file")
 		tracePath  = flag.String("trace", "", "export the session's Chrome trace-event JSON to this file")
 		timestamps = flag.String("timestamps", "", "export the app's syscall timestamps (seconds, one per line) to this file")
+		metrics    = flag.String("metrics", "", "serve the collector's snapshot in Prometheus text format at http://ADDR/metrics (e.g. :9090; keeps the process alive after the run)")
 	)
 	flag.Parse()
 
@@ -79,6 +83,26 @@ func main() {
 		stopSink = sink.Attach(sys)
 	} else {
 		col, stopSink = telemetry.Attach(sys)
+	}
+
+	// The metrics endpoint serves live during the run and stays up
+	// after it, so scrapers see the final distributions too. Listening
+	// before the run starts lets callers bind ":0" and read the chosen
+	// port from the announcement line.
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfsppsim: -metrics %s: %v\n", *metrics, err)
+			os.Exit(2)
+		}
+		fmt.Printf("lfsppsim: serving metrics on http://%s/metrics\n", ln.Addr())
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.MetricsHandler(col.Snapshot))
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "lfsppsim: metrics server: %v\n", err)
+			}
+		}()
 	}
 
 	if *load > 0 {
@@ -187,6 +211,10 @@ func main() {
 	}
 	if tee != nil {
 		writeTimestamps(*timestamps, pcfg.Name, tee.times)
+	}
+	if *metrics != "" {
+		fmt.Println("lfsppsim: run complete, still serving metrics (interrupt to exit)")
+		select {}
 	}
 }
 

@@ -29,6 +29,11 @@ type ClusterRunResult struct {
 
 	// RejectFraction is the fleet-wide rejected/arrived ratio.
 	RejectFraction float64
+	// Requests is the fleet-wide request completions observed on the
+	// detail machines; LatencyP99 is their p99 completion latency.
+	Requests int64
+	// LatencyP99 is the p99 of the fleet-wide latency distribution.
+	LatencyP99 simtime.Duration
 	// Unfairness is 1 - Jain's fairness index over the realms'
 	// admitted fractions: 0 when every realm is admitted evenly,
 	// approaching 1-1/n when one realm starves.
@@ -71,8 +76,9 @@ func (r ClusterResult) Table() string {
 	s := fmt.Sprintf("== Cluster contention (%d machines x %d cores, %d realms, %v) ==\n",
 		r.Machines, r.Cores, r.RealmN, r.Horizon)
 	for _, run := range []ClusterRunResult{r.Static, r.Auto} {
-		s += fmt.Sprintf("%-7s reject %.4f | unfairness %.4f | replacements %d | %.0f events/s (x%d workers)\n",
-			run.Policy, run.RejectFraction, run.Unfairness, run.Replacements, run.EventsPerSecond(),
+		s += fmt.Sprintf("%-7s reject %.4f | unfairness %.4f | replacements %d | %d requests p99 %v | %.0f events/s (x%d workers)\n",
+			run.Policy, run.RejectFraction, run.Unfairness, run.Replacements,
+			run.Requests, run.LatencyP99, run.EventsPerSecond(),
 			run.Parallelism)
 		for _, st := range run.Realms {
 			s += fmt.Sprintf("        %-10s res %6.1f arrived %6d admitted %6d rejected %5d (%.4f) grows %d shrinks %d\n",
@@ -182,6 +188,7 @@ func clusterRun(seed uint64, machines, cores, realms int, horizon simtime.Durati
 		cluster.WithMachines(machines),
 		cluster.WithCores(cores),
 		cluster.WithDetail(1),
+		cluster.WithRequestStats(),
 		cluster.WithFleetBalancer(cluster.FleetWorstFit(0, 0)),
 	}
 	if parallel > 0 {
@@ -247,6 +254,8 @@ func clusterRun(seed uint64, machines, cores, realms int, horizon simtime.Durati
 		out.RejectFraction = float64(rejected) / float64(arrived)
 	}
 	out.Unfairness = 1 - jainIndex(admitFracs)
+	out.Requests, _ = c.FleetRequests()
+	out.LatencyP99 = c.FleetLatency().Quantile(0.99)
 	out.Events = c.Steps() + uint64(admitted) + uint64(departed) + uint64(c.Replacements())
 	return out
 }

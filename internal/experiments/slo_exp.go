@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/selftune"
+	"repro/selftune/cluster"
+	"repro/selftune/telemetry"
+)
+
+// The SLO experiment closes the observability loop at both scopes of
+// the reproduction. The machine half is the paper's thesis restated as
+// an objective: a best-effort webserver on a well-provisioned core
+// attains "95% of requests under 100ms", and the same server behind a
+// deliberately over-reserved background load (85% of the core promised
+// to hard periodic tasks) violates it — the SLO flips on provisioning
+// alone, arrival stream unchanged. The cluster half runs a small fully
+// detailed fleet through a mid-run surge twice — static reservations
+// versus the autoscaler — and reports per-realm latency quantiles and
+// SLO attainment side by side, the tenant-facing view of the same
+// admission counters the contention experiment gates on.
+
+// SLOMachineRun is one provisioning policy's half of the machine-scope
+// flip.
+type SLOMachineRun struct {
+	Policy string // "provisioned" | "starved"
+	// Status is the webserver objective's live state after the run.
+	Status telemetry.SLOStatus
+	// P50/P95/P99 are the webserver's latency quantile estimates.
+	P50, P95, P99 simtime.Duration
+}
+
+// SLOClusterRun is one reservation policy's half of the cluster surge.
+type SLOClusterRun struct {
+	Policy string // "static" | "auto"
+	// Realms is the final per-realm accounting, latency quantiles and
+	// SLO attainment, in registration order.
+	Realms []cluster.RealmStats
+	// Requests and Misses are the fleet-wide completion counters.
+	Requests, Misses int64
+	// FleetP99 is the p99 of the fleet-wide latency distribution.
+	FleetP99 simtime.Duration
+	// WallSeconds is the host time the run took.
+	WallSeconds float64
+}
+
+// SLOResult is the outcome of the SLO experiment.
+type SLOResult struct {
+	// Threshold and Quantile shape the machine-scope objective.
+	Threshold simtime.Duration
+	Quantile  float64
+	// Provisioned and Starved are the machine-scope flip halves.
+	Provisioned, Starved SLOMachineRun
+
+	// Machines/Cores/Horizon shape the cluster surge.
+	Machines, Cores int
+	Horizon         simtime.Duration
+	// Static and Auto are the cluster halves.
+	Static, Auto SLOClusterRun
+}
+
+// Table renders the result in the repo's report style.
+func (r SLOResult) Table() string {
+	s := fmt.Sprintf("== SLO attainment (objective: p%g of webserver requests <= %v) ==\n",
+		r.Quantile*100, r.Threshold)
+	for _, run := range []SLOMachineRun{r.Provisioned, r.Starved} {
+		met := "MET"
+		if !run.Status.Met() {
+			met = "VIOLATED"
+		}
+		s += fmt.Sprintf("%-12s %6d requests | p50 %10v p95 %10v p99 %10v | attainment %.4f burn %6.2f | %s\n",
+			run.Policy, run.Status.Requests, run.P50, run.P95, run.P99,
+			run.Status.Attainment(), run.Status.ErrorBudgetBurn(), met)
+	}
+	s += fmt.Sprintf("-- cluster surge (%d machines x %d cores, %v, full detail) --\n",
+		r.Machines, r.Cores, r.Horizon)
+	for _, run := range []SLOClusterRun{r.Static, r.Auto} {
+		s += fmt.Sprintf("%-7s %d requests, %d deadline misses, fleet p99 %v\n",
+			run.Policy, run.Requests, run.Misses, run.FleetP99)
+		for _, st := range run.Realms {
+			met := "MET"
+			if !st.SLOMet {
+				met = "VIOLATED"
+			}
+			s += fmt.Sprintf("        %-6s res %5.1f admitted %5d rejected %4d | requests %6d missed %5d p50 %10v p99 %10v | slo %.4f %s\n",
+				st.Name, st.Reservation, st.Admitted, st.Rejected,
+				st.Requests, st.Misses, st.LatencyP50, st.LatencyP99, st.SLOAttainment, met)
+		}
+	}
+	return s
+}
+
+// SLOExperiment runs both halves. The machine flip runs on one core
+// over the same horizon as the cluster surge; machines/cores shape the
+// fleet (defaults 2 x 8, horizon 12s).
+func SLOExperiment(seed uint64, machines, cores int, horizon simtime.Duration) SLOResult {
+	if machines < 2 {
+		machines = 2
+	}
+	if cores < 2 {
+		cores = 8
+	}
+	if horizon <= 0 {
+		horizon = 12 * simtime.Second
+	}
+	r := SLOResult{
+		Threshold: 100 * simtime.Millisecond,
+		Quantile:  0.95,
+		Machines:  machines,
+		Cores:     cores,
+		Horizon:   horizon,
+	}
+	r.Provisioned = sloMachineRun(seed, false, horizon, r.Quantile, r.Threshold)
+	r.Starved = sloMachineRun(seed, true, horizon, r.Quantile, r.Threshold)
+	r.Static = sloClusterRun(seed, machines, cores, horizon, false)
+	r.Auto = sloClusterRun(seed, machines, cores, horizon, true)
+	return r
+}
+
+// sloMachineRun is one half of the machine-scope flip: a webserver on
+// one core, alone or squeezed by an 85%-of-core reserved background.
+func sloMachineRun(seed uint64, starved bool, horizon simtime.Duration, q float64, threshold simtime.Duration) SLOMachineRun {
+	sys, err := selftune.NewSystem(selftune.WithSeed(seed), selftune.WithCPUs(1))
+	if err != nil {
+		panic(err)
+	}
+	col, stop := telemetry.Attach(sys, telemetry.WithSLOs(telemetry.SLO{
+		Name: "web", Source: "web", Quantile: q, Threshold: threshold,
+	}))
+	run := SLOMachineRun{Policy: "provisioned"}
+	if starved {
+		run.Policy = "starved"
+		bg, err := sys.Spawn("rtload", selftune.SpawnUtil(0.85), selftune.SpawnCount(2))
+		if err != nil {
+			panic(err)
+		}
+		bg.Start(0)
+	}
+	web, err := sys.Spawn("webserver",
+		selftune.SpawnName("web"), selftune.SpawnUtil(0.30), selftune.SpawnHint(0.05))
+	if err != nil {
+		panic(err)
+	}
+	web.Start(0)
+	sys.Run(horizon)
+	stop()
+
+	snap := col.Snapshot()
+	run.Status, _ = snap.SLO("web")
+	for _, g := range snap.RequestGroups {
+		if g.Name == "web" {
+			run.P50 = g.Latency.Quantile(0.50)
+			run.P95 = g.Latency.Quantile(0.95)
+			run.P99 = g.Latency.Quantile(0.99)
+		}
+	}
+	return run
+}
+
+// sloClusterRun executes the cluster surge once: a fully detailed
+// fleet, a web realm with a p95 objective whose arrival rate triples
+// for the middle third, and a deadline-sensitive gameloop realm with a
+// p99 objective riding alongside. Both policies see identical arrival
+// streams, so the latency columns compare paired.
+func sloClusterRun(seed uint64, machines, cores int, horizon simtime.Duration, auto bool) SLOClusterRun {
+	opts := []cluster.Option{
+		cluster.WithSeed(seed),
+		cluster.WithMachines(machines),
+		cluster.WithCores(cores),
+		cluster.WithDetail(machines),
+		cluster.WithRequestStats(),
+		cluster.WithFleetBalancer(cluster.FleetWorstFit(0, 0)),
+	}
+	if auto {
+		opts = append(opts, cluster.WithAutoscaler(cluster.DefaultAutoscalerConfig()))
+	}
+	c, err := cluster.New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	capacity := float64(machines * cores)
+	webRate := 0.5 * capacity / 4 / 0.3 // ~half the web reservation busy at baseline
+	web, err := c.AddRealm(cluster.RealmConfig{
+		Name:        "web",
+		Reservation: capacity / 4,
+		Rate:        webRate,
+		QueueCap:    32,
+		Mix: []cluster.WorkloadSpec{
+			{Kind: "webserver", Hint: 0.30, Service: cluster.Exp(1200 * selftune.Millisecond)},
+		},
+		SLO: telemetry.SLO{Quantile: 0.95, Threshold: 250 * selftune.Millisecond},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := c.AddRealm(cluster.RealmConfig{
+		Name:        "game",
+		Reservation: capacity / 4,
+		Rate:        0.6 * capacity / 4 / 0.25,
+		QueueCap:    32,
+		Mix: []cluster.WorkloadSpec{
+			{Kind: "gameloop", Hint: 0.25, Service: cluster.Uniform(800*selftune.Millisecond, 2*selftune.Second)},
+		},
+		SLO: telemetry.SLO{Quantile: 0.99, Threshold: 40 * selftune.Millisecond},
+	}); err != nil {
+		panic(err)
+	}
+
+	third := horizon / 3
+	start := time.Now()
+	c.Run(third)
+	web.SetRate(3 * webRate)
+	c.Run(third)
+	web.SetRate(webRate)
+	c.Run(horizon - 2*third)
+	wall := time.Since(start).Seconds()
+
+	run := SLOClusterRun{Policy: "static", WallSeconds: wall}
+	if auto {
+		run.Policy = "auto"
+	}
+	for _, r := range c.Realms() {
+		run.Realms = append(run.Realms, r.Stats())
+	}
+	run.Requests, run.Misses = c.FleetRequests()
+	run.FleetP99 = c.FleetLatency().Quantile(0.99)
+	return run
+}

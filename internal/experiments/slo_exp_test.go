@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestSLOExperimentFlips is the acceptance check of the observability
+// work: the same webserver objective is met on a well-provisioned core
+// and violated when the reservation layer is deliberately
+// under-provisioned against it.
+func TestSLOExperimentFlips(t *testing.T) {
+	r := SLOExperiment(3, 2, 4, 6*simtime.Second)
+
+	if r.Provisioned.Status.Requests < 100 || r.Starved.Status.Requests < 100 {
+		t.Fatalf("too few requests to judge: provisioned %d, starved %d",
+			r.Provisioned.Status.Requests, r.Starved.Status.Requests)
+	}
+	if !r.Provisioned.Status.Met() {
+		t.Errorf("provisioned run violates the objective: attainment %.4f",
+			r.Provisioned.Status.Attainment())
+	}
+	if r.Starved.Status.Met() {
+		t.Errorf("starved run meets the objective: attainment %.4f",
+			r.Starved.Status.Attainment())
+	}
+	if r.Starved.P99 <= r.Provisioned.P99 {
+		t.Errorf("starvation did not move p99: %v vs %v", r.Starved.P99, r.Provisioned.P99)
+	}
+
+	// The cluster halves must be paired and actually observe requests.
+	if len(r.Static.Realms) != 2 || len(r.Auto.Realms) != 2 {
+		t.Fatalf("cluster halves shaped %d/%d realms, want 2", len(r.Static.Realms), len(r.Auto.Realms))
+	}
+	for i := range r.Static.Realms {
+		s, a := r.Static.Realms[i], r.Auto.Realms[i]
+		if s.Name != a.Name {
+			t.Fatalf("realm order diverged: %s vs %s", s.Name, a.Name)
+		}
+		if s.Arrived != a.Arrived {
+			t.Fatalf("realm %s saw different arrival streams: %d vs %d", s.Name, s.Arrived, a.Arrived)
+		}
+	}
+	if r.Static.Requests == 0 || r.Auto.Requests == 0 {
+		t.Fatalf("cluster halves observed no requests: %d/%d", r.Static.Requests, r.Auto.Requests)
+	}
+	if r.Static.FleetP99 <= 0 || r.Auto.FleetP99 <= 0 {
+		t.Errorf("fleet p99 empty: static %v auto %v", r.Static.FleetP99, r.Auto.FleetP99)
+	}
+
+	tbl := r.Table()
+	for _, want := range []string{"SLO attainment", "VIOLATED", "cluster surge", "p99"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table lacks %q:\n%s", want, tbl)
+		}
+	}
+}

@@ -26,6 +26,9 @@ type GameLoopConfig struct {
 	// Sink receives the loop's input-poll and present syscalls (nil:
 	// untraced).
 	Sink SyscallSink
+	// OnRequest receives one Request per completed frame (nil:
+	// unobserved).
+	OnRequest RequestObserver
 }
 
 // DefaultGameLoopConfig returns a 60 FPS loop: 16.7ms frames, demand
@@ -68,7 +71,11 @@ func NewGameLoop(sd *sched.Scheduler, r *rng.Source, cfg GameLoopConfig) *GameLo
 	if cfg.Jitter < 0 || cfg.Jitter >= 1 {
 		panic(fmt.Sprintf("workload: gameloop %q: jitter %v out of [0,1)", cfg.Name, cfg.Jitter))
 	}
-	return &GameLoop{cfg: cfg, sd: sd, r: r, task: sd.NewTask(cfg.Name)}
+	g := &GameLoop{cfg: cfg, sd: sd, r: r, task: sd.NewTask(cfg.Name)}
+	if cfg.OnRequest != nil {
+		g.task.OnJobComplete = observeCompletion(cfg.OnRequest, cfg.FramePeriod)
+	}
+	return g
 }
 
 // Name returns the loop's configured name.

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"repro/internal/sched"
+	"repro/internal/simtime"
+)
+
+// Request is one completed unit of request-shaped work: a webserver
+// request, a game-loop frame, a VM demand slice or a transcode unit.
+// Workload kinds with natural request boundaries publish one Request
+// per completed job through their config's OnRequest observer, turning
+// the scheduler's per-job completion record into the latency signal
+// the telemetry layer aggregates into histograms and SLOs.
+type Request struct {
+	// At is the completion instant.
+	At simtime.Time
+	// Latency is the completion latency: finish minus release.
+	Latency simtime.Duration
+	// Deadline is the request's relative deadline (the workload's
+	// configured response bound), or 0 when the job ran without one.
+	Deadline simtime.Duration
+	// Missed reports whether the request finished after its deadline.
+	Missed bool
+}
+
+// Tardiness returns how far past its deadline the request finished,
+// or 0 for on-time and deadline-free requests.
+func (r Request) Tardiness() simtime.Duration {
+	if !r.Missed || r.Latency <= r.Deadline {
+		return 0
+	}
+	return r.Latency - r.Deadline
+}
+
+// RequestObserver receives completed requests. Observers run inside
+// the simulation at the completion instant and must not block.
+type RequestObserver func(Request)
+
+// observeCompletion adapts a RequestObserver into a sched
+// job-completion hook: latency is the job's response time, deadline
+// the relative deadline the workload configured (0 when jobs run
+// without one).
+func observeCompletion(obs RequestObserver, deadline simtime.Duration) func(j *sched.Job, now simtime.Time) {
+	return func(j *sched.Job, now simtime.Time) {
+		obs(Request{
+			At:       now,
+			Latency:  j.ResponseTime(),
+			Deadline: deadline,
+			Missed:   j.Missed(now),
+		})
+	}
+}

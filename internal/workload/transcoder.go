@@ -23,6 +23,10 @@ type TranscoderConfig struct {
 	SyscallEvery simtime.Duration
 	// Sink receives the emitted syscalls; nil disables emission.
 	Sink SyscallSink
+	// OnRequest receives one Request when the transcode unit completes
+	// (nil: unobserved). Transcodes run without a deadline, so the
+	// request's latency is the batch turnaround time.
+	OnRequest RequestObserver
 }
 
 // DefaultTranscoderConfig mirrors Table 1's setup.
@@ -57,6 +61,13 @@ func NewTranscoder(sd *sched.Scheduler, r *rng.Source, cfg TranscoderConfig) *Tr
 	}
 	tr := &Transcoder{cfg: cfg, eng: sd.Engine(), task: sd.NewTask(cfg.Name), r: r}
 	tr.task.OnJobComplete = func(j *sched.Job, now simtime.Time) { tr.finish = now }
+	if cfg.OnRequest != nil {
+		complete := observeCompletion(cfg.OnRequest, 0)
+		tr.task.OnJobComplete = func(j *sched.Job, now simtime.Time) {
+			tr.finish = now
+			complete(j, now)
+		}
+	}
 	return tr
 }
 

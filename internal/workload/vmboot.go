@@ -38,6 +38,10 @@ type VMBootConfig struct {
 	Phases []VMBootPhase
 	// Sink receives the VM's I/O syscalls (nil: untraced).
 	Sink SyscallSink
+	// OnRequest receives one Request per completed demand slice (nil:
+	// unobserved). The slice deadline is the period, so a VM falling
+	// behind its virtual-CPU clock shows up as deadline misses.
+	OnRequest RequestObserver
 }
 
 // DefaultVMBootConfig returns the canonical boot profile: 10ms demand
@@ -90,7 +94,11 @@ func NewVMBoot(sd *sched.Scheduler, r *rng.Source, cfg VMBootConfig) *VMBoot {
 			panic(fmt.Sprintf("workload: vmboot %q: phase %q needs positive multiplier and length", cfg.Name, ph.Name))
 		}
 	}
-	return &VMBoot{cfg: cfg, sd: sd, r: r, task: sd.NewTask(cfg.Name)}
+	v := &VMBoot{cfg: cfg, sd: sd, r: r, task: sd.NewTask(cfg.Name)}
+	if cfg.OnRequest != nil {
+		v.task.OnJobComplete = observeCompletion(cfg.OnRequest, cfg.Period)
+	}
+	return v
 }
 
 // Name returns the VM's configured name.

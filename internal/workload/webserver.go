@@ -26,6 +26,9 @@ type WebServerConfig struct {
 	Deadline simtime.Duration
 	// Sink receives the request/response system calls (nil: untraced).
 	Sink SyscallSink
+	// OnRequest receives one Request per completed response (nil:
+	// unobserved).
+	OnRequest RequestObserver
 }
 
 // DefaultWebServerConfig returns a heavy-traffic configuration: bursts
@@ -72,7 +75,11 @@ func NewWebServer(sd *sched.Scheduler, r *rng.Source, cfg WebServerConfig) *WebS
 	if cfg.MeanService <= 0 {
 		panic(fmt.Sprintf("workload: webserver %q: mean service demand %v must be positive", cfg.Name, cfg.MeanService))
 	}
-	return &WebServer{cfg: cfg, sd: sd, r: r, task: sd.NewTask(cfg.Name)}
+	s := &WebServer{cfg: cfg, sd: sd, r: r, task: sd.NewTask(cfg.Name)}
+	if cfg.OnRequest != nil {
+		s.task.OnJobComplete = observeCompletion(cfg.OnRequest, cfg.Deadline)
+	}
+	return s
 }
 
 // Name returns the server's configured name.

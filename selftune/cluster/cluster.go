@@ -51,6 +51,7 @@ import (
 	"container/heap"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -78,6 +79,7 @@ type options struct {
 	colOpts     []telemetry.CollectorOption
 	machineTel  bool
 	machineColO []telemetry.CollectorOption
+	reqStats    bool
 }
 
 func defaultClusterOptions() options {
@@ -276,6 +278,52 @@ func WithMachineTelemetry(opts ...telemetry.CollectorOption) Option {
 	}
 }
 
+// WithRequestStats folds the request-level latency stream of the
+// detail machines into the cluster: per-realm latency distributions,
+// deadline-miss counts and SLO scoring (RealmConfig.SLO) surface in
+// RealmStats and FleetSnapshot, a fleet-wide histogram through
+// FleetLatency, and the raw completions flow into the cluster-scope
+// Collector (request groups, WithTelemetry-installed SLOs, all the
+// existing sinks). Only machines inside the WithDetail window Start
+// their workloads, so only they produce completions — the stats are a
+// full-fidelity core sample, not a whole-fleet census. Off by default:
+// subscribing an observer starts each detail machine's load sampler,
+// which perturbs the event count of runs that never asked for it.
+//
+// Completions stage per machine while the engines advance — possibly
+// concurrently, under WithParallelism — and fold in machine-index
+// order at every tick barrier, so seeded runs produce byte-identical
+// latency histograms at every parallelism level.
+func WithRequestStats() Option {
+	return func(o *options) error {
+		o.reqStats = true
+		return nil
+	}
+}
+
+// requestStage is the per-machine staging observer of
+// WithRequestStats: it keeps only the request completions of its
+// machine's event stream, for the tick barrier to fold in index order.
+type requestStage struct {
+	events []selftune.Event
+}
+
+// Observe implements selftune.Observer.
+func (s *requestStage) Observe(e selftune.Event) {
+	if e.Kind == selftune.RequestCompleteEvent {
+		s.events = append(s.events, e)
+	}
+}
+
+// requestGroupOf returns the realm prefix of a cluster job name
+// ("web/17" → "web").
+func requestGroupOf(source string) string {
+	if i := strings.IndexByte(source, '/'); i >= 0 {
+		return source[:i]
+	}
+	return source
+}
+
 // job is one admitted, resident request.
 type job struct {
 	id      int
@@ -327,8 +375,16 @@ type Cluster struct {
 	mcol   *telemetry.Collector
 	shards []*telemetry.Shard
 
+	// Request-stats staging (WithRequestStats): stage i subscribes to
+	// detail machine i, and the barrier folds the completions into the
+	// realms and the fleet histogram in index order.
+	reqStages     []*requestStage
+	fleetLatency  telemetry.LatencyHistogram
+	fleetRequests int64
+	fleetMisses   int64
+
 	realms      []*Realm
-	realmByName map[string]bool
+	realmByName map[string]*Realm
 
 	now   selftune.Time
 	tickN int
@@ -378,7 +434,7 @@ func New(opts ...Option) (*Cluster, error) {
 		mcap:        float64(o.cores) * o.ulub,
 		rand:        rng.New(o.seed),
 		jobs:        make(map[int]*job),
-		realmByName: make(map[string]bool),
+		realmByName: make(map[string]*Realm),
 	}
 	seeds := c.rand.Split()
 	for i := range c.machines {
@@ -422,6 +478,16 @@ func New(opts ...Option) (*Cluster, error) {
 			m.Subscribe(c.shards[i])
 		}
 	}
+	if o.reqStats {
+		// Only detail machines Start workloads, so only they can
+		// complete requests; subscribing the rest would start their load
+		// samplers for nothing.
+		c.reqStages = make([]*requestStage, o.detail)
+		for i := range c.reqStages {
+			c.reqStages[i] = &requestStage{}
+			c.machines[i].Subscribe(c.reqStages[i])
+		}
+	}
 	c.fleetEveryTicks = c.ticksOf(o.fleetEvery)
 	every := o.statsEvery
 	if o.scaler != nil {
@@ -447,7 +513,7 @@ func (c *Cluster) AddRealm(cfg RealmConfig) (*Realm, error) {
 	if err := cfg.validate(c.Capacity()); err != nil {
 		return nil, err
 	}
-	if c.realmByName[cfg.Name] {
+	if c.realmByName[cfg.Name] != nil {
 		return nil, fmt.Errorf("cluster: realm %q added twice", cfg.Name)
 	}
 	if c.Reserved()+cfg.Reservation > c.Capacity()+1e-9 {
@@ -472,7 +538,7 @@ func (c *Cluster) AddRealm(cfg RealmConfig) (*Realm, error) {
 		r.mixCum = append(r.mixCum, cum)
 	}
 	c.realms = append(c.realms, r)
-	c.realmByName[cfg.Name] = true
+	c.realmByName[cfg.Name] = r
 	return r, nil
 }
 
@@ -520,6 +586,20 @@ func (c *Cluster) Parallelism() int { return c.parallel }
 // Replacements returns how many cross-machine re-placements the fleet
 // balancer has executed.
 func (c *Cluster) Replacements() int { return c.replacements }
+
+// FleetRequests returns the request completions and deadline misses
+// observed on the detail machines (both zero without
+// WithRequestStats), current as of the last tick barrier.
+func (c *Cluster) FleetRequests() (completed, missed int64) {
+	return c.fleetRequests, c.fleetMisses
+}
+
+// FleetLatency returns a copy of the fleet-wide completion-latency
+// distribution over the detail machines' requests (empty without
+// WithRequestStats), current as of the last tick barrier.
+func (c *Cluster) FleetLatency() telemetry.LatencyHistogram {
+	return c.fleetLatency.Clone()
+}
 
 // Steps returns the total discrete-event steps executed by the
 // machine engines — the fleet's simulation work so far.
@@ -610,6 +690,39 @@ func (c *Cluster) advance(next selftune.Time) {
 			s.Drain(c.mcol)
 		}
 	}
+	for _, s := range c.reqStages {
+		for i := range s.events {
+			c.foldRequestComplete(s.events[i])
+			s.events[i] = selftune.Event{}
+		}
+		s.events = s.events[:0]
+	}
+}
+
+// foldRequestComplete folds one staged request completion at the tick
+// barrier: fleet and realm counters, the realm's latency distribution
+// and SLO score, and the cluster-scope collector (request groups,
+// WithTelemetry-installed SLOs, the existing sinks).
+func (c *Cluster) foldRequestComplete(e selftune.Event) {
+	c.fleetRequests++
+	c.fleetLatency.Observe(e.Latency)
+	if e.Missed {
+		c.fleetMisses++
+	}
+	if r := c.realmByName[requestGroupOf(e.Source)]; r != nil {
+		r.requests++
+		r.latency.Observe(e.Latency)
+		if e.Missed {
+			r.misses++
+		}
+		if r.cfg.SLO.Quantile > 0 {
+			r.sloScored++
+			if e.Latency <= r.cfg.SLO.Threshold {
+				r.sloWithin++
+			}
+		}
+	}
+	c.col.Observe(e)
 }
 
 // processDepartures despawns every job whose residency ended at or

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/selftune"
+	"repro/selftune/telemetry"
 )
 
 // testCluster builds a small fleet with the given extra options.
@@ -326,6 +327,7 @@ func buildDeterministic(t *testing.T, extra ...Option) *Cluster {
 			{Kind: "webserver", Hint: 0.2, Service: Exp(900 * selftune.Millisecond), Weight: 3},
 			{Kind: "gameloop", Hint: 0.3, Service: Uniform(500*selftune.Millisecond, 2*selftune.Second)},
 		},
+		SLO: telemetry.SLO{Quantile: 0.95, Threshold: 200 * selftune.Millisecond},
 	}); err != nil {
 		t.Fatalf("AddRealm web: %v", err)
 	}

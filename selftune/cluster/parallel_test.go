@@ -19,6 +19,7 @@ func runDeterministic(t *testing.T, parallel int) (uint64, FleetSnapshot, []byte
 	c := buildDeterministic(t,
 		WithParallelism(parallel),
 		WithMachineTelemetry(),
+		WithRequestStats(),
 	)
 	c.Run(4 * selftune.Second)
 
@@ -43,6 +44,16 @@ func TestParallelismDeterminism(t *testing.T) {
 	steps1, snap1, col1, mcol1 := runDeterministic(t, 1)
 	if len(snap1.Jobs) == 0 {
 		t.Fatal("determinism test ran an empty scenario")
+	}
+	// The latency pipeline must be part of the determinism witness: the
+	// detail machine's completions reach the realm stats, so the
+	// byte-compare below seals the request histograms too.
+	var requests int64
+	for _, r := range snap1.Realms {
+		requests += r.Requests
+	}
+	if requests == 0 {
+		t.Fatal("determinism scenario observed no request completions")
 	}
 	for _, parallel := range []int{4, 16} {
 		steps, snap, col, mcol := runDeterministic(t, parallel)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/selftune"
+	"repro/selftune/telemetry"
 )
 
 // WorkloadSpec is one entry of a realm's workload mix: which
@@ -48,6 +49,11 @@ type RealmConfig struct {
 	QueueCap int
 	// Mix is the realm's workload mix. Required (at least one spec).
 	Mix []WorkloadSpec
+	// SLO, when set (Quantile > 0), is the realm's latency objective,
+	// scored over the realm's completed requests under
+	// WithRequestStats: fraction Quantile must finish within Threshold.
+	// Name and Source are ignored — the realm itself is the scope.
+	SLO telemetry.SLO
 }
 
 // arrival is one not-yet-admitted request.
@@ -80,6 +86,14 @@ type Realm struct {
 	replaced int
 	grows    int
 	shrinks  int
+
+	// Request-level stats folded at the tick barrier under
+	// WithRequestStats (detail machines only).
+	requests  int64
+	misses    int64
+	latency   telemetry.LatencyHistogram
+	sloScored int64
+	sloWithin int64
 
 	growStreak   int
 	shrinkStreak int
@@ -126,6 +140,21 @@ type RealmStats struct {
 	Replaced    int     // re-placed across machines by the fleet balancer
 	Grows       int     // autoscaler grow decisions applied
 	Shrinks     int     // autoscaler shrink decisions applied
+
+	// Request-level latency stats, populated under WithRequestStats
+	// from the detail machines' completions (zero otherwise).
+	Requests int64 // completed requests observed
+	Misses   int64 // of them, past their deadline
+	// Latency quantile estimates over the observed completions (0 with
+	// no requests).
+	LatencyP50 selftune.Duration
+	LatencyP95 selftune.Duration
+	LatencyP99 selftune.Duration
+	// SLOAttainment is the fraction of scored requests within the
+	// realm's SLO threshold (1 with no SLO or no requests); SLOMet
+	// reports whether it meets the objective's quantile.
+	SLOAttainment float64
+	SLOMet        bool
 }
 
 // RejectFraction returns Rejected/Arrived (0 for an idle realm).
@@ -146,7 +175,7 @@ func (s RealmStats) AdmitFraction() float64 {
 
 // Stats returns the realm's current accounting snapshot.
 func (r *Realm) Stats() RealmStats {
-	return RealmStats{
+	st := RealmStats{
 		Name:        r.cfg.Name,
 		Reservation: r.reservation,
 		Used:        r.used,
@@ -159,8 +188,23 @@ func (r *Realm) Stats() RealmStats {
 		Replaced:    r.replaced,
 		Grows:       r.grows,
 		Shrinks:     r.shrinks,
+		Requests:    r.requests,
+		Misses:      r.misses,
+		LatencyP50:  r.latency.Quantile(0.50),
+		LatencyP95:  r.latency.Quantile(0.95),
+		LatencyP99:  r.latency.Quantile(0.99),
 	}
+	st.SLOAttainment = 1
+	if r.sloScored > 0 {
+		st.SLOAttainment = float64(r.sloWithin) / float64(r.sloScored)
+	}
+	st.SLOMet = st.SLOAttainment >= r.cfg.SLO.Quantile
+	return st
 }
+
+// Latency returns a copy of the realm's completion-latency
+// distribution (empty without WithRequestStats).
+func (r *Realm) Latency() telemetry.LatencyHistogram { return r.latency.Clone() }
 
 // queueCap returns the realm's configured queue bound.
 func (r *Realm) queueCap() int {
@@ -254,6 +298,16 @@ func (cfg RealmConfig) validate(fleetCapacity float64) error {
 		if s.Weight < 0 {
 			return fmt.Errorf("cluster: realm %q: mix[%d] (%s) negative weight",
 				cfg.Name, i, s.Kind)
+		}
+	}
+	if cfg.SLO.Quantile != 0 || cfg.SLO.Threshold != 0 {
+		if cfg.SLO.Quantile <= 0 || cfg.SLO.Quantile > 1 {
+			return fmt.Errorf("cluster: realm %q: SLO quantile %v must be in (0,1]",
+				cfg.Name, cfg.SLO.Quantile)
+		}
+		if cfg.SLO.Threshold <= 0 {
+			return fmt.Errorf("cluster: realm %q: SLO threshold %v must be positive",
+				cfg.Name, cfg.SLO.Threshold)
 		}
 	}
 	return nil

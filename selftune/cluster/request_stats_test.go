@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/selftune"
+	"repro/selftune/telemetry"
+)
+
+// TestRequestStats drives a fully detailed fleet with WithRequestStats
+// and checks the latency pipeline end to end: realm counters and
+// quantiles, SLO scoring, the fleet-wide histogram, and the
+// completions reaching the cluster-scope collector's request groups.
+func TestRequestStats(t *testing.T) {
+	c, err := New(
+		WithSeed(5),
+		WithMachines(2),
+		WithCores(4),
+		WithDetail(2),
+		WithRequestStats(),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	web, err := c.AddRealm(RealmConfig{
+		Name: "web", Reservation: 2, Rate: 10, QueueCap: 16,
+		Mix: []WorkloadSpec{
+			{Kind: "webserver", Hint: 0.2, Service: Exp(1500 * selftune.Millisecond)},
+		},
+		SLO: telemetry.SLO{Quantile: 0.9, Threshold: 150 * selftune.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("AddRealm: %v", err)
+	}
+	if _, err := c.AddRealm(RealmConfig{
+		Name: "idle", Reservation: 1,
+		Mix: []WorkloadSpec{{Kind: "webserver", Hint: 0.2, Service: Fixed(selftune.Second)}},
+	}); err != nil {
+		t.Fatalf("AddRealm idle: %v", err)
+	}
+	c.Run(4 * selftune.Second)
+
+	st := web.Stats()
+	if st.Requests == 0 {
+		t.Fatal("no request completions reached the realm")
+	}
+	if st.LatencyP50 <= 0 || st.LatencyP99 < st.LatencyP50 {
+		t.Errorf("realm quantiles p50=%v p95=%v p99=%v not ordered", st.LatencyP50, st.LatencyP95, st.LatencyP99)
+	}
+	if st.SLOAttainment < 0 || st.SLOAttainment > 1 {
+		t.Errorf("attainment %v out of [0,1]", st.SLOAttainment)
+	}
+	if web.Latency().Total() != st.Requests {
+		t.Errorf("realm histogram mass %d != requests %d", web.Latency().Total(), st.Requests)
+	}
+
+	// An idle realm stays vacuously attained and empty.
+	idle := c.Realms()[1].Stats()
+	if idle.Requests != 0 || idle.SLOAttainment != 1 || !idle.SLOMet {
+		t.Errorf("idle realm stats %+v, want zero requests and vacuous attainment", idle)
+	}
+
+	completed, missed := c.FleetRequests()
+	if completed != st.Requests {
+		t.Errorf("fleet completions %d != web realm's %d (only realm with traffic)", completed, st.Requests)
+	}
+	if missed != st.Misses {
+		t.Errorf("fleet misses %d != realm misses %d", missed, st.Misses)
+	}
+	if fl := c.FleetLatency(); fl.Total() != completed {
+		t.Errorf("fleet histogram mass %d != completions %d", fl.Total(), completed)
+	}
+
+	// Completions fold into the cluster-scope collector too: request
+	// groups keyed by realm, rendered by every existing sink.
+	tel := c.Collector().Snapshot()
+	if tel.Requests != completed {
+		t.Errorf("cluster collector folded %d requests, want %d", tel.Requests, completed)
+	}
+	if len(tel.RequestGroups) != 1 || tel.RequestGroups[0].Name != "web" {
+		t.Errorf("request groups %+v, want one group %q", tel.RequestGroups, "web")
+	}
+
+	// FleetSnapshot carries the realm latency stats for balancers and
+	// exports.
+	snap := c.Snapshot()
+	if snap.Realms[0].Requests != st.Requests {
+		t.Errorf("snapshot realm requests %d, want %d", snap.Realms[0].Requests, st.Requests)
+	}
+}
+
+// TestRequestStatsOff is the opt-in contract: without WithRequestStats
+// nothing request-shaped is collected, even with traffic flowing.
+func TestRequestStatsOff(t *testing.T) {
+	c := testCluster(t, WithDetail(2))
+	r, err := c.AddRealm(RealmConfig{
+		Name: "web", Reservation: 1.5, Rate: 8,
+		Mix: []WorkloadSpec{{Kind: "webserver", Hint: 0.25, Service: Fixed(2 * selftune.Second)}},
+	})
+	if err != nil {
+		t.Fatalf("AddRealm: %v", err)
+	}
+	c.Run(2 * selftune.Second)
+	if st := r.Stats(); st.Requests != 0 || st.Misses != 0 {
+		t.Errorf("request stats collected without the option: %+v", st)
+	}
+	if completed, _ := c.FleetRequests(); completed != 0 {
+		t.Errorf("fleet completions %d without the option", completed)
+	}
+}
+
+// TestRealmSLOValidation checks AddRealm rejects malformed objectives.
+func TestRealmSLOValidation(t *testing.T) {
+	c := testCluster(t)
+	mix := []WorkloadSpec{{Kind: "webserver", Hint: 0.2, Service: Fixed(selftune.Second)}}
+	for _, bad := range []telemetry.SLO{
+		{Quantile: 1.5, Threshold: 100 * selftune.Millisecond},
+		{Quantile: -0.1, Threshold: 100 * selftune.Millisecond},
+		{Quantile: 0.99},                        // threshold missing
+		{Threshold: 100 * selftune.Millisecond}, // quantile missing
+	} {
+		if _, err := c.AddRealm(RealmConfig{
+			Name: "bad", Reservation: 1, Mix: mix, SLO: bad,
+		}); err == nil {
+			t.Errorf("AddRealm accepted malformed SLO %+v", bad)
+		}
+	}
+}

@@ -41,6 +41,14 @@ const (
 	// the plan's trigger. The individual MigrationEvents are published
 	// alongside.
 	MigrationBatchEvent
+	// RequestCompleteEvent fires when a request-shaped workload (a
+	// webserver request, a game-loop frame, a VM demand slice, a
+	// transcode unit) completes one unit of work. Event.Source names the
+	// instance, Event.Workload its registry kind, Event.Latency the
+	// completion latency, Event.Deadline the relative deadline (0 =
+	// none) and Event.Missed whether it finished late. Event.Core is the
+	// core the instance was placed on at spawn.
+	RequestCompleteEvent
 )
 
 // String returns the kind's name.
@@ -58,6 +66,8 @@ func (k EventKind) String() string {
 		return "admission-reject"
 	case MigrationBatchEvent:
 		return "migration-batch"
+	case RequestCompleteEvent:
+		return "request-complete"
 	default:
 		return "unknown"
 	}
@@ -95,6 +105,17 @@ type Event struct {
 	// Count is the number of units moved by a MigrationBatchEvent;
 	// zero for other kinds.
 	Count int
+	// Latency is the completion latency of a RequestCompleteEvent.
+	Latency Duration
+	// Deadline is the relative response deadline of a
+	// RequestCompleteEvent (0 when the request ran without one).
+	Deadline Duration
+	// Missed reports whether a RequestCompleteEvent finished past its
+	// deadline.
+	Missed bool
+	// Workload is the registry kind of the instance that produced a
+	// RequestCompleteEvent ("webserver", "gameloop", ...).
+	Workload string
 }
 
 // Observer receives System events.

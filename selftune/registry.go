@@ -39,6 +39,11 @@ type Env struct {
 	Tracer *Tracer
 	// Rand is a private rng stream split off the System seed.
 	Rand *rng.Source
+	// Requests publishes completed requests as RequestCompleteEvents on
+	// the System's observer bus. Factories of request-shaped kinds wire
+	// it into their config's OnRequest; custom factories may do the
+	// same (or ignore it — publishing is a no-op with no subscribers).
+	Requests RequestObserver
 }
 
 // Factory builds one workload instance from a spawn specification.
@@ -345,6 +350,7 @@ func (s *System) Spawn(kind string, opts ...SpawnOption) (*Handle, error) {
 		Supervisor: s.machine.Supervisor(coreIdx),
 		Tracer:     s.tracer,
 		Rand:       s.split(),
+		Requests:   s.requestPublisher(coreIdx, kind, spec.Name),
 	}
 	w, err := f(env, spec)
 	if err != nil {
@@ -540,6 +546,7 @@ func init() {
 		}
 		cfg := workload.DefaultTranscoderConfig(spec.Name)
 		cfg.Sink = env.Tracer
+		cfg.OnRequest = env.Requests
 		return workload.NewTranscoder(env.Scheduler, env.Rand, cfg), nil
 	})
 
@@ -560,6 +567,7 @@ func init() {
 		}
 		cfg.MeanDemand = Duration(util * float64(cfg.FramePeriod))
 		cfg.Sink = env.Tracer
+		cfg.OnRequest = env.Requests
 		return workload.NewGameLoop(env.Scheduler, env.Rand, cfg), nil
 	})
 
@@ -578,6 +586,7 @@ func init() {
 		}
 		cfg := workload.DefaultVMBootConfig(spec.Name, util)
 		cfg.Sink = env.Tracer
+		cfg.OnRequest = env.Requests
 		return workload.NewVMBoot(env.Scheduler, env.Rand, cfg), nil
 	})
 
@@ -602,6 +611,7 @@ func init() {
 		// the per-request service demand.
 		cfg.MeanService = Duration(util * float64(cfg.MeanThink) / float64(cfg.Burst))
 		cfg.Sink = env.Tracer
+		cfg.OnRequest = env.Requests
 		return workload.NewWebServer(env.Scheduler, env.Rand, cfg), nil
 	})
 }

@@ -83,6 +83,12 @@ type (
 	// Topology groups a machine's cores into cache/NUMA domains
 	// (install one with WithTopology).
 	Topology = smp.Topology
+	// Request is one completed unit of request-shaped work (a webserver
+	// request, a game-loop frame, a VM demand slice, a transcode unit).
+	Request = workload.Request
+	// RequestObserver receives completed requests; Env.Requests hands
+	// workload factories one wired to the observer bus.
+	RequestObserver = workload.RequestObserver
 )
 
 // Re-exported CBS modes.

@@ -196,6 +196,25 @@ func (s *System) tickPublisher(coreIdx int, source string) func(TunerSnapshot) {
 	}
 }
 
+// requestPublisher returns the RequestObserver that routes one spawned
+// instance's completed requests onto the observer bus. Publishing with
+// no subscribers is a near-free early return, so every request-shaped
+// spawn gets one unconditionally.
+func (s *System) requestPublisher(coreIdx int, kind, source string) RequestObserver {
+	return func(r Request) {
+		s.publish(Event{
+			Kind:     RequestCompleteEvent,
+			At:       s.clock.Now(),
+			Core:     coreIdx,
+			Source:   source,
+			Workload: kind,
+			Latency:  r.Latency,
+			Deadline: r.Deadline,
+			Missed:   r.Missed,
+		})
+	}
+}
+
 // attachTuner builds an AutoTuner for task on the given core, wires
 // its snapshots into the observer bus and starts it.
 func (s *System) attachTuner(coreIdx int, task *Task, cfg TunerConfig) (*AutoTuner, error) {

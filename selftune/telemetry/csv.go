@@ -72,16 +72,43 @@ func (s Snapshot) SourceSeriesCSV(src SourceSeries) *report.Series {
 	return out
 }
 
-// histogramSeries renders a histogram as (bucket_lo, bucket_hi, count).
+// histogramSeries renders a histogram as (bucket_lo, bucket_hi, count),
+// with the Under/Over mass as pseudo-buckets one bucket-width outside
+// the range — real rows, so figure pipelines see the full observation
+// count without parsing comments.
 func histogramSeries(title string, h Histogram) *report.Series {
 	out := report.NewSeries(title, "bucket_lo", "bucket_hi", "count")
+	w := 0.0
+	if len(h.Counts) > 0 {
+		w = (h.Hi - h.Lo) / float64(len(h.Counts))
+	}
+	out.Add(h.Lo-w, h.Lo, float64(h.Under))
 	for i, c := range h.Counts {
 		lo, hi := h.Bucket(i)
 		out.Add(lo, hi, float64(c))
 	}
-	if h.Under > 0 || h.Over > 0 {
-		out.AddNote("out of range: %d under, %d over", h.Under, h.Over)
+	out.Add(h.Hi, h.Hi+w, float64(h.Over))
+	return out
+}
+
+// latencySeries renders a log-bucketed latency histogram as
+// (bucket_lo_ms, bucket_hi_ms, count) with the Under mass as a
+// [0, 1µs) pseudo-bucket and the Over mass as a decade-wide one above
+// the 100s upper edge.
+func latencySeries(title string, h LatencyHistogram) *report.Series {
+	out := report.NewSeries(title, "bucket_lo_ms", "bucket_hi_ms", "count")
+	lo0, _ := h.Bucket(0)
+	_, hiN := h.Bucket(h.Buckets() - 1)
+	out.Add(0, lo0.Milliseconds(), float64(h.Under))
+	for i := 0; i < h.Buckets(); i++ {
+		c := int64(0)
+		if len(h.Counts) > 0 {
+			c = h.Counts[i]
+		}
+		lo, hi := h.Bucket(i)
+		out.Add(lo.Milliseconds(), hi.Milliseconds(), float64(c))
 	}
+	out.Add(hiN.Milliseconds(), 10*hiN.Milliseconds(), float64(h.Over))
 	return out
 }
 
@@ -107,6 +134,32 @@ func (s Snapshot) WriteCSV(w io.Writer) error {
 		histogramSeries("telemetry: supervisor compression error (requested-granted)/requested", s.TunerError),
 		histogramSeries("telemetry: per-core slack 1-load", s.Slack))
 
+	// Request-latency series appear only once requests folded, so
+	// request-free runs keep the historical file shape.
+	if s.Requests > 0 {
+		series = append(series, latencySeries("telemetry: request latency", s.Latency))
+		if s.DeadlineMisses > 0 {
+			series = append(series, latencySeries("telemetry: request tardiness (missed deadlines)", s.Tardiness))
+		}
+		for _, g := range s.RequestGroups {
+			series = append(series, latencySeries("telemetry: request latency of "+g.Name, g.Latency))
+		}
+	}
+	if len(s.SLOs) > 0 {
+		slos := report.NewSeries("telemetry: slo attainment",
+			"quantile", "threshold_ms", "requests", "within", "attainment", "met")
+		for i, st := range s.SLOs {
+			met := 0.0
+			if st.Met() {
+				met = 1
+			}
+			slos.Add(st.Quantile, st.Threshold.Milliseconds(), float64(st.Requests),
+				float64(st.Within), st.Attainment(), met)
+			slos.AddNote("row %d: %s (source %q)", i+1, st.Name, st.Source)
+		}
+		series = append(series, slos)
+	}
+
 	// A topology-aware collector grows a cross-node column; a flat one
 	// keeps the historical shape, so existing figure pipelines never
 	// see a surprise column.
@@ -117,6 +170,10 @@ func (s Snapshot) WriteCSV(w io.Writer) error {
 	if len(s.Domain) > 0 {
 		cols = append(cols, "cross_node_migrations")
 		vals = append(vals, float64(s.CrossNodeMigrations))
+	}
+	if s.Requests > 0 {
+		cols = append(cols, "requests", "deadline_misses")
+		vals = append(vals, float64(s.Requests), float64(s.DeadlineMisses))
 	}
 	counters := report.NewSeries("telemetry: event counters", cols...)
 	counters.Add(vals...)

@@ -16,10 +16,14 @@ var update = flag.Bool("update", false, "rewrite the exporter golden files")
 
 // sampleSnapshot folds a small hand-written event sequence — two tuned
 // workloads, an exhaustion, a migration with its batch, an admission
-// reject and two load samples — so the exporters have a fully
-// deterministic input.
+// reject, two load samples and two request completions (one missed)
+// scored against an SLO — so the exporters have a fully deterministic
+// input.
 func sampleSnapshot() Snapshot {
-	c := NewCollector()
+	c := NewCollector(WithSLOs(SLO{
+		Name: "web-99-100ms", Source: "web",
+		Quantile: 0.99, Threshold: 100 * selftune.Millisecond,
+	}))
 	tick := func(at selftune.Time, core int, src string, period, req, granted selftune.Duration, detected float64) {
 		c.Observe(selftune.Event{
 			Kind: selftune.TunerTickEvent, At: at, Core: core, Source: src,
@@ -43,6 +47,10 @@ func sampleSnapshot() Snapshot {
 	c.Observe(selftune.Event{Kind: selftune.CoreLoadEvent, At: at(500), Core: -1, Loads: []float64{0.65, 0.15}})
 	c.Observe(selftune.Event{Kind: selftune.AdmissionRejectEvent, At: at(600), Core: -1,
 		Source: "video-9", Reason: "no core fits bandwidth 0.50"})
+	c.Observe(selftune.Event{Kind: selftune.RequestCompleteEvent, At: at(520), Core: 1,
+		Source: "web/3", Workload: "webserver", Latency: ms(4), Deadline: ms(100)})
+	c.Observe(selftune.Event{Kind: selftune.RequestCompleteEvent, At: at(560), Core: 1,
+		Source: "web/3", Workload: "webserver", Latency: ms(120), Deadline: ms(100), Missed: true})
 	return c.Snapshot()
 }
 
@@ -80,7 +88,9 @@ func TestWriteCSVGolden(t *testing.T) {
 		"# telemetry: budget trajectory of mplayer",
 		"# telemetry: budget trajectory of web-1",
 		"# telemetry: event counters",
-		"4,1,1,1,1,2",
+		"4,1,1,1,1,2,2,1",
+		"# telemetry: request latency",
+		"# telemetry: slo attainment",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("CSV output lacks %q", want)
@@ -117,10 +127,11 @@ func TestWriteTraceGolden(t *testing.T) {
 	for _, e := range tf.TraceEvents {
 		phases[e.Ph]++
 	}
-	// 3 metadata (process + 2 cores), 4 slices, 4 instants (exhaust,
-	// migrate, steal batch, reject), 2 counters.
-	if phases["M"] != 3 || phases["X"] != 4 || phases["i"] != 4 || phases["C"] != 2 {
-		t.Errorf("event phase mix %v, want M:3 X:4 i:4 C:2", phases)
+	// 3 metadata (process + 2 cores), 4 slices, 5 instants (exhaust,
+	// migrate, steal batch, reject, deadline miss), 4 counters (2 load
+	// samples + 2 request latencies).
+	if phases["M"] != 3 || phases["X"] != 4 || phases["i"] != 5 || phases["C"] != 4 {
+		t.Errorf("event phase mix %v, want M:3 X:4 i:5 C:4", phases)
 	}
 	checkGolden(t, "snapshot.trace.json", b.Bytes())
 }

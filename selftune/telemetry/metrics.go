@@ -1,0 +1,184 @@
+package telemetry
+
+// Prometheus pull endpoint: a Snapshot renders in text exposition
+// format (version 0.0.4) — counters, per-core load gauges, the
+// request-latency and tardiness histograms with cumulative _bucket
+// series, per-group quantile gauges and SLO attainment — and
+// MetricsHandler serves live snapshots over HTTP for long-running
+// embeddings:
+//
+//	mux.Handle("/metrics", telemetry.MetricsHandler(col.Snapshot))
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// metricsWriter accumulates exposition lines, remembering the first
+// write error so the family helpers can stay unconditional.
+type metricsWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (m *metricsWriter) printf(format string, args ...any) {
+	if m.err == nil {
+		_, m.err = fmt.Fprintf(m.w, format, args...)
+	}
+}
+
+// family emits the # HELP / # TYPE header of one metric family.
+func (m *metricsWriter) family(name, help, typ string) {
+	m.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatValue renders a sample value; infinities use the exposition
+// spellings +Inf/-Inf.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeLatencyFamily emits one LatencyHistogram as a conventional
+// Prometheus histogram: cumulative le buckets in seconds (the Under
+// mass is below every boundary, so it folds into each), the +Inf
+// bucket equal to _count, and the exact _sum.
+func (m *metricsWriter) writeLatencyFamily(name, help string, h LatencyHistogram) {
+	m.family(name, help, "histogram")
+	cum := h.Under
+	for i := 0; i < h.Buckets(); i++ {
+		if len(h.Counts) > 0 {
+			cum += h.Counts[i]
+		}
+		_, hi := h.Bucket(i)
+		m.printf("%s_bucket{le=%q} %d\n", name, formatValue(hi.Seconds()), cum)
+	}
+	m.printf("%s_bucket{le=\"+Inf\"} %d\n", name, h.Total())
+	m.printf("%s_sum %s\n", name, formatValue(h.Sum.Seconds()))
+	m.printf("%s_count %d\n", name, h.Total())
+}
+
+// WriteMetrics renders the snapshot in Prometheus text exposition
+// format (version 0.0.4): the event counters, per-core load gauges,
+// request/deadline-miss totals, the aggregate latency and tardiness
+// histograms (seconds, cumulative le buckets), per-group latency
+// quantile gauges, and per-SLO attainment, error-budget burn and met
+// flags. Serve it with MetricsHandler or scrape the output of a
+// one-shot run.
+func (s Snapshot) WriteMetrics(w io.Writer) error {
+	m := &metricsWriter{w: w}
+
+	counters := []struct {
+		name, help string
+		v          int
+	}{
+		{"selftune_tuner_ticks_total", "Tuner controller activations.", s.Ticks},
+		{"selftune_budget_exhaustions_total", "CBS budget exhaustions with work pending.", s.Exhaustions},
+		{"selftune_migrations_total", "Cross-core reservation migrations.", s.Migrations},
+		{"selftune_migration_batches_total", "Executed balancer migration batches.", s.Batches},
+		{"selftune_admission_rejects_total", "Workloads turned away at admission.", s.Rejects},
+		{"selftune_load_samples_total", "Per-core load samples published.", s.LoadEvents},
+	}
+	for _, c := range counters {
+		m.family(c.name, c.help, "counter")
+		m.printf("%s %d\n", c.name, c.v)
+	}
+	if len(s.Domain) > 0 {
+		m.family("selftune_cross_node_migrations_total", "Migrations crossing a NUMA-domain boundary.", "counter")
+		m.printf("selftune_cross_node_migrations_total %d\n", s.CrossNodeMigrations)
+	}
+
+	if len(s.Loads) > 0 {
+		m.family("selftune_core_load", "Latest effective load per core.", "gauge")
+		for i, l := range s.Loads {
+			m.printf("selftune_core_load{core=\"%d\"} %s\n", i, formatValue(l))
+		}
+	}
+
+	m.family("selftune_requests_total", "Completed requests (webserver requests, frames, slices, transcode units).", "counter")
+	m.printf("selftune_requests_total %d\n", s.Requests)
+	m.family("selftune_deadline_misses_total", "Requests that finished past their deadline.", "counter")
+	m.printf("selftune_deadline_misses_total %d\n", s.DeadlineMisses)
+
+	m.writeLatencyFamily("selftune_request_latency_seconds",
+		"Request completion latency.", s.Latency)
+	if s.DeadlineMisses > 0 {
+		m.writeLatencyFamily("selftune_request_tardiness_seconds",
+			"How far past their deadline missed requests finished.", s.Tardiness)
+	}
+
+	if len(s.RequestGroups) > 0 {
+		quantiles := []struct {
+			name string
+			q    float64
+		}{
+			{"selftune_request_latency_p50_seconds", 0.50},
+			{"selftune_request_latency_p95_seconds", 0.95},
+			{"selftune_request_latency_p99_seconds", 0.99},
+		}
+		for _, qq := range quantiles {
+			m.family(qq.name, fmt.Sprintf("Estimated latency quantile %g per request group.", qq.q), "gauge")
+			for _, g := range s.RequestGroups {
+				m.printf("%s{group=%q} %s\n", qq.name, escapeLabel(g.Name),
+					formatValue(g.Latency.Quantile(qq.q).Seconds()))
+			}
+		}
+	}
+
+	if len(s.SLOs) > 0 {
+		m.family("selftune_slo_attainment", "Fraction of matched requests within the objective's threshold.", "gauge")
+		for _, st := range s.SLOs {
+			m.printf("selftune_slo_attainment{slo=%q} %s\n", escapeLabel(st.Name), formatValue(st.Attainment()))
+		}
+		m.family("selftune_slo_error_budget_burn", "Observed miss rate over the objective's allowed miss budget.", "gauge")
+		for _, st := range s.SLOs {
+			m.printf("selftune_slo_error_budget_burn{slo=%q} %s\n", escapeLabel(st.Name), formatValue(st.ErrorBudgetBurn()))
+		}
+		m.family("selftune_slo_met", "1 when the objective's attainment meets its quantile.", "gauge")
+		for _, st := range s.SLOs {
+			met := 0
+			if st.Met() {
+				met = 1
+			}
+			m.printf("selftune_slo_met{slo=%q} %d\n", escapeLabel(st.Name), met)
+		}
+	}
+
+	return m.err
+}
+
+// MetricsHandler returns an http.Handler serving snap() in Prometheus
+// text exposition format — the pull endpoint for long-running
+// embeddings. snap is typically a live Collector's Snapshot method;
+// it is called once per scrape.
+func MetricsHandler(snap func() Snapshot) http.Handler {
+	if snap == nil {
+		panic("telemetry: MetricsHandler(nil)")
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := snap().WriteMetrics(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+}

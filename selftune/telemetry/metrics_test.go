@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleLine matches one exposition sample: name{labels} value.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\+Inf|-Inf|NaN|[-+0-9.eE]+)$`)
+
+// parseExposition checks every line of a text-format payload is a
+// comment or a well-formed sample and returns the samples by full
+// series name (metric plus label set).
+func parseExposition(t *testing.T, r io.Reader) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(m[3], "+"), 64)
+		if err != nil && m[3] != "+Inf" && m[3] != "-Inf" && m[3] != "NaN" {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestWriteMetricsFormat(t *testing.T) {
+	var b bytes.Buffer
+	if err := sampleSnapshot().WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	samples := parseExposition(t, strings.NewReader(out))
+
+	for series, want := range map[string]float64{
+		"selftune_tuner_ticks_total":           4,
+		"selftune_requests_total":              2,
+		"selftune_deadline_misses_total":       1,
+		`selftune_slo_met{slo="web-99-100ms"}`: 0,
+	} {
+		got, ok := samples[series]
+		if !ok {
+			t.Errorf("metrics output lacks %s", series)
+		} else if got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	att, ok := samples[`selftune_slo_attainment{slo="web-99-100ms"}`]
+	if !ok || att != 0.5 {
+		t.Errorf("slo attainment sample = %v (present %v), want 0.5", att, ok)
+	}
+
+	// Histogram invariants: cumulative buckets never decrease and the
+	// +Inf bucket equals _count.
+	var prev float64
+	buckets := 0
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "selftune_request_latency_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("cumulative bucket decreased: %q after %v", line, prev)
+		}
+		prev = v
+		buckets++
+	}
+	if buckets != 65 { // 64 boundaries + le="+Inf"
+		t.Errorf("latency histogram has %d bucket lines, want 65", buckets)
+	}
+	if count := samples["selftune_request_latency_seconds_count"]; prev != count {
+		t.Errorf("+Inf bucket %v != _count %v", prev, count)
+	}
+	if !strings.Contains(out, `selftune_request_latency_seconds_bucket{le="+Inf"} 2`) {
+		t.Error("missing or wrong +Inf bucket")
+	}
+}
+
+func TestMetricsHandlerScrape(t *testing.T) {
+	srv := httptest.NewServer(MetricsHandler(sampleSnapshot))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type %q", ct)
+	}
+	samples := parseExposition(t, resp.Body)
+	if samples["selftune_requests_total"] != 2 {
+		t.Errorf("scraped selftune_requests_total = %v, want 2", samples["selftune_requests_total"])
+	}
+}
+
+func TestMetricsLabelEscaping(t *testing.T) {
+	for in, want := range map[string]string{
+		`plain`:      `plain`,
+		`a"b`:        `a\"b`,
+		"a\nb":       `a\nb`,
+		`back\slash`: `back\\slash`,
+	} {
+		if got := escapeLabel(in); got != want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

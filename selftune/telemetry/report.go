@@ -24,6 +24,10 @@ func (s Snapshot) Tables() []*report.Table {
 	counters.AddRowf("migration batches", s.Batches)
 	counters.AddRowf("admission rejects", s.Rejects)
 	counters.AddRowf("load samples", s.LoadEvents)
+	if s.Requests > 0 {
+		counters.AddRowf("requests completed", s.Requests)
+		counters.AddRowf("deadline misses", s.DeadlineMisses)
+	}
 	out := []*report.Table{counters}
 
 	if len(s.Loads) > 0 {
@@ -68,6 +72,54 @@ func (s Snapshot) Tables() []*report.Table {
 				fmt.Sprintf("%.2fHz", last.Detected))
 		}
 		out = append(out, w)
+	}
+
+	if len(s.RequestGroups) > 0 {
+		lat := report.NewTable("telemetry: request latency",
+			"group", "kind", "requests", "missed", "p50", "p95", "p99")
+		for _, g := range s.RequestGroups {
+			lat.AddRowf(g.Name, g.Kind, g.Requests, g.Misses,
+				g.Latency.Quantile(0.50).String(),
+				g.Latency.Quantile(0.95).String(),
+				g.Latency.Quantile(0.99).String())
+		}
+		if s.Latency.Under > 0 || s.Latency.Over > 0 {
+			lat.AddNote("out of histogram range: %d under 1µs, %d over 100s",
+				s.Latency.Under, s.Latency.Over)
+		}
+		out = append(out, lat)
+	}
+
+	if len(s.SLOs) > 0 {
+		slos := report.NewTable("telemetry: slo attainment",
+			"slo", "objective", "requests", "attainment", "burn", "met")
+		for _, st := range s.SLOs {
+			obj := fmt.Sprintf("p%g<=%s", st.Quantile*100, st.Threshold)
+			met := "MET"
+			if !st.Met() {
+				met = "VIOLATED"
+			}
+			slos.AddRowf(st.Name, obj, st.Requests,
+				fmt.Sprintf("%.4f", st.Attainment()),
+				fmt.Sprintf("%.2f", st.ErrorBudgetBurn()), met)
+		}
+		out = append(out, slos)
+	}
+
+	if s.TunerError.Total() > 0 || s.Slack.Total() > 0 {
+		hists := report.NewTable("telemetry: histogram mass",
+			"histogram", "total", "in range", "under", "over")
+		for _, h := range []struct {
+			name string
+			h    Histogram
+		}{
+			{"compression error", s.TunerError},
+			{"core slack", s.Slack},
+		} {
+			t := h.h.Total()
+			hists.AddRowf(h.name, t, t-h.h.Under-h.h.Over, h.h.Under, h.h.Over)
+		}
+		out = append(out, hists)
 	}
 	return out
 }

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"math"
+
+	"repro/selftune"
+)
+
+// SLO is a service-level objective over request completion latency:
+// "Quantile of the matched requests complete within Threshold" — e.g.
+// {Quantile: 0.99, Threshold: 16ms} reads "99% of frames under 16ms".
+// Install objectives with WithSLOs; the collector scores them with
+// exact counters as requests fold, and Snapshot().SLOs carries the
+// live state.
+type SLO struct {
+	// Name labels the objective in reports and metrics.
+	Name string
+	// Source restricts the objective to requests whose group (the
+	// source prefix before the first '/': the realm of a cluster job,
+	// the instance name of a plain spawn) or full source name equals
+	// it; empty matches every request.
+	Source string
+	// Quantile is the attainment target in (0, 1]: the fraction of
+	// requests that must finish within Threshold.
+	Quantile float64
+	// Threshold is the latency bound. A request with latency exactly
+	// equal to Threshold counts as within the objective (the same <=
+	// convention as a Prometheus le bucket).
+	Threshold selftune.Duration
+}
+
+// SLOStatus is the live state of one SLO. The counters are exact —
+// kept at fold time, not reconstructed from histogram buckets — so an
+// exactly-at-threshold request is counted, never interpolated.
+type SLOStatus struct {
+	SLO
+	// Requests is the number of matched requests.
+	Requests int64
+	// Within is how many of them finished within Threshold.
+	Within int64
+}
+
+// Attainment returns the fraction of matched requests that finished
+// within the threshold. With no requests the objective is vacuously
+// met (1).
+func (s SLOStatus) Attainment() float64 {
+	if s.Requests == 0 {
+		return 1
+	}
+	return float64(s.Within) / float64(s.Requests)
+}
+
+// Met reports whether the live attainment meets the objective's
+// quantile.
+func (s SLOStatus) Met() bool { return s.Attainment() >= s.Quantile }
+
+// ErrorBudgetBurn returns the observed miss rate relative to the miss
+// budget the objective allows (1 - Quantile): burn 1.0 means misses
+// arrive exactly at the budgeted rate, above 1 the objective is
+// heading for violation. A zero-width budget (Quantile >= 1) returns 0
+// with no misses and +Inf otherwise; no requests burn nothing.
+func (s SLOStatus) ErrorBudgetBurn() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	missRate := float64(s.Requests-s.Within) / float64(s.Requests)
+	budget := 1 - s.Quantile
+	if budget <= 0 {
+		if missRate == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return missRate / budget
+}
+
+// WithSLOs installs latency objectives the collector scores as
+// requests fold. Snapshot().SLOs returns them in installation order.
+func WithSLOs(slos ...SLO) CollectorOption {
+	return func(c *Collector) {
+		for _, s := range slos {
+			c.slos = append(c.slos, SLOStatus{SLO: s})
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"repro/selftune"
+)
+
+func foldRequest(c *Collector, source string, lat selftune.Duration) {
+	c.Observe(selftune.Event{
+		Kind: selftune.RequestCompleteEvent, At: selftune.Time(lat),
+		Source: source, Workload: "webserver", Latency: lat, Deadline: ms(100),
+	})
+}
+
+func TestSLOZeroRequests(t *testing.T) {
+	st := SLOStatus{SLO: SLO{Name: "idle", Quantile: 0.99, Threshold: ms(10)}}
+	if got := st.Attainment(); got != 1 {
+		t.Errorf("zero-request attainment %v, want vacuous 1", got)
+	}
+	if !st.Met() {
+		t.Error("zero-request SLO not met")
+	}
+	if got := st.ErrorBudgetBurn(); got != 0 {
+		t.Errorf("zero-request burn %v, want 0", got)
+	}
+}
+
+func TestSLOExactlyAtThreshold(t *testing.T) {
+	c := NewCollector(WithSLOs(SLO{Name: "edge", Quantile: 0.99, Threshold: ms(100)}))
+	foldRequest(c, "web/1", ms(100))   // exactly at: counts as within (le convention)
+	foldRequest(c, "web/2", ms(100)+1) // one nanosecond over: a miss
+	st, ok := c.Snapshot().SLO("edge")
+	if !ok {
+		t.Fatal("SLO not in snapshot")
+	}
+	if st.Requests != 2 || st.Within != 1 {
+		t.Errorf("requests=%d within=%d, want 2/1 (exactly-at-threshold is within)",
+			st.Requests, st.Within)
+	}
+}
+
+func TestSLOSourceMatching(t *testing.T) {
+	c := NewCollector(WithSLOs(
+		SLO{Name: "all", Quantile: 0.5, Threshold: ms(100)},
+		SLO{Name: "web-only", Source: "web", Quantile: 0.5, Threshold: ms(100)},
+		SLO{Name: "exact", Source: "web/1", Quantile: 0.5, Threshold: ms(100)},
+	))
+	foldRequest(c, "web/1", ms(5))
+	foldRequest(c, "web/2", ms(5))
+	foldRequest(c, "batch/1", ms(5))
+	snap := c.Snapshot()
+	want := map[string]int64{"all": 3, "web-only": 2, "exact": 1}
+	for name, n := range want {
+		st, ok := snap.SLO(name)
+		if !ok {
+			t.Fatalf("SLO %q not in snapshot", name)
+		}
+		if st.Requests != n {
+			t.Errorf("SLO %q matched %d requests, want %d", name, st.Requests, n)
+		}
+	}
+	if _, ok := snap.SLO("nonexistent"); ok {
+		t.Error("lookup of an uninstalled SLO succeeded")
+	}
+}
+
+func TestSLOErrorBudgetBurn(t *testing.T) {
+	st := SLOStatus{SLO: SLO{Quantile: 0.99}, Requests: 100, Within: 99}
+	if got := st.ErrorBudgetBurn(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("miss rate at budget burns %v, want 1", got)
+	}
+	st.Within = 90 // 10x the allowed misses
+	if got := st.ErrorBudgetBurn(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("10x miss rate burns %v, want 10", got)
+	}
+	zero := SLOStatus{SLO: SLO{Quantile: 1}, Requests: 10, Within: 10}
+	if got := zero.ErrorBudgetBurn(); got != 0 {
+		t.Errorf("perfect run against a zero-width budget burns %v, want 0", got)
+	}
+	zero.Within = 9
+	if got := zero.ErrorBudgetBurn(); !math.IsInf(got, 1) {
+		t.Errorf("any miss against a zero-width budget burns %v, want +Inf", got)
+	}
+}
+
+// TestSLOFlipsWhenStarved is the end-to-end objective check: the same
+// webserver SLO holds on a well-provisioned core and is violated when a
+// heavy reserved background load deliberately under-provisions the
+// best-effort server — the observable the whole latency pipeline
+// exists to produce.
+func TestSLOFlipsWhenStarved(t *testing.T) {
+	run := func(t *testing.T, starved bool) SLOStatus {
+		t.Helper()
+		sys, err := selftune.NewSystem(selftune.WithSeed(11), selftune.WithCPUs(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, stop := Attach(sys, WithSLOs(SLO{
+			Name: "web-p95-100ms", Source: "web",
+			Quantile: 0.95, Threshold: 100 * selftune.Millisecond,
+		}))
+		if starved {
+			// Hard periodic reservations claim 85% of the core; the
+			// best-effort webserver (demand ~30%) is left a starvation
+			// diet in the slack.
+			bg, err := sys.Spawn("rtload", selftune.SpawnUtil(0.85), selftune.SpawnCount(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bg.Start(0)
+		}
+		web, err := sys.Spawn("webserver",
+			selftune.SpawnName("web"), selftune.SpawnUtil(0.30), selftune.SpawnHint(0.05))
+		if err != nil {
+			t.Fatal(err)
+		}
+		web.Start(0)
+		sys.Run(8 * selftune.Second)
+		stop()
+
+		st, ok := col.Snapshot().SLO("web-p95-100ms")
+		if !ok {
+			t.Fatal("SLO not in snapshot")
+		}
+		if st.Requests < 100 {
+			t.Fatalf("only %d requests completed in 8s, scenario too thin to judge", st.Requests)
+		}
+		return st
+	}
+
+	t.Run("provisioned", func(t *testing.T) {
+		st := run(t, false)
+		if !st.Met() {
+			t.Errorf("SLO violated on an idle core: attainment %.4f over %d requests",
+				st.Attainment(), st.Requests)
+		}
+	})
+	t.Run("starved", func(t *testing.T) {
+		st := run(t, true)
+		if st.Met() {
+			t.Errorf("SLO met despite 85%% reserved background: attainment %.4f over %d requests",
+				st.Attainment(), st.Requests)
+		}
+		if st.ErrorBudgetBurn() <= 1 {
+			t.Errorf("starved burn %.2f, want above budget", st.ErrorBudgetBurn())
+		}
+	})
+}

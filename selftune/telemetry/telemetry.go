@@ -180,6 +180,30 @@ type Snapshot struct {
 	// per-core slack 1 - load per load sample.
 	TunerError Histogram
 	Slack      Histogram
+
+	// Request-level latency: total completed requests and deadline
+	// misses, the aggregate completion-latency and miss-tardiness
+	// distributions, the per-group distributions (sorted by name), the
+	// retained completion log, and the live state of every SLO the
+	// collector was configured with (WithSLOs, installation order).
+	Requests       int64
+	DeadlineMisses int64
+	Latency        LatencyHistogram
+	Tardiness      LatencyHistogram
+	RequestGroups  []RequestGroup
+	RequestLog     []RequestRecord
+	SLOs           []SLOStatus
+}
+
+// SLO returns the live state of the named objective and whether it is
+// configured.
+func (s Snapshot) SLO(name string) (SLOStatus, bool) {
+	for _, st := range s.SLOs {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return SLOStatus{}, false
 }
 
 // Collector folds observer-bus events into counters, gauges,
@@ -216,6 +240,14 @@ type Collector struct {
 
 	tunerError Histogram
 	slack      Histogram
+
+	requests   int64
+	misses     int64
+	latency    LatencyHistogram
+	tardiness  LatencyHistogram
+	groups     map[string]*RequestGroup
+	requestLog []RequestRecord
+	slos       []SLOStatus
 }
 
 // CollectorOption adjusts a Collector under construction.
@@ -280,6 +312,7 @@ func WithDomains(domain []int) CollectorOption {
 func NewCollector(opts ...CollectorOption) *Collector {
 	c := &Collector{
 		sources:    make(map[string]*SourceSeries),
+		groups:     make(map[string]*RequestGroup),
 		tunerError: newHistogram(0, 1, 10),
 		slack:      newHistogram(0, 1, 10),
 	}
@@ -403,6 +436,8 @@ func (c *Collector) fold(e selftune.Event) {
 		c.rejections++
 		c.rejects = append(c.rejects, RejectRecord{At: e.At, Source: e.Source, Reason: e.Reason})
 		c.rejects = trim(c.rejects, c.capacity)
+	case selftune.RequestCompleteEvent:
+		c.foldRequest(e)
 	}
 }
 
@@ -506,6 +541,25 @@ func (c *Collector) Snapshot() Snapshot {
 		Rejections:  append([]RejectRecord(nil), c.rejects...),
 		TunerError:  c.tunerError.clone(),
 		Slack:       c.slack.clone(),
+
+		Requests:       c.requests,
+		DeadlineMisses: c.misses,
+		Latency:        c.latency.Clone(),
+		Tardiness:      c.tardiness.Clone(),
+		RequestLog:     append([]RequestRecord(nil), c.requestLog...),
+		SLOs:           append([]SLOStatus(nil), c.slos...),
+	}
+	if len(c.groups) > 0 {
+		s.RequestGroups = make([]RequestGroup, 0, len(c.groups))
+		for _, g := range c.groups {
+			cg := *g
+			cg.Latency = g.Latency.Clone()
+			cg.Tardiness = g.Tardiness.Clone()
+			s.RequestGroups = append(s.RequestGroups, cg)
+		}
+		sort.Slice(s.RequestGroups, func(i, j int) bool {
+			return s.RequestGroups[i].Name < s.RequestGroups[j].Name
+		})
 	}
 	s.LoadSamples = make([]LoadSample, len(c.loadSamples))
 	for i, ls := range c.loadSamples {

@@ -24,7 +24,10 @@ import (
 //     with the origin in args; balancer batches (a core stealing
 //     several units in one tick) as thread-scoped instants on the
 //     claiming core's track;
-//   - a counter track with the per-core utilisation samples.
+//   - a counter track with the per-core utilisation samples;
+//   - a request-latency counter track (one series per source group)
+//     fed by the retained request log, with deadline misses as
+//     thread-scoped instants on the serving core.
 //
 // A snapshot from a topology-aware collector (WithDomains) renders
 // each NUMA node as its own lane: one "node N" process per domain with
@@ -185,6 +188,23 @@ func (s Snapshot) WriteTrace(w io.Writer) error {
 			TS: us(rj.At), PID: machinePID, TID: 0,
 			Args: map[string]any{"reason": rj.Reason},
 		})
+	}
+
+	// Request completions as a latency counter track (one series per
+	// source group) on the machine process, with deadline misses as
+	// thread-scoped instants on the core that served the request.
+	for _, rr := range s.RequestLog {
+		events = append(events, traceEvent{
+			Name: "request latency", Cat: "request", Ph: "C",
+			TS: us(rr.At), PID: machinePID, TID: 0,
+			Args: map[string]any{requestGroup(rr.Source) + "_ms": rr.Latency.Milliseconds()},
+		})
+		if rr.Missed {
+			events = append(events, traceEvent{
+				Name: "miss " + rr.Source, Cat: "request", Ph: "i", S: "t",
+				TS: us(rr.At), PID: s.pidOf(rr.Core), TID: rr.Core,
+			})
+		}
 	}
 
 	// Per-core utilisation as a counter track on the machine process.

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -237,7 +238,7 @@ func BenchmarkNUMAContention64Core(b *testing.B) {
 func BenchmarkClusterContention(b *testing.B) {
 	var last experiments.ClusterResult
 	for i := 0; i < b.N; i++ {
-		last = experiments.ClusterContention(uint64(i+1), 24, 16, 4, 12*simtime.Second, 0)
+		last = experiments.ClusterContention(uint64(i+1), 24, 16, 4, 12*simtime.Second, 0, 0)
 	}
 	b.ReportMetric(last.Auto.RejectFraction, "reject_frac")
 	b.ReportMetric(last.Auto.Unfairness, "unfairness")
@@ -319,6 +320,7 @@ func BenchmarkClusterParallelTicks(b *testing.B) {
 		step   = 2 * selftune.Second
 	)
 	c := parallelFleet(b, runtime.GOMAXPROCS(0))
+	defer c.Close()
 	c.Run(warmup)
 	warmSteps := c.Steps()
 	b.ResetTimer()
@@ -336,12 +338,93 @@ func BenchmarkClusterParallelTicks(b *testing.B) {
 	// (warmup untimed on both sides). Equal steps double-checks the
 	// determinism contract; the ratio prices the worker pool.
 	serial := parallelFleet(b, 1)
+	defer serial.Close()
 	serial.Run(warmup)
 	start := time.Now()
 	serial.Run(selftune.Duration(c.Now()) - warmup)
 	serialWall := time.Since(start).Seconds()
 	if serial.Steps() != c.Steps() {
 		b.Fatalf("serial replay diverged: %d vs %d steps", serial.Steps(), c.Steps())
+	}
+	if wall > 0 && serialWall > 0 {
+		b.ReportMetric(serialWall/wall, "speedup_x")
+	}
+}
+
+// coreParallelMachine builds the 64-core densely loaded machine the
+// core-parallel benchmark advances: one rtload reservation per core
+// plus a webserver per four cores, no balancer and no observers. With
+// the control engine idle between Run horizons the laned build never
+// fences — the measured contrast is the sharding itself. workers > 0
+// selects laned mode (WithCoreParallelism); 0 the single-engine path.
+func coreParallelMachine(b *testing.B, workers int) *selftune.System {
+	b.Helper()
+	opts := []selftune.Option{selftune.WithSeed(23), selftune.WithCPUs(64)}
+	if workers > 0 {
+		opts = append(opts, selftune.WithCoreParallelism(workers))
+	}
+	sys, err := selftune.NewSystem(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spawn := func(kind string, i int, sopts ...selftune.SpawnOption) {
+		h, err := sys.Spawn(kind, append([]selftune.SpawnOption{
+			selftune.SpawnName(fmt.Sprintf("%s%d", kind, i)),
+			selftune.OnCore(i),
+		}, sopts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Start(0)
+	}
+	for i := 0; i < 64; i++ {
+		spawn("rtload", i, selftune.SpawnUtil(0.35))
+	}
+	for i := 0; i < 64; i += 4 {
+		spawn("webserver", i, selftune.SpawnUtil(0.2))
+	}
+	return sys
+}
+
+// BenchmarkCoreParallelMachine measures what WithCoreParallelism buys
+// on one 64-core machine under dense load: each iteration advances the
+// seeded scenario by a simulated second on per-core engine lanes
+// (GOMAXPROCS workers), then the identical scenario replays on the
+// single-engine path over the same horizon. speedup_x is the
+// throughput ratio. Unlike the cluster benchmark the win survives a
+// single-core runner: 64 shallow per-lane heaps beat one 64x-denser
+// heap on every sift, so the sharding pays even before worker
+// goroutines multiply it.
+func BenchmarkCoreParallelMachine(b *testing.B) {
+	const (
+		warmup = 1 * selftune.Second
+		step   = 1 * selftune.Second
+	)
+	sys := coreParallelMachine(b, runtime.GOMAXPROCS(0))
+	defer sys.Close()
+	sys.Run(warmup)
+	warmSteps := sys.Steps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(step)
+	}
+	b.StopTimer()
+	wall := b.Elapsed().Seconds()
+	events := float64(sys.Steps() - warmSteps)
+	b.ReportMetric(events/wall, "events_per_s")
+
+	// Single-engine replay of the identical scenario over the same
+	// horizon (warmup untimed on both sides). Equal step counts
+	// double-check that laned mode simulates the same events; the
+	// ratio prices the sharding.
+	serial := coreParallelMachine(b, 0)
+	defer serial.Close()
+	serial.Run(warmup)
+	start := time.Now()
+	serial.Run(selftune.Duration(sys.Now()) - warmup)
+	serialWall := time.Since(start).Seconds()
+	if serial.Steps() != sys.Steps() {
+		b.Fatalf("single-engine replay diverged: %d vs %d steps", serial.Steps(), sys.Steps())
 	}
 	if wall > 0 && serialWall > 0 {
 		b.ReportMetric(serialWall/wall, "speedup_x")

@@ -22,6 +22,7 @@ import (
 	"repro/internal/feedback"
 	"repro/internal/ktrace"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/simtime"
 	"repro/internal/spectrum"
 	"repro/internal/supervisor"
@@ -126,6 +127,9 @@ type AutoTuner struct {
 	snapshots   []Snapshot
 	running     bool
 	stopped     bool
+	tickFn      func()
+	tickEv      sim.Timer
+	tickAt      simtime.Time
 	holdLastW   simtime.Duration // consumed-time sensor during the hold phase
 	holdLastExh int              // exhaustion counter during the hold phase
 	holdGrowths int              // budget growths spent during the hold phase
@@ -223,9 +227,30 @@ func (a *AutoTuner) Rehome(newSched *sched.Scheduler, newSup *supervisor.Supervi
 	if err != nil {
 		return err
 	}
+	moveTick(a.sd.Engine(), newSched.Engine(), &a.tickEv, a.tickAt, a.tickFn)
 	a.sd, a.sup, a.client = newSched, newSup, client
 	return nil
 }
+
+// moveTick carries a tuner's pending activation across engine lanes: on
+// a machine whose cores run on separate sim.Engine lanes, the tuner's
+// self-rescheduling tick lives on the lane of the core it manages, so a
+// cross-core Rehome must cancel it there and re-arm it — at the same
+// instant — on the destination. On a shared-engine machine the two
+// engines are identical and this is a no-op.
+func moveTick(oldEng, newEng *sim.Engine, ev *sim.Timer, at simtime.Time, fn func()) {
+	if oldEng == newEng || !ev.Pending() {
+		return
+	}
+	oldEng.Cancel(*ev)
+	*ev = newEng.At(at, fn)
+}
+
+// SetTracer repoints the tuner at another kernel trace buffer. On a
+// per-core-tracer machine a migration moves the managed task's syscall
+// stream to the destination core's buffer; the tuner must download its
+// evidence from there.
+func (a *AutoTuner) SetTracer(b *ktrace.Buffer) { a.tracer = b }
 
 // rehomeClient is the supervisor-claim half of a tuner migration,
 // shared by AutoTuner.Rehome and MultiTuner.Rehome: register with the
@@ -291,16 +316,23 @@ func (a *AutoTuner) Start() {
 	}
 	a.running = true
 	a.stopped = false
-	eng := a.sd.Engine()
-	var tick func()
-	tick = func() {
+	a.tickFn = func() {
 		if a.stopped {
 			return
 		}
 		a.tick()
-		eng.After(a.cfg.Sampling, tick)
+		a.armTick()
 	}
-	eng.After(a.cfg.Sampling, tick)
+	a.armTick()
+}
+
+// armTick schedules the next activation one sampling period from now on
+// the managed scheduler's current engine, remembering the instant so a
+// cross-lane Rehome can re-arm it on the destination lane.
+func (a *AutoTuner) armTick() {
+	eng := a.sd.Engine()
+	a.tickAt = eng.Now().Add(a.cfg.Sampling)
+	a.tickEv = eng.At(a.tickAt, a.tickFn)
 }
 
 // Stop cancels future activations. The task keeps running in its

@@ -6,6 +6,7 @@ import (
 	"repro/internal/feedback"
 	"repro/internal/ktrace"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/simtime"
 	"repro/internal/spectrum"
 	"repro/internal/supervisor"
@@ -43,6 +44,9 @@ type MultiTuner struct {
 	holdGrowths int
 	snapshots   []Snapshot
 	running     bool
+	tickFn      func()
+	tickEv      sim.Timer
+	tickAt      simtime.Time
 
 	// OnTick, if non-nil, observes every activation. It belongs to
 	// the end user; embedding layers must use BusTick.
@@ -135,9 +139,14 @@ func (m *MultiTuner) Rehome(newSched *sched.Scheduler, newSup *supervisor.Superv
 	if err != nil {
 		return err
 	}
+	moveTick(m.sd.Engine(), newSched.Engine(), &m.tickEv, m.tickAt, m.tickFn)
 	m.sd, m.sup, m.client = newSched, newSup, client
 	return nil
 }
+
+// SetTracer repoints the tuner at another kernel trace buffer (see
+// AutoTuner.SetTracer).
+func (m *MultiTuner) SetTracer(b *ktrace.Buffer) { m.tracer = b }
 
 // Period returns the current reservation period (the smallest detected
 // thread period).
@@ -164,13 +173,20 @@ func (m *MultiTuner) Start() {
 		panic("core: MultiTuner started twice")
 	}
 	m.running = true
-	eng := m.sd.Engine()
-	var tick func()
-	tick = func() {
+	m.tickFn = func() {
 		m.tick()
-		eng.After(m.cfg.Sampling, tick)
+		m.armTick()
 	}
-	eng.After(m.cfg.Sampling, tick)
+	m.armTick()
+}
+
+// armTick schedules the next activation one sampling period from now on
+// the managed scheduler's current engine, remembering the instant so a
+// cross-lane Rehome can re-arm it on the destination lane.
+func (m *MultiTuner) armTick() {
+	eng := m.sd.Engine()
+	m.tickAt = eng.Now().Add(m.cfg.Sampling)
+	m.tickEv = eng.At(m.tickAt, m.tickFn)
 }
 
 func (m *MultiTuner) tick() {

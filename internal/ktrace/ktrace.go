@@ -225,6 +225,26 @@ func (b *Buffer) DrainPID(pid int) []Event {
 	return mine
 }
 
+// Inject appends already recorded events to the buffer, preserving
+// their timestamps and charging no tracing overhead — the events were
+// recorded (and paid for) elsewhere. It carries a migrating task's
+// undownloaded evidence from its old core's tracer into the new one,
+// so a per-core-tracer machine loses no analyser input across a
+// migration. Filters do not apply: the events passed them at record
+// time.
+func (b *Buffer) Inject(events []Event) {
+	for _, e := range events {
+		b.ring[b.head] = e
+		b.head = (b.head + 1) % len(b.ring)
+		if b.count < len(b.ring) {
+			b.count++
+		} else {
+			b.dropped++
+		}
+		b.recorded++
+	}
+}
+
 // Histogram returns the per-syscall event counts of the buffered
 // events (Figure 4's statistic).
 func (b *Buffer) Histogram() map[int]int {

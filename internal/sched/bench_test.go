@@ -28,6 +28,30 @@ func BenchmarkPeriodicSecond(b *testing.B) {
 	}
 }
 
+// BenchmarkPeriodicSecondRecycled is BenchmarkPeriodicSecond with job
+// pooling on (Config.RecycleJobs): every completed job's storage goes
+// back to the pool the moment its completion callback has run, so the
+// steady-state job churn — eight reservations releasing ~100 jobs per
+// simulated second each — stops allocating Job structs. The allocs/op
+// drop against BenchmarkPeriodicSecond is the pooling win, and CI
+// gates this benchmark's allocs/op against its own baseline.
+func BenchmarkPeriodicSecondRecycled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		sd := sched.New(sched.Config{Engine: eng, RecycleJobs: true})
+		for k := 0; k < 8; k++ {
+			p := simtime.Duration(10+3*k) * ms
+			c := p / 10
+			srv := sd.NewServer(fmt.Sprintf("s%d", k), c, p, sched.HardCBS)
+			tk := sd.NewTask(fmt.Sprintf("t%d", k))
+			tk.AttachTo(srv, 0)
+			startPeriodic(eng, tk, c, p, 0)
+		}
+		eng.RunUntil(simtime.Time(simtime.Second))
+	}
+}
+
 // BenchmarkDispatchChurn stresses the dispatch path: two best-effort
 // hogs and a high-rate reservation preempting them continuously.
 func BenchmarkDispatchChurn(b *testing.B) {

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/simtime"
 )
@@ -26,18 +27,54 @@ type Job struct {
 	done     simtime.Duration
 	hooks    []ProgressHook // must be sorted by Offset
 	nextHook int
+	gen      uint64 // bumped on recycle; see Generation
 
 	// Filled in at completion.
 	Finish simtime.Time
 }
 
+// jobPool recycles Job storage. It is process-global rather than
+// per-scheduler so pooled schedulers running on concurrent engine
+// lanes share one free list; sync.Pool is safe for that, and pointer
+// identity of a recycled job never feeds back into simulation state.
+var jobPool = sync.Pool{New: func() any { return new(Job) }}
+
 // NewJob returns a job released at rel with execution demand total and
-// absolute deadline dl (use simtime.Never for none).
+// absolute deadline dl (use simtime.Never for none). Storage may come
+// from the recycling pool (Config.RecycleJobs); the hook slice is
+// reused across generations.
 func NewJob(rel simtime.Time, total simtime.Duration, dl simtime.Time) *Job {
 	if total < 0 {
 		panic("sched: job with negative demand")
 	}
-	return &Job{Release: rel, Deadline: dl, Total: total, Finish: simtime.Never}
+	j := jobPool.Get().(*Job)
+	*j = Job{
+		Release:  rel,
+		Deadline: dl,
+		Total:    total,
+		Finish:   simtime.Never,
+		hooks:    j.hooks[:0],
+		gen:      j.gen,
+	}
+	return j
+}
+
+// Generation returns the job's recycle generation. A caller that must
+// detect a stale reference across a completion — legal only when the
+// owning scheduler runs with Config.RecycleJobs — records the
+// generation at hand-off and compares: a recycled job has a higher
+// generation, mirroring the sim.Timer discipline.
+func (j *Job) Generation() uint64 { return j.gen }
+
+// recycle retires a completed job's storage to the pool. The
+// generation bump is what invalidates retained references; the hook
+// callbacks are dropped eagerly so recycled jobs never pin closures.
+func (j *Job) recycle() {
+	j.gen++
+	for i := range j.hooks {
+		j.hooks[i].Fn = nil
+	}
+	jobPool.Put(j)
 }
 
 // AddHook registers a progress hook. Hooks must be added in
@@ -224,5 +261,8 @@ func (t *Task) completeCurrent(now simtime.Time) {
 	}
 	if t.OnJobComplete != nil {
 		t.OnJobComplete(j, now)
+	}
+	if t.sched.recycleJobs {
+		j.recycle()
 	}
 }

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+	"repro/internal/workpool"
+)
+
+// EngineGroup coordinates several independent engine lanes advancing
+// in parallel between causality fences. Each lane is an ordinary
+// Engine whose event population must be closed over itself — a lane's
+// callbacks may only schedule on, and read state reachable from, that
+// lane. Cross-lane effects (migrations, shared folds, machine-wide
+// decisions) happen only while the group is quiescent: AdvanceTo
+// barriers every lane at the same simulated instant, and the caller
+// applies cross-lane work in deterministic lane-index order before
+// the next advance. Under that contract the result of a seeded run is
+// byte-identical at any worker count: the partition of events to
+// lanes is fixed, each lane is serial, and workers only change which
+// wall-clock moment a lane runs at, never what it computes.
+type EngineGroup struct {
+	lanes  []*Engine
+	pool   *workpool.Pool
+	fences uint64
+}
+
+// NewGroup builds a coordinator over the given lanes, advanced by up
+// to workers concurrent goroutines (the calling goroutine included;
+// workers <= 1 advances lanes sequentially in index order).
+func NewGroup(lanes []*Engine, workers int) *EngineGroup {
+	if len(lanes) == 0 {
+		panic("sim: NewGroup with no lanes")
+	}
+	if workers > len(lanes) {
+		workers = len(lanes)
+	}
+	return &EngineGroup{lanes: lanes, pool: workpool.New(workers)}
+}
+
+// Lanes returns the group's engines, indexed by lane.
+func (g *EngineGroup) Lanes() []*Engine { return g.lanes }
+
+// Workers returns how many goroutines advance the lanes.
+func (g *EngineGroup) Workers() int { return g.pool.Workers() }
+
+// Fences returns how many AdvanceTo epochs have completed.
+func (g *EngineGroup) Fences() uint64 { return g.fences }
+
+// Steps returns the total events executed across all lanes.
+func (g *EngineGroup) Steps() uint64 {
+	var n uint64
+	for _, l := range g.lanes {
+		n += l.Steps()
+	}
+	return n
+}
+
+// Now returns the group's fence instant. It panics if the lanes have
+// drifted apart — legal only inside AdvanceTo.
+func (g *EngineGroup) Now() simtime.Time {
+	t := g.lanes[0].Now()
+	for _, l := range g.lanes[1:] {
+		if l.Now() != t {
+			panic(fmt.Sprintf("sim: lanes drifted: %v vs %v outside AdvanceTo", l.Now(), t))
+		}
+	}
+	return t
+}
+
+// AdvanceTo runs every lane up to and including instant t, in
+// parallel, and returns once all lanes have barriered there (one
+// fence epoch). After it returns every lane's Now is exactly t and no
+// lane has a pending event at or before t, so cross-lane effects the
+// caller applies next cannot violate causality: any event they
+// schedule lands strictly inside the next epoch.
+func (g *EngineGroup) AdvanceTo(t simtime.Time) {
+	g.pool.Run(len(g.lanes), func(i int) { g.lanes[i].RunUntil(t) })
+	g.fences++
+}
+
+// Close retires the group's worker goroutines. AdvanceTo keeps
+// working afterwards, sequentially on the caller.
+func (g *EngineGroup) Close() { g.pool.Close() }

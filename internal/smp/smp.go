@@ -47,20 +47,53 @@ type Machine struct {
 	domainOf []int // per-core domain index, aligned with cores
 }
 
-// New builds a machine with n cores, each supervised at ulub.
+// New builds a machine with n cores, each supervised at ulub. All
+// cores share one engine: events across cores interleave in global
+// (when, seq) order on a single goroutine.
 func New(engine *sim.Engine, n int, ulub float64) *Machine {
 	if n <= 0 {
 		panic("smp: need at least one core")
 	}
 	m := &Machine{engine: engine, placed: make([]float64, n), domainOf: make([]int, n)}
 	for i := 0; i < n; i++ {
-		// Disjoint PID ranges per core: the cores share one syscall
-		// tracer, and per-PID trace drains must never mix tasks from
-		// different cores. Core 0 keeps the uniprocessor default base.
-		m.cores = append(m.cores, sched.New(sched.Config{Engine: engine, PIDBase: 1000 + i*1_000_000}))
+		m.cores = append(m.cores, sched.New(coreConfig(engine, i)))
 		m.sups = append(m.sups, supervisor.New(ulub))
 	}
 	return m
+}
+
+// NewLaned builds a machine whose cores run on separate engine lanes:
+// core i's scheduler schedules exclusively on engines[i], so the lanes
+// can advance concurrently between causality fences (sim.EngineGroup).
+// Engine() returns lane 0; cross-core operations (Migrate, Steal,
+// LoadsInto) are only legal while every lane rests at the same fence
+// instant. Migration carries a reservation's timers across lanes:
+// sched.Detach/Adopt already cancel and re-arm on each scheduler's own
+// engine, which is exactly lane-correct at a fence.
+func NewLaned(engines []*sim.Engine, ulub float64) *Machine {
+	if len(engines) == 0 {
+		panic("smp: need at least one core")
+	}
+	n := len(engines)
+	m := &Machine{engine: engines[0], placed: make([]float64, n), domainOf: make([]int, n)}
+	for i, eng := range engines {
+		if eng == nil {
+			panic("smp: NewLaned with a nil engine lane")
+		}
+		m.cores = append(m.cores, sched.New(coreConfig(eng, i)))
+		m.sups = append(m.sups, supervisor.New(ulub))
+	}
+	return m
+}
+
+// coreConfig is the per-core scheduler configuration shared by both
+// constructors: disjoint PID ranges per core (the cores share — or in
+// laned mode, migrate trace evidence between — syscall tracers, and
+// per-PID drains must never mix tasks from different cores; core 0
+// keeps the uniprocessor default base), and pooled job storage (every
+// job a machine workload completes is recycled generation-tagged).
+func coreConfig(engine *sim.Engine, i int) sched.Config {
+	return sched.Config{Engine: engine, PIDBase: 1000 + i*1_000_000, RecycleJobs: true}
 }
 
 // Cores returns the number of cores.

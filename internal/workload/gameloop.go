@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/simtime"
 )
 
@@ -53,10 +54,20 @@ type GameLoop struct {
 	cfg     GameLoopConfig
 	sd      *sched.Scheduler
 	r       *rng.Source
+	lt      laneTimers
 	task    *sched.Task
 	frames  int
 	started bool
 	stopped bool
+}
+
+// MoveLane implements LaneMover: re-arm the frame grid on the
+// destination lane and emit future syscalls into its tracer.
+func (g *GameLoop) MoveLane(dst *sim.Engine, sink SyscallSink) {
+	g.lt.move(dst)
+	if sink != nil {
+		g.cfg.Sink = sink
+	}
 }
 
 // NewGameLoop prepares a game loop. The task exists from construction
@@ -71,7 +82,7 @@ func NewGameLoop(sd *sched.Scheduler, r *rng.Source, cfg GameLoopConfig) *GameLo
 	if cfg.Jitter < 0 || cfg.Jitter >= 1 {
 		panic(fmt.Sprintf("workload: gameloop %q: jitter %v out of [0,1)", cfg.Name, cfg.Jitter))
 	}
-	g := &GameLoop{cfg: cfg, sd: sd, r: r, task: sd.NewTask(cfg.Name)}
+	g := &GameLoop{cfg: cfg, sd: sd, r: r, lt: laneTimers{eng: sd.Engine()}, task: sd.NewTask(cfg.Name)}
 	if cfg.OnRequest != nil {
 		g.task.OnJobComplete = observeCompletion(cfg.OnRequest, cfg.FramePeriod)
 	}
@@ -95,8 +106,7 @@ func (g *GameLoop) Start(at simtime.Time) {
 		panic("workload: GameLoop started twice")
 	}
 	g.started = true
-	eng := g.sd.Engine()
-	if now := eng.Now(); at < now {
+	if now := g.lt.now(); at < now {
 		at = now
 	}
 	next := at
@@ -105,11 +115,11 @@ func (g *GameLoop) Start(at simtime.Time) {
 		if g.stopped {
 			return
 		}
-		g.release(eng.Now())
+		g.release(g.lt.now())
 		next = next.Add(g.cfg.FramePeriod)
-		eng.At(next, frame)
+		g.lt.at(next, frame)
 	}
-	eng.At(next, frame)
+	g.lt.at(next, frame)
 }
 
 // Stop quiesces the frame grid: the next scheduled frame becomes a

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/simtime"
 )
 
@@ -14,7 +15,14 @@ import (
 type ReservedPeriodic struct {
 	Task    *sched.Task
 	Server  *sched.Server
+	lt      laneTimers
 	stopped bool
+}
+
+// MoveLane implements LaneMover: re-arm the release loop on the
+// destination lane. The load is untraced, so the sink is ignored.
+func (rp *ReservedPeriodic) MoveLane(dst *sim.Engine, _ SyscallSink) {
+	rp.lt.move(dst)
 }
 
 // Stop quiesces the release loop: the next scheduled release becomes a
@@ -35,20 +43,20 @@ func StartReservedPeriodic(sd *sched.Scheduler, r *rng.Source, name string,
 	srv := sd.NewServer(name, budget, period, sched.HardCBS)
 	task := sd.NewTask(name)
 	task.AttachTo(srv, 0)
-	eng := sd.Engine()
-	rp := &ReservedPeriodic{Task: task, Server: srv}
+	rp := &ReservedPeriodic{Task: task, Server: srv, lt: laneTimers{eng: sd.Engine()}}
 	next := offset
 	var release func()
 	release = func() {
 		if rp.stopped {
 			return
 		}
+		now := rp.lt.now()
 		d := float64(budget) * demandFrac * r.Uniform(0.95, 1.0)
-		task.Release(sched.NewJob(eng.Now(), simtime.Duration(d), eng.Now().Add(period)))
+		task.Release(sched.NewJob(now, simtime.Duration(d), now.Add(period)))
 		next = next.Add(period)
-		eng.At(next, release)
+		rp.lt.at(next, release)
 	}
-	eng.At(next, release)
+	rp.lt.at(next, release)
 	return rp
 }
 
@@ -163,6 +171,15 @@ type Background struct {
 	apps    []*ReservedPeriodic
 }
 
+// MoveLane implements LaneMover: forward the move to every spawned
+// reserved periodic task (a no-op before Start — the reservations are
+// created on whatever lane the scheduler then lives on).
+func (b *Background) MoveLane(dst *sim.Engine, sink SyscallSink) {
+	for _, a := range b.apps {
+		a.MoveLane(dst, sink)
+	}
+}
+
 // NewBackground prepares a background load of approximately util CPU
 // utilisation split across n reserved periodic tasks.
 func NewBackground(sd *sched.Scheduler, r *rng.Source, name string, util float64, n int) *Background {
@@ -230,6 +247,7 @@ type Noise struct {
 	name             string
 	sd               *sched.Scheduler
 	r                *rng.Source
+	lt               laneTimers
 	meanInterarrival simtime.Duration
 	meanDemand       simtime.Duration
 	sink             SyscallSink
@@ -238,12 +256,22 @@ type Noise struct {
 	stopped          bool
 }
 
+// MoveLane implements LaneMover: re-arm the arrival process on the
+// destination lane and emit future syscalls into its tracer.
+func (n *Noise) MoveLane(dst *sim.Engine, sink SyscallSink) {
+	n.lt.move(dst)
+	if sink != nil && n.sink != nil {
+		n.sink = sink
+	}
+}
+
 // NewNoise prepares a Poisson noise source.
 func NewNoise(sd *sched.Scheduler, r *rng.Source, name string,
 	meanInterarrival, meanDemand simtime.Duration, sink SyscallSink) *Noise {
 
 	return &Noise{
 		name: name, sd: sd, r: r,
+		lt:               laneTimers{eng: sd.Engine()},
 		meanInterarrival: meanInterarrival,
 		meanDemand:       meanDemand,
 		sink:             sink,
@@ -263,7 +291,6 @@ func (n *Noise) Start(at simtime.Time) {
 		panic("workload: Noise started twice")
 	}
 	n.started = true
-	eng := n.sd.Engine()
 	t := n.task
 	var arrive func()
 	arrive = func() {
@@ -274,7 +301,7 @@ func (n *Noise) Start(at simtime.Time) {
 		if d < simtime.Microsecond {
 			d = simtime.Microsecond
 		}
-		j := sched.NewJob(eng.Now(), d, simtime.Never)
+		j := sched.NewJob(n.lt.now(), d, simtime.Never)
 		if n.sink != nil {
 			pid := t.PID()
 			j.AddHook(d, func(now simtime.Time) {
@@ -288,12 +315,12 @@ func (n *Noise) Start(at simtime.Time) {
 		if gap < simtime.Microsecond {
 			gap = simtime.Microsecond
 		}
-		eng.After(gap, arrive)
+		n.lt.after(gap, arrive)
 	}
-	if at < eng.Now() {
-		at = eng.Now()
+	if at < n.lt.now() {
+		at = n.lt.now()
 	}
-	eng.At(at, arrive)
+	n.lt.at(at, arrive)
 }
 
 // Stop quiesces the arrival process: the next scheduled arrival

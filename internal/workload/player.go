@@ -92,7 +92,7 @@ func MP3PlayerConfig(name string) PlayerConfig {
 // Player is a generative model of a periodic multimedia application.
 type Player struct {
 	cfg  PlayerConfig
-	eng  *sim.Engine
+	lt   laneTimers
 	task *sched.Task
 	r    *rng.Source
 
@@ -154,7 +154,7 @@ func NewPlayer(sd *sched.Scheduler, r *rng.Source, cfg PlayerConfig) *Player {
 	}
 	p := &Player{
 		cfg:  cfg,
-		eng:  sd.Engine(),
+		lt:   laneTimers{eng: sd.Engine()},
 		task: sd.NewTask(cfg.Name),
 		r:    r,
 	}
@@ -208,7 +208,7 @@ func (p *Player) Start(at simtime.Time) {
 		panic("workload: Player started twice")
 	}
 	p.startedRun = true
-	if now := p.eng.Now(); at < now {
+	if now := p.lt.now(); at < now {
 		at = now
 	}
 	p.gridBase = at
@@ -220,16 +220,16 @@ func (p *Player) Start(at simtime.Time) {
 		}
 		p.releaseFrame()
 		next = next.Add(p.cfg.Period)
-		p.eng.At(next, release)
+		p.lt.at(next, release)
 	}
 	first := at
 	if j := p.cfg.ReleaseJitter; j > 0 {
 		first = first.Add(simtime.Duration(p.r.Int63n(int64(2*j))) - j)
-		if first < p.eng.Now() {
-			first = p.eng.Now()
+		if first < p.lt.now() {
+			first = p.lt.now()
 		}
 	}
-	p.eng.At(first, release)
+	p.lt.at(first, release)
 }
 
 func (p *Player) sampleSyscall() Syscall {
@@ -243,7 +243,7 @@ func (p *Player) sampleSyscall() Syscall {
 }
 
 func (p *Player) releaseFrame() {
-	now := p.eng.Now()
+	now := p.lt.now()
 	demand := float64(p.cfg.MeanDemand) * p.gopWeight(p.frame)
 	if p.cfg.DemandJitter > 0 {
 		demand *= p.r.Norm(1, p.cfg.DemandJitter)
@@ -261,7 +261,7 @@ func (p *Player) releaseFrame() {
 	// Apply release jitter by deferring the actual release slightly.
 	if jit := p.cfg.ReleaseJitter; jit > 0 {
 		d := simtime.Duration(p.r.Int63n(int64(2 * jit)))
-		p.eng.After(d, func() {
+		p.lt.after(d, func() {
 			if p.stopped {
 				return
 			}
@@ -312,14 +312,26 @@ func (p *Player) addSyscallHooks(j *sched.Job, total simtime.Duration) {
 
 	sort.Slice(emits, func(a, b int) bool { return emits[a].off < emits[b].off })
 	pid := p.task.PID()
-	sink := p.cfg.Sink
 	for _, e := range emits {
 		nr := int(e.nr)
+		// The sink is read at fire time, not captured: a cross-lane
+		// migration repoints p.cfg.Sink at the destination core's
+		// tracer, and in-flight jobs must emit there too.
 		j.AddHook(e.off, func(now simtime.Time) {
-			if ov := sink.Syscall(now, pid, nr); ov > 0 {
+			if ov := p.cfg.Sink.Syscall(now, pid, nr); ov > 0 {
 				j.ExtendDemand(ov)
 			}
 		})
+	}
+}
+
+// MoveLane implements LaneMover: re-arm the release loop and any
+// in-flight jittered releases on the destination lane and emit future
+// syscalls into the destination core's tracer.
+func (p *Player) MoveLane(dst *sim.Engine, sink SyscallSink) {
+	p.lt.move(dst)
+	if sink != nil {
+		p.cfg.Sink = sink
 	}
 }
 

@@ -43,12 +43,21 @@ func DefaultTranscoderConfig(name string) TranscoderConfig {
 // regular execution-progress intervals.
 type Transcoder struct {
 	cfg     TranscoderConfig
-	eng     *sim.Engine
+	lt      laneTimers
 	task    *sched.Task
 	r       *rng.Source
 	calls   int
 	finish  simtime.Time
 	started bool
+}
+
+// MoveLane implements LaneMover: re-arm a pending deferred start on the
+// destination lane and emit future syscalls into its tracer.
+func (tr *Transcoder) MoveLane(dst *sim.Engine, sink SyscallSink) {
+	tr.lt.move(dst)
+	if sink != nil {
+		tr.cfg.Sink = sink
+	}
 }
 
 // NewTranscoder creates the transcoder's task in the best-effort class.
@@ -59,7 +68,7 @@ func NewTranscoder(sd *sched.Scheduler, r *rng.Source, cfg TranscoderConfig) *Tr
 	if cfg.SyscallEvery <= 0 {
 		panic("workload: transcoder syscall interval must be positive")
 	}
-	tr := &Transcoder{cfg: cfg, eng: sd.Engine(), task: sd.NewTask(cfg.Name), r: r}
+	tr := &Transcoder{cfg: cfg, lt: laneTimers{eng: sd.Engine()}, task: sd.NewTask(cfg.Name), r: r}
 	tr.task.OnJobComplete = func(j *sched.Job, now simtime.Time) { tr.finish = now }
 	if cfg.OnRequest != nil {
 		complete := observeCompletion(cfg.OnRequest, 0)
@@ -85,21 +94,22 @@ func (tr *Transcoder) Start(at simtime.Time) {
 		panic("workload: Transcoder started twice")
 	}
 	tr.started = true
-	if now := tr.eng.Now(); at < now {
+	if now := tr.lt.now(); at < now {
 		at = now
 	}
-	tr.eng.At(at, func() {
+	tr.lt.at(at, func() {
 		work := float64(tr.cfg.TotalWork)
 		if tr.cfg.WorkJitter > 0 {
 			work *= tr.r.Norm(1, tr.cfg.WorkJitter)
 		}
 		total := simtime.Duration(work)
-		j := sched.NewJob(tr.eng.Now(), total, simtime.Never)
+		j := sched.NewJob(tr.lt.now(), total, simtime.Never)
 		if tr.cfg.Sink != nil {
 			pid := tr.task.PID()
-			sink := tr.cfg.Sink
 			// Alternate read (demux input) and write (mux output),
-			// with a periodic lseek.
+			// with a periodic lseek. The sink is read at fire time so
+			// an in-flight transcode migrating across lanes emits the
+			// rest of its calls into the destination core's tracer.
 			i := 0
 			for off := tr.cfg.SyscallEvery; off < total; off += tr.cfg.SyscallEvery {
 				nr := SysRead
@@ -112,7 +122,7 @@ func (tr *Transcoder) Start(at simtime.Time) {
 				i++
 				j.AddHook(off, func(now simtime.Time) {
 					tr.calls++
-					if ov := sink.Syscall(now, pid, int(nr)); ov > 0 {
+					if ov := tr.cfg.Sink.Syscall(now, pid, int(nr)); ov > 0 {
 						j.ExtendDemand(ov)
 					}
 				})

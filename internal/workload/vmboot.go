@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/simtime"
 )
 
@@ -73,11 +74,21 @@ type VMBoot struct {
 	cfg     VMBootConfig
 	sd      *sched.Scheduler
 	r       *rng.Source
+	lt      laneTimers
 	task    *sched.Task
 	base    simtime.Time
 	slices  int
 	started bool
 	stopped bool
+}
+
+// MoveLane implements LaneMover: re-arm the slice grid on the
+// destination lane and emit future syscalls into its tracer.
+func (v *VMBoot) MoveLane(dst *sim.Engine, sink SyscallSink) {
+	v.lt.move(dst)
+	if sink != nil {
+		v.cfg.Sink = sink
+	}
 }
 
 // NewVMBoot prepares a VM. The task exists from construction (so PID
@@ -94,7 +105,7 @@ func NewVMBoot(sd *sched.Scheduler, r *rng.Source, cfg VMBootConfig) *VMBoot {
 			panic(fmt.Sprintf("workload: vmboot %q: phase %q needs positive multiplier and length", cfg.Name, ph.Name))
 		}
 	}
-	v := &VMBoot{cfg: cfg, sd: sd, r: r, task: sd.NewTask(cfg.Name)}
+	v := &VMBoot{cfg: cfg, sd: sd, r: r, lt: laneTimers{eng: sd.Engine()}, task: sd.NewTask(cfg.Name)}
 	if cfg.OnRequest != nil {
 		v.task.OnJobComplete = observeCompletion(cfg.OnRequest, cfg.Period)
 	}
@@ -150,8 +161,7 @@ func (v *VMBoot) Start(at simtime.Time) {
 		panic("workload: VMBoot started twice")
 	}
 	v.started = true
-	eng := v.sd.Engine()
-	if now := eng.Now(); at < now {
+	if now := v.lt.now(); at < now {
 		at = now
 	}
 	v.base = at
@@ -161,11 +171,11 @@ func (v *VMBoot) Start(at simtime.Time) {
 		if v.stopped {
 			return
 		}
-		v.release(eng.Now())
+		v.release(v.lt.now())
 		next = next.Add(v.cfg.Period)
-		eng.At(next, slice)
+		v.lt.at(next, slice)
 	}
-	eng.At(next, slice)
+	v.lt.at(next, slice)
 }
 
 // Stop quiesces the VM: the next scheduled demand slice becomes a

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/simtime"
 )
 
@@ -55,11 +56,21 @@ type WebServer struct {
 	cfg     WebServerConfig
 	sd      *sched.Scheduler
 	r       *rng.Source
+	lt      laneTimers
 	task    *sched.Task
 	served  int
 	bursts  int
 	started bool
 	stopped bool
+}
+
+// MoveLane implements LaneMover: re-arm the burst loop on the
+// destination lane and emit future syscalls into its tracer.
+func (s *WebServer) MoveLane(dst *sim.Engine, sink SyscallSink) {
+	s.lt.move(dst)
+	if sink != nil {
+		s.cfg.Sink = sink
+	}
 }
 
 // NewWebServer prepares a web server. The task exists from
@@ -75,7 +86,7 @@ func NewWebServer(sd *sched.Scheduler, r *rng.Source, cfg WebServerConfig) *WebS
 	if cfg.MeanService <= 0 {
 		panic(fmt.Sprintf("workload: webserver %q: mean service demand %v must be positive", cfg.Name, cfg.MeanService))
 	}
-	s := &WebServer{cfg: cfg, sd: sd, r: r, task: sd.NewTask(cfg.Name)}
+	s := &WebServer{cfg: cfg, sd: sd, r: r, lt: laneTimers{eng: sd.Engine()}, task: sd.NewTask(cfg.Name)}
 	if cfg.OnRequest != nil {
 		s.task.OnJobComplete = observeCompletion(cfg.OnRequest, cfg.Deadline)
 	}
@@ -101,7 +112,6 @@ func (s *WebServer) Start(at simtime.Time) {
 		panic("workload: WebServer started twice")
 	}
 	s.started = true
-	eng := s.sd.Engine()
 	var burst func()
 	burst = func() {
 		if s.stopped {
@@ -113,7 +123,7 @@ func (s *WebServer) Start(at simtime.Time) {
 		n := 1
 		for p := 1 - 1/float64(s.cfg.Burst); s.r.Bool(p) && n < 64*s.cfg.Burst; n++ {
 		}
-		now := eng.Now()
+		now := s.lt.now()
 		for i := 0; i < n; i++ {
 			s.release(now)
 		}
@@ -121,12 +131,12 @@ func (s *WebServer) Start(at simtime.Time) {
 		if gap < simtime.Microsecond {
 			gap = simtime.Microsecond
 		}
-		eng.After(gap, burst)
+		s.lt.after(gap, burst)
 	}
-	if at < eng.Now() {
-		at = eng.Now()
+	if at < s.lt.now() {
+		at = s.lt.now()
 	}
-	eng.At(at, burst)
+	s.lt.at(at, burst)
 }
 
 // Stop quiesces the arrival process: the next scheduled burst becomes

@@ -1,0 +1,116 @@
+// Package workpool provides a persistent bounded worker pool for
+// data-parallel fan-out with a barrier: Run(n, fn) executes fn(0..n-1)
+// across the pool's workers and returns when every index is done.
+//
+// The pool exists because spawning goroutines per batch is measurable
+// on hot paths that fan out thousands of times per run (the cluster
+// tick advance, the per-core lane advance between causality fences):
+// workers are started once and park on a channel between batches, so
+// the steady-state cost of a batch is one channel send per helper and
+// one atomic claim per index.
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size worker pool. The zero value and the nil pool
+// both run batches inline on the caller; use New for real workers.
+type Pool struct {
+	bg   int // background helpers (workers - 1; the caller participates)
+	work chan *batch
+	once sync.Once
+}
+
+// batch is one Run invocation: the indices [0, n) claimed atomically
+// by every participating goroutine.
+type batch struct {
+	fn   func(int)
+	n    int
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+func (b *batch) drain() {
+	for {
+		i := int(b.next.Add(1)) - 1
+		if i >= b.n {
+			return
+		}
+		b.fn(i)
+	}
+}
+
+// New returns a pool of the given total worker count (including the
+// calling goroutine, which always participates in Run). workers <= 1
+// starts no goroutines: every batch runs inline on the caller.
+func New(workers int) *Pool {
+	p := &Pool{}
+	if workers > 1 {
+		p.bg = workers - 1
+		p.work = make(chan *batch, p.bg)
+		for i := 0; i < p.bg; i++ {
+			go p.worker()
+		}
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for b := range p.work {
+		b.drain()
+		b.wg.Done()
+	}
+}
+
+// Workers returns the total worker count, caller included (1 for the
+// nil or inline pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.bg + 1
+}
+
+// Run executes fn(i) for every i in [0, n) and returns once all calls
+// completed (a barrier). Indices are claimed dynamically, so uneven
+// per-index cost balances across workers. With no helpers — a nil
+// pool, workers <= 1, or n == 1 — the batch runs inline in index
+// order on the caller. Run must not be called concurrently with
+// itself on the same pool, and fn must not call Run on the same pool
+// (nested batches would deadlock on the barrier).
+func (p *Pool) Run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.bg == 0 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	b := &batch{fn: fn, n: n}
+	helpers := p.bg
+	if h := n - 1; h < helpers {
+		helpers = h
+	}
+	b.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		p.work <- b
+	}
+	b.drain() // the caller is a worker too
+	b.wg.Wait()
+}
+
+// Close retires the background workers. Idempotent; Run keeps working
+// after Close (inline on the caller).
+func (p *Pool) Close() {
+	if p == nil || p.bg == 0 {
+		return
+	}
+	p.once.Do(func() {
+		close(p.work)
+		p.bg = 0
+	})
+}

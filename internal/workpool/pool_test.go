@@ -1,0 +1,84 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversEveryIndex checks each index runs exactly once, for
+// pool sizes and batch sizes around the inline/pooled boundary.
+func TestRunCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 2, 3, 64, 1000} {
+			hits := make([]atomic.Int64, n)
+			p.Run(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestNilAndZeroPool pins the inline fallbacks: the nil pool and the
+// zero value both run batches on the caller, in index order.
+func TestNilAndZeroPool(t *testing.T) {
+	var order []int
+	var nilPool *Pool
+	nilPool.Run(3, func(i int) { order = append(order, i) })
+	var zero Pool
+	zero.Run(3, func(i int) { order = append(order, i) })
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("inline order = %v, want %v", order, want)
+		}
+	}
+	if nilPool.Workers() != 1 || zero.Workers() != 1 {
+		t.Errorf("inline Workers() = %d/%d, want 1/1", nilPool.Workers(), zero.Workers())
+	}
+	nilPool.Close()
+	zero.Close()
+}
+
+// TestCloseIsIdempotentAndRunSurvives checks Close can be called
+// repeatedly and that Run after Close falls back to inline execution.
+func TestCloseIsIdempotentAndRunSurvives(t *testing.T) {
+	p := New(4)
+	if p.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", p.Workers())
+	}
+	p.Close()
+	p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() after Close = %d, want 1", p.Workers())
+	}
+	var count atomic.Int64
+	p.Run(8, func(int) { count.Add(1) })
+	if count.Load() != 8 {
+		t.Fatalf("Run after Close executed %d of 8 indices", count.Load())
+	}
+}
+
+// TestUnevenWork checks the dynamic index claiming balances a batch
+// whose early indices are much more expensive than the rest.
+func TestUnevenWork(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var sum atomic.Int64
+	p.Run(100, func(i int) {
+		if i < 4 {
+			for k := 0; k < 1000; k++ {
+				sum.Add(1)
+			}
+			return
+		}
+		sum.Add(1)
+	})
+	if got := sum.Load(); got != 4*1000+96 {
+		t.Fatalf("sum = %d, want %d", got, 4*1000+96)
+	}
+}

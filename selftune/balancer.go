@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/sched"
 	"repro/internal/smp"
+	"repro/internal/workload"
 )
 
 // Balancer plans cross-core migrations. Plan receives an immutable
@@ -410,12 +411,67 @@ type migUnit struct {
 }
 
 // unitFor builds the live migration unit containing h: its shared
-// group when it has one, otherwise the handle alone.
+// group when it has one, otherwise the handle alone. On a laned
+// machine every unit's rehome additionally carries the workload's
+// lane-bound state — self-timers, syscall sink, undownloaded trace
+// evidence, the tuner's tracer — to the destination lane; the lane
+// move is infallible and runs only after the base rehome succeeded,
+// so a supervisor rejection still rolls back cleanly.
 func (s *System) unitFor(h *Handle) *migUnit {
+	var u *migUnit
 	if h.shared != nil {
-		return s.sharedUnit(h.shared)
+		u = s.sharedUnit(h.shared)
+	} else {
+		u = s.handleUnit(h)
 	}
-	return s.handleUnit(h)
+	if s.group != nil {
+		base := u.rehome
+		u.rehome = func(to int) error {
+			if base != nil {
+				if err := base(to); err != nil {
+					return err
+				}
+			}
+			s.moveUnitLane(u, to)
+			return nil
+		}
+	}
+	return u
+}
+
+// moveUnitLane moves a migration unit's lane-bound state after its
+// reservations switched cores on a laned machine: each member
+// workload's self-timers re-arm on the destination lane and its sink
+// repoints at the destination core's tracer (LaneMover), the tasks'
+// undownloaded syscall evidence transfers between the per-core buffers
+// (so the period analyser loses nothing across the move), the request
+// publishers follow, and the unit's tuner — if any — downloads from
+// the destination buffer from now on. Runs at a causality fence, with
+// every lane at rest; u.core is still the source core here (finishMove
+// updates it afterwards).
+func (s *System) moveUnitLane(u *migUnit, to int) {
+	dstEng, dstBuf := s.lanes[to], s.laneBufs[to]
+	srcBuf := s.laneBufs[u.core]
+	for _, h := range u.handles {
+		if lm, ok := h.w.(workload.LaneMover); ok {
+			lm.MoveLane(dstEng, dstBuf)
+		}
+		h.ctx.core = to
+	}
+	for _, srv := range u.group.Servers {
+		for _, t := range srv.Tasks() {
+			dstBuf.Inject(srcBuf.DrainPID(t.PID()))
+		}
+	}
+	for _, t := range u.group.Tasks {
+		dstBuf.Inject(srcBuf.DrainPID(t.PID()))
+	}
+	switch {
+	case u.shared != nil:
+		u.shared.tuner.SetTracer(dstBuf)
+	case len(u.handles) == 1 && u.handles[0].tuner != nil:
+		u.handles[0].tuner.SetTracer(dstBuf)
+	}
 }
 
 func (s *System) sharedUnit(g *sharedGroup) *migUnit {

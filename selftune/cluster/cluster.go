@@ -52,34 +52,34 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/rng"
 	"repro/internal/smp"
+	"repro/internal/workpool"
 	"repro/selftune"
 	"repro/selftune/telemetry"
 )
 
 // options collects the configuration assembled by functional options.
 type options struct {
-	seed        uint64
-	machines    int
-	cores       int
-	nodeCores   int // 0 = auto, -1 = flat
-	ulub        float64
-	tick        selftune.Duration
-	detail      int
-	parallel    int // 0 = GOMAXPROCS
-	machineBal  func() selftune.Balancer
-	fleetBal    ClusterBalancer
-	fleetEvery  selftune.Duration
-	scaler      *AutoscalerConfig
-	statsEvery  selftune.Duration
-	colOpts     []telemetry.CollectorOption
-	machineTel  bool
-	machineColO []telemetry.CollectorOption
-	reqStats    bool
+	seed         uint64
+	machines     int
+	cores        int
+	nodeCores    int // 0 = auto, -1 = flat
+	ulub         float64
+	tick         selftune.Duration
+	detail       int
+	parallel     int // 0 = GOMAXPROCS
+	coreParallel int // 0 = single-engine machines
+	machineBal   func() selftune.Balancer
+	fleetBal     ClusterBalancer
+	fleetEvery   selftune.Duration
+	scaler       *AutoscalerConfig
+	statsEvery   selftune.Duration
+	colOpts      []telemetry.CollectorOption
+	machineTel   bool
+	machineColO  []telemetry.CollectorOption
+	reqStats     bool
 }
 
 func defaultClusterOptions() options {
@@ -262,6 +262,27 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithCoreParallelism builds every machine in laned mode
+// (selftune.WithCoreParallelism): each machine's cores simulate on
+// per-core engine lanes advanced concurrently between causality
+// fences. n is the fleet-wide core-worker budget, split evenly across
+// the machines that advance concurrently — per-machine lane workers =
+// max(1, n / machine-parallelism) — so the two parallelism levels
+// compose under one budget instead of multiplying. Determinism
+// composes too: the lane partition is one lane per core regardless of
+// n, so a seeded cluster run stays byte-identical at every budget.
+// n < 1 is an error; the default (no option) runs single-engine
+// machines.
+func WithCoreParallelism(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("cluster: WithCoreParallelism(%d): need at least one worker", n)
+		}
+		o.coreParallel = n
+		return nil
+	}
+}
+
 // WithMachineTelemetry attaches one cluster-owned Collector (reached
 // via MachineCollector) to every machine's observer bus through
 // per-machine staging shards: each machine's events collect lock-free
@@ -367,7 +388,8 @@ type Cluster struct {
 	mcap     float64   // per-machine capacity, core-equivalents
 	rand     *rng.Source
 	col      *telemetry.Collector
-	parallel int // advance workers per tick
+	parallel int            // advance workers per tick
+	pool     *workpool.Pool // persistent tick-advance workers
 
 	// Per-machine telemetry staging (WithMachineTelemetry): shard i
 	// subscribes to machine i, and the barrier drains the shards into
@@ -436,12 +458,32 @@ func New(opts ...Option) (*Cluster, error) {
 		jobs:        make(map[int]*job),
 		realmByName: make(map[string]*Realm),
 	}
+	c.parallel = o.parallel
+	if c.parallel == 0 {
+		c.parallel = runtime.GOMAXPROCS(0)
+	}
+	if c.parallel > o.machines {
+		c.parallel = o.machines
+	}
+	// Split the core-worker budget across the machines a tick advances
+	// concurrently: the machine pool and the lane pools compose under
+	// one budget rather than multiplying goroutines.
+	laneWorkers := 0
+	if o.coreParallel > 0 {
+		laneWorkers = o.coreParallel / c.parallel
+		if laneWorkers < 1 {
+			laneWorkers = 1
+		}
+	}
 	seeds := c.rand.Split()
 	for i := range c.machines {
 		mopts := []selftune.Option{
 			selftune.WithSeed(seeds.Uint64()),
 			selftune.WithCPUs(o.cores),
 			selftune.WithULub(o.ulub),
+		}
+		if laneWorkers > 0 {
+			mopts = append(mopts, selftune.WithCoreParallelism(laneWorkers))
 		}
 		switch {
 		case o.nodeCores > 0:
@@ -463,13 +505,7 @@ func New(opts ...Option) (*Cluster, error) {
 		c.machines[i] = sys
 	}
 	c.col = telemetry.NewCollector(o.colOpts...)
-	c.parallel = o.parallel
-	if c.parallel == 0 {
-		c.parallel = runtime.GOMAXPROCS(0)
-	}
-	if c.parallel > o.machines {
-		c.parallel = o.machines
-	}
+	c.pool = workpool.New(c.parallel)
 	if o.machineTel {
 		c.mcol = telemetry.NewCollector(o.machineColO...)
 		c.shards = make([]*telemetry.Shard, o.machines)
@@ -602,13 +638,25 @@ func (c *Cluster) FleetLatency() telemetry.LatencyHistogram {
 }
 
 // Steps returns the total discrete-event steps executed by the
-// machine engines — the fleet's simulation work so far.
+// machine engines — the fleet's simulation work so far. Laned
+// machines (WithCoreParallelism) count every lane's steps.
 func (c *Cluster) Steps() uint64 {
 	var sum uint64
 	for _, m := range c.machines {
-		sum += m.Machine().Engine().Steps()
+		sum += m.Steps()
 	}
 	return sum
+}
+
+// Close releases the Cluster's worker goroutines: the tick-advance
+// pool and, on laned machines, every machine's lane pool. The Cluster
+// remains usable afterwards — Run falls back to serial advances — but
+// Close is meant for teardown. Safe to call more than once.
+func (c *Cluster) Close() {
+	c.pool.Close()
+	for _, m := range c.machines {
+		m.Close()
+	}
 }
 
 // Resident returns the number of jobs currently resident on the fleet.
@@ -649,39 +697,24 @@ func (c *Cluster) Run(horizon selftune.Duration) {
 // advance brings every machine engine to the next tick boundary, then
 // merges the staged cross-machine effects at the barrier. With
 // parallelism 1 the machines advance serially in index order; with
-// more, a bounded pool of workers claims machines off a shared
-// counter. Both paths produce identical state: machines share nothing
-// mutable between tick boundaries (placements, despawns and realm
-// accounting all happen in the serial control phase before the
-// advance), each machine's event execution is a pure function of its
-// own pre-tick state, and the one cross-machine sink — the shared
-// machine-telemetry collector — is fed through per-machine shards
-// drained here in machine-index order. The WaitGroup barrier orders
-// every worker's writes before the merge and the next control phase.
+// more, the Cluster's persistent worker pool claims machines off a
+// shared counter — the workers park on a channel between ticks, so a
+// tick costs one wakeup per worker instead of one goroutine spawn
+// (the old per-tick goroutines cost more than they saved on short
+// ticks; see BenchmarkClusterParallelTicks). Both paths produce
+// identical state: machines share nothing mutable between tick
+// boundaries (placements, despawns and realm accounting all happen in
+// the serial control phase before the advance), each machine's event
+// execution is a pure function of its own pre-tick state, and the one
+// cross-machine sink — the shared machine-telemetry collector — is
+// fed through per-machine shards drained here in machine-index order.
+// The pool's completion barrier orders every worker's writes before
+// the merge and the next control phase.
 func (c *Cluster) advance(next selftune.Time) {
-	if c.parallel <= 1 || len(c.machines) == 1 {
-		for _, m := range c.machines {
-			m.Run(next.Sub(m.Now()))
-		}
-	} else {
-		var idx atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < c.parallel; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(idx.Add(1)) - 1
-					if i >= len(c.machines) {
-						return
-					}
-					m := c.machines[i]
-					m.Run(next.Sub(m.Now()))
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	c.pool.Run(len(c.machines), func(i int) {
+		m := c.machines[i]
+		m.Run(next.Sub(m.Now()))
+	})
 	// Merge barrier: fold the staged per-machine event streams in
 	// machine-index order. Draining on the serial path too keeps the
 	// fold order — and the collector's bytes — parallelism-invariant.

@@ -39,6 +39,7 @@ type options struct {
 	imbalance    float64
 	topo         Topology
 	topoSet      bool
+	coreParallel int
 }
 
 func defaultOptions() options {
@@ -131,6 +132,26 @@ func WithTopology(t Topology) Option {
 	return func(o *options) error {
 		o.topo = t
 		o.topoSet = true
+		return nil
+	}
+}
+
+// WithCoreParallelism shards the machine's simulation across engine
+// lanes — one per core — advanced concurrently by up to n worker
+// goroutines between causality fences (see System.Run). n counts
+// workers only: the lane partition is always one lane per core, so a
+// seeded run produces byte-identical event streams at any n ≥ 1.
+// Laned mode gives every core its own syscall tracer (System.Tracer
+// returns nil; migrations carry undownloaded evidence across buffers)
+// and cannot be combined with WithClock — the fence schedule needs the
+// engine as the observation timebase. The default (no option) is the
+// single-engine machine.
+func WithCoreParallelism(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("selftune: WithCoreParallelism(%d): need at least one worker", n)
+		}
+		o.coreParallel = n
 		return nil
 	}
 }

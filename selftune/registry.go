@@ -35,7 +35,9 @@ type Env struct {
 	Scheduler *Scheduler
 	// Supervisor is the placed core's bandwidth supervisor.
 	Supervisor *Supervisor
-	// Tracer is the system-wide syscall tracer.
+	// Tracer is the syscall tracer the instance records into: the
+	// system-wide buffer, or the placed core's own on a laned machine
+	// (WithCoreParallelism).
 	Tracer *Tracer
 	// Rand is a private rng stream split off the System seed.
 	Rand *rng.Source
@@ -234,6 +236,7 @@ type Handle struct {
 	kind   string
 	core   int
 	hint   float64 // placement bandwidth charged for this instance
+	ctx    *spawnCtx
 	w      Workload
 	tuner  *AutoTuner
 	shared *sharedGroup // non-nil when part of a TuneShared group
@@ -344,13 +347,14 @@ func (s *System) Spawn(kind string, opts ...SpawnOption) (*Handle, error) {
 		s.machine.Release(coreIdx, hint)
 		return nil, fmt.Errorf("selftune: spawn %q: %w", spec.Name, err)
 	}
+	ctx := &spawnCtx{core: coreIdx}
 	env := Env{
 		Core:       s.Core(coreIdx),
 		Scheduler:  s.machine.Core(coreIdx),
 		Supervisor: s.machine.Supervisor(coreIdx),
-		Tracer:     s.tracer,
+		Tracer:     s.tracerFor(coreIdx),
 		Rand:       s.split(),
-		Requests:   s.requestPublisher(coreIdx, kind, spec.Name),
+		Requests:   s.requestPublisher(ctx, kind, spec.Name),
 	}
 	w, err := f(env, spec)
 	if err != nil {
@@ -359,7 +363,7 @@ func (s *System) Spawn(kind string, opts ...SpawnOption) (*Handle, error) {
 	if w == nil {
 		return fail(fmt.Errorf("kind %q factory returned a nil workload", kind))
 	}
-	h := &Handle{sys: s, kind: kind, core: coreIdx, hint: hint, w: w}
+	h := &Handle{sys: s, kind: kind, core: coreIdx, hint: hint, ctx: ctx, w: w}
 	if spec.Tuner != nil {
 		tn, ok := w.(Tunable)
 		if !ok {

@@ -2,6 +2,7 @@ package selftune
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -22,6 +23,17 @@ type System struct {
 	tracer  *ktrace.Buffer
 	rand    *rng.Source
 	clock   Clock
+
+	// Core-parallel (laned) mode, enabled by WithCoreParallelism: each
+	// core runs on its own engine lane, advanced concurrently between
+	// causality fences; s.engine becomes the control engine carrying
+	// the balancer tick, the load sampler and the fence schedule.
+	// All nil/empty on a single-engine System.
+	lanes      []*sim.Engine
+	group      *sim.EngineGroup
+	laneBufs   []*ktrace.Buffer // per-core tracers
+	laneStages [][]Event        // per-lane staged observer events
+	drainBuf   []Event          // fence-time merge buffer
 
 	loadSample Duration
 	obsMu      sync.Mutex // guards observers and samplerOn
@@ -75,11 +87,26 @@ func NewSystem(opts ...Option) (*System, error) {
 	eng := sim.New()
 	s := &System{
 		engine:     eng,
-		machine:    smp.New(eng, o.cpus, o.ulub),
-		tracer:     ktrace.NewBuffer(ktrace.QTrace, o.tracerCap),
 		rand:       rng.New(o.seed),
 		clock:      o.clock,
 		loadSample: o.loadSample,
+	}
+	if o.coreParallel > 0 {
+		if o.clock != nil {
+			return nil, fmt.Errorf("selftune: WithCoreParallelism cannot be combined with WithClock")
+		}
+		s.lanes = make([]*sim.Engine, o.cpus)
+		s.laneBufs = make([]*ktrace.Buffer, o.cpus)
+		for i := range s.lanes {
+			s.lanes[i] = sim.New()
+			s.laneBufs[i] = ktrace.NewBuffer(ktrace.QTrace, o.tracerCap)
+		}
+		s.group = sim.NewGroup(s.lanes, o.coreParallel)
+		s.machine = smp.NewLaned(s.lanes, o.ulub)
+		s.laneStages = make([][]Event, o.cpus)
+	} else {
+		s.machine = smp.New(eng, o.cpus, o.ulub)
+		s.tracer = ktrace.NewBuffer(ktrace.QTrace, o.tracerCap)
 	}
 	if o.topoSet {
 		topo := o.topo
@@ -110,9 +137,23 @@ func NewSystem(opts ...Option) (*System, error) {
 
 // installExhaustHook points core i's exhaustion bus slot at the
 // observer bus (the user-facing SetExhaustHook slot stays free). The
-// hook is a no-op until someone subscribes.
+// hook is a no-op until someone subscribes. In laned mode the event is
+// staged on the core's own lane — exhaustions fire mid-epoch, while
+// other lanes run concurrently — and delivered at the next fence.
 func (s *System) installExhaustHook(i int) {
 	core := i
+	if s.group != nil {
+		lane := s.lanes[i]
+		s.machine.Core(i).SetExhaustBus(func(srv *sched.Server, now Time) {
+			s.stage(core, Event{
+				Kind:   BudgetExhaustedEvent,
+				At:     lane.Now(),
+				Core:   core,
+				Source: srv.Name(),
+			})
+		})
+		return
+	}
 	s.machine.Core(i).SetExhaustBus(func(srv *sched.Server, now Time) {
 		s.publish(Event{
 			Kind:   BudgetExhaustedEvent,
@@ -121,6 +162,39 @@ func (s *System) installExhaustHook(i int) {
 			Source: srv.Name(),
 		})
 	})
+}
+
+// stage appends an observer event to a lane's staging slice. Each lane
+// touches only its own slice (and control-phase stagings run with the
+// lanes at rest), so staging is race-free by construction; drainStages
+// merges and publishes at the next fence.
+func (s *System) stage(lane int, e Event) {
+	s.laneStages[lane] = append(s.laneStages[lane], e)
+}
+
+// drainStages publishes every staged observer event in deterministic
+// order: ascending timestamp, ties broken by lane index, FIFO within a
+// lane (lanes execute in time order, so each slice is already sorted —
+// a stable sort over the lane-ordered concatenation yields exactly
+// that order, independent of worker count).
+func (s *System) drainStages() {
+	total := 0
+	for i := range s.laneStages {
+		total += len(s.laneStages[i])
+	}
+	if total == 0 {
+		return
+	}
+	buf := s.drainBuf[:0]
+	for i := range s.laneStages {
+		buf = append(buf, s.laneStages[i]...)
+		s.laneStages[i] = s.laneStages[i][:0]
+	}
+	sort.SliceStable(buf, func(a, b int) bool { return buf[a].At < buf[b].At })
+	for i := range buf {
+		s.publish(buf[i])
+	}
+	s.drainBuf = buf[:0]
 }
 
 // Core is one CPU of the System: an EDF+CBS scheduler and the
@@ -164,8 +238,23 @@ func (s *System) Machine() *smp.Machine { return s.machine }
 // value — a single implicit domain — unless WithTopology set one).
 func (s *System) Topology() Topology { return s.machine.Topology() }
 
-// Tracer exposes the system-wide syscall tracer.
+// Tracer exposes the system-wide syscall tracer. In laned mode
+// (WithCoreParallelism) there is no shared buffer — every core traces
+// into its own, reachable via CoreTracer — and Tracer returns nil.
 func (s *System) Tracer() *Tracer { return s.tracer }
+
+// CoreTracer returns core i's syscall tracer: the per-core buffer in
+// laned mode, the shared system-wide buffer otherwise.
+func (s *System) CoreTracer(i int) *Tracer { return s.tracerFor(i) }
+
+// tracerFor resolves the buffer workloads and tuners of core i record
+// into and download from.
+func (s *System) tracerFor(core int) *ktrace.Buffer {
+	if s.group != nil {
+		return s.laneBufs[core]
+	}
+	return s.tracer
+}
 
 // Clock returns the System's observation clock.
 func (s *System) Clock() Clock { return s.clock }
@@ -175,43 +264,131 @@ func (s *System) Clock() Clock { return s.clock }
 func (s *System) Now() Time { return s.clock.Now() }
 
 // Run advances the simulation until the given horizon.
+//
+// In laned mode (WithCoreParallelism) Run is a sequence of causality
+// epochs: the per-core lanes advance concurrently — lock-free, each on
+// its own engine — up to the next causality fence, where they barrier
+// at the same simulated instant and every cross-core effect applies in
+// a deterministic order. Fences sit exactly where machine-wide state
+// is touched: at every control-engine event (balancer ticks, load
+// samples — anything scheduled through the System clock) and at the
+// horizon. Staged observer events are published at each fence sorted
+// by timestamp with lane-index tiebreak, then the control engine runs,
+// migrating reservations and re-arming lane timers while the lanes
+// rest. Seeded runs are byte-identical at any worker count.
 func (s *System) Run(horizon Duration) {
-	s.engine.RunUntil(s.engine.Now().Add(horizon))
+	if s.group == nil {
+		s.engine.RunUntil(s.engine.Now().Add(horizon))
+		return
+	}
+	end := s.engine.Now().Add(horizon)
+	for {
+		next := end
+		if p := s.engine.Peek(); p < next {
+			next = p
+		}
+		s.group.AdvanceTo(next)
+		s.drainStages()
+		s.engine.RunUntil(next)
+		if next >= end {
+			return
+		}
+	}
+}
+
+// Steps returns the total number of simulation events executed: the
+// control engine's plus, in laned mode, every lane's.
+func (s *System) Steps() uint64 {
+	n := s.engine.Steps()
+	if s.group != nil {
+		n += s.group.Steps()
+	}
+	return n
+}
+
+// Fences returns how many causality epochs Run has completed (0 on a
+// single-engine System, which has no fences to cross).
+func (s *System) Fences() uint64 {
+	if s.group == nil {
+		return 0
+	}
+	return s.group.Fences()
+}
+
+// Workers returns how many goroutines advance the machine's lanes (1
+// on a single-engine System).
+func (s *System) Workers() int {
+	if s.group == nil {
+		return 1
+	}
+	return s.group.Workers()
+}
+
+// Close releases the worker pool of a laned System. Idempotent; a
+// no-op on a single-engine System. The System is unusable after.
+func (s *System) Close() {
+	if s.group != nil {
+		s.group.Close()
+	}
 }
 
 // Handles returns every workload spawned so far, in spawn order.
 func (s *System) Handles() []*Handle { return s.handles }
 
 // tickPublisher returns the OnTick hook that routes a tuner's
-// activation snapshots onto the observer bus.
+// activation snapshots onto the observer bus. Tuner ticks run on the
+// core's own lane in laned mode, so the event is staged there and
+// published at the next fence; the balancer rebuilds the hook on
+// migration, so coreIdx is always the tuner's current core.
 func (s *System) tickPublisher(coreIdx int, source string) func(TunerSnapshot) {
 	return func(snap TunerSnapshot) {
-		s.publish(Event{
+		e := Event{
 			Kind:     TunerTickEvent,
 			At:       s.clock.Now(),
 			Core:     coreIdx,
 			Source:   source,
 			Snapshot: snap,
-		})
+		}
+		if s.group != nil {
+			e.At = s.lanes[coreIdx].Now()
+			s.stage(coreIdx, e)
+			return
+		}
+		s.publish(e)
 	}
 }
+
+// spawnCtx tracks where a spawned instance currently runs. Request
+// publishers are buried inside workload configs and cannot be rebuilt
+// on migration, so they read the core through this indirection. On a
+// single-engine System the core is never updated — Event.Core keeps
+// its documented spawn-time semantics — while laned migrations update
+// it so events stage on (and report) the lane actually executing the
+// workload.
+type spawnCtx struct{ core int }
 
 // requestPublisher returns the RequestObserver that routes one spawned
 // instance's completed requests onto the observer bus. Publishing with
 // no subscribers is a near-free early return, so every request-shaped
 // spawn gets one unconditionally.
-func (s *System) requestPublisher(coreIdx int, kind, source string) RequestObserver {
+func (s *System) requestPublisher(ctx *spawnCtx, kind, source string) RequestObserver {
 	return func(r Request) {
-		s.publish(Event{
+		e := Event{
 			Kind:     RequestCompleteEvent,
 			At:       s.clock.Now(),
-			Core:     coreIdx,
+			Core:     ctx.core,
 			Source:   source,
 			Workload: kind,
 			Latency:  r.Latency,
 			Deadline: r.Deadline,
 			Missed:   r.Missed,
-		})
+		}
+		if s.group != nil {
+			e.At = s.lanes[ctx.core].Now()
+			s.stage(ctx.core, e)
+			return
+		}
+		s.publish(e)
 	}
 }
 
@@ -219,7 +396,7 @@ func (s *System) requestPublisher(coreIdx int, kind, source string) RequestObser
 // its snapshots into the observer bus and starts it.
 func (s *System) attachTuner(coreIdx int, task *Task, cfg TunerConfig) (*AutoTuner, error) {
 	tuner, err := core.New(s.machine.Core(coreIdx), s.machine.Supervisor(coreIdx),
-		s.tracer, task, cfg)
+		s.tracerFor(coreIdx), task, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +455,7 @@ func (s *System) TuneShared(handles []*Handle, prios []int, cfg TunerConfig) (*M
 // core, wires its snapshots into the observer bus and starts it.
 func (s *System) attachMultiTuner(coreIdx int, tasks []*sched.Task, prios []int, cfg TunerConfig) (*MultiTuner, error) {
 	tuner, err := core.NewMulti(s.machine.Core(coreIdx), s.machine.Supervisor(coreIdx),
-		s.tracer, tasks, prios, cfg)
+		s.tracerFor(coreIdx), tasks, prios, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -247,6 +247,24 @@ func BenchmarkClusterContention(b *testing.B) {
 	b.ReportMetric(last.Auto.EventsPerSecond(), "events_per_s")
 }
 
+// BenchmarkSLOAwareFleet runs the live-migration rescue study at its
+// headline size (4 machines x 8 cores, fully detailed) and reports
+// the SLO-aware run's tardy-realm p99 (lower-is-better, gated in CI)
+// and the fraction of re-placements that ran as live transfers
+// (higher-is-better, gated — the scenario's webserver jobs must all
+// carry their state across), plus the hint-blind baseline's p99 for
+// contrast and the attainment the rescue bought.
+func BenchmarkSLOAwareFleet(b *testing.B) {
+	var last experiments.SLOAwareResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.SLOAwareFleet(uint64(i+1), 4, 8, 12*simtime.Second, 0)
+	}
+	b.ReportMetric(float64(last.SLOAware.TardyP99)/1e6, "tardy_p99_ms")
+	b.ReportMetric(last.SLOAware.LiveFraction(), "live_frac")
+	b.ReportMetric(last.SLOAware.TardyAttainment, "attainment")
+	b.ReportMetric(float64(last.Static.TardyP99)/1e6, "tardy_p99_static_ms")
+}
+
 // BenchmarkEngineHotPath times the pooled discrete-event core on its
 // steady state: 64 self-rescheduling event trains, each tick also
 // scheduling and cancelling a victim so every step exercises the full

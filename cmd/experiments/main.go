@@ -13,7 +13,7 @@
 //
 // Experiments: fig1 fig2 table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // fig11 table2 fig12 fig13 fig14 table3 migration numa telemetry
-// cluster slo ablations
+// cluster slo sloaware ablations
 package main
 
 import (
@@ -58,7 +58,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|fig2|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|fig12|fig13|fig14|table3|migration|numa|telemetry|cluster|slo|ablations|all>...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|fig2|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|fig12|fig13|fig14|table3|migration|numa|telemetry|cluster|slo|sloaware|ablations|all>...")
 		os.Exit(2)
 	}
 	want := make(map[string]bool)
@@ -230,6 +230,16 @@ func main() {
 			horizon = 6 * simtime.Second
 		}
 		fmt.Fprintln(out, experiments.SLOExperiment(*seed, machines, scores, horizon).Table())
+	}
+	if run("sloaware") {
+		ran++
+		machines, scores := 4, 8
+		horizon := 12 * simtime.Second
+		if *quick {
+			machines, scores = 2, 4
+			horizon = 6 * simtime.Second
+		}
+		fmt.Fprintln(out, experiments.SLOAwareFleet(*seed, machines, scores, horizon, *parallel).Table())
 	}
 	if run("ablations") {
 		ran++

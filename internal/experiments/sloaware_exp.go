@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/selftune"
+	"repro/selftune/cluster"
+	"repro/selftune/telemetry"
+)
+
+// The SLO-aware balancing experiment demonstrates why a fleet balancer
+// that plans on the hint ledger can be blind to a tenant in trouble. A
+// batch realm runs a bimodal mix — over-hinted light jobs next to
+// under-hinted heavy ones — so worst-fit admission, which levels
+// hints, not reservations, quietly segregates the fleet: machines
+// with equal hint totals end up with very different actual core loads.
+// A latency realm's best-effort webservers starve behind the batch
+// reservations on the hot machines, its p99 blows through the SLO —
+// and FleetWorstFit, seeing a balanced hint ledger, plans nothing.
+// BalanceSLOAware ranks realms by observed tardiness (p99 vs SLO
+// threshold, error-budget burn) and steals capacity *for the most
+// tardy realm* on the machines' actual loads, live-migrating its jobs
+// — server state, evidence and all — onto the machines with real
+// headroom. Both runs see identical arrival streams (realm randomness
+// derives from the cluster seed and is never consumed by placement),
+// so the comparison is paired sample-for-sample.
+
+// SLOAwareRun is one fleet policy's half of the experiment.
+type SLOAwareRun struct {
+	Policy string // "worst-fit" | "slo-aware"
+
+	// Realms is the final per-realm accounting in registration order;
+	// the tardy (latency) realm is first.
+	Realms []cluster.RealmStats
+	// TardyP99 is the latency realm's p99 completion latency, the
+	// headline metric.
+	TardyP99 simtime.Duration
+	// TardyAttainment is the latency realm's SLO attainment (fraction
+	// of scored requests within threshold).
+	TardyAttainment float64
+	// TardyBurn is the latency realm's error-budget burn (>1 means the
+	// objective is heading for violation).
+	TardyBurn float64
+	// Requests is the fleet-wide request completions observed.
+	Requests int64
+	// Replacements counts cross-machine re-placements; LiveReplacements
+	// how many of them carried their state across (live Transfers).
+	Replacements     int
+	LiveReplacements int
+	// WallSeconds is the host time the run took (not part of any
+	// determinism contract).
+	WallSeconds float64
+}
+
+// LiveFraction returns LiveReplacements/Replacements (0 with no moves).
+func (r SLOAwareRun) LiveFraction() float64 {
+	if r.Replacements == 0 {
+		return 0
+	}
+	return float64(r.LiveReplacements) / float64(r.Replacements)
+}
+
+// SLOAwareResult is the outcome of the paired surge comparison.
+type SLOAwareResult struct {
+	Machines, Cores int
+	Horizon         simtime.Duration
+	// Quantile and Threshold shape the latency realm's objective.
+	Quantile  float64
+	Threshold simtime.Duration
+
+	Static   SLOAwareRun // FleetWorstFit (hint ledger)
+	SLOAware SLOAwareRun // BalanceSLOAware (actual loads, tardy realm first)
+}
+
+// Table renders the result in the repo's report style.
+func (r SLOAwareResult) Table() string {
+	s := fmt.Sprintf("== SLO-aware fleet balancing (%d machines x %d cores, p%g<=%v, %v) ==\n",
+		r.Machines, r.Cores, r.Quantile*100, r.Threshold, r.Horizon)
+	for _, run := range []SLOAwareRun{r.Static, r.SLOAware} {
+		s += fmt.Sprintf("%-10s tardy p99 %8v | attainment %.4f | burn %6.2f | moves %d (live %.0f%%) | %d requests\n",
+			run.Policy, run.TardyP99, run.TardyAttainment, run.TardyBurn,
+			run.Replacements, 100*run.LiveFraction(), run.Requests)
+		for _, st := range run.Realms {
+			s += fmt.Sprintf("        %-8s res %5.1f admitted %5d p99 %8v attain %.4f replaced %d\n",
+				st.Name, st.Reservation, st.Admitted, st.LatencyP99, st.SLOAttainment, st.Replaced)
+		}
+	}
+	return s
+}
+
+// SLOAwareFleet runs the hint-blind surge scenario twice — once under
+// FleetWorstFit, once under BalanceSLOAware — on a fully detailed
+// fleet of machines x cores over the horizon, with the latency realm's
+// arrival rate tripling for the middle third. The headline
+// configuration is 4 machines x 8 cores over 12s. parallel sets the
+// per-tick engine-advance workers (0 = GOMAXPROCS); it moves only the
+// wall clock, never a result.
+func SLOAwareFleet(seed uint64, machines, cores int, horizon simtime.Duration, parallel int) SLOAwareResult {
+	if machines < 2 {
+		machines = 4
+	}
+	if cores < 2 {
+		cores = 8
+	}
+	if horizon <= 0 {
+		horizon = 12 * simtime.Second
+	}
+	res := SLOAwareResult{
+		Machines: machines, Cores: cores, Horizon: horizon,
+		Quantile: 0.95, Threshold: 250 * simtime.Millisecond,
+	}
+	res.Static = sloAwareRun(seed, machines, cores, horizon, parallel,
+		res.Quantile, res.Threshold, false)
+	res.SLOAware = sloAwareRun(seed, machines, cores, horizon, parallel,
+		res.Quantile, res.Threshold, true)
+	return res
+}
+
+// sloAwareRun executes the scenario once under the chosen policy.
+func sloAwareRun(seed uint64, machines, cores int, horizon simtime.Duration, parallel int,
+	quantile float64, threshold simtime.Duration, sloAware bool) SLOAwareRun {
+
+	bal := cluster.ClusterBalancer(cluster.FleetWorstFit(0, 0))
+	policy := "worst-fit"
+	if sloAware {
+		bal = cluster.BalanceSLOAware()
+		policy = "slo-aware"
+	}
+	opts := []cluster.Option{
+		cluster.WithSeed(seed),
+		cluster.WithMachines(machines),
+		cluster.WithCores(cores),
+		cluster.WithDetail(machines), // every machine runs its workloads for real
+		cluster.WithRequestStats(),
+		cluster.WithFleetBalancer(bal),
+		cluster.WithFleetBalanceInterval(500 * selftune.Millisecond),
+	}
+	if parallel > 0 {
+		opts = append(opts, cluster.WithParallelism(parallel))
+	}
+	c, err := cluster.New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	capacity := c.Capacity()
+	// The latency realm: best-effort webservers under a p95 objective.
+	// Their demand is real but invisible to the hint ledger (no
+	// reservations), so only request latency betrays a hot machine.
+	frontend, err := c.AddRealm(cluster.RealmConfig{
+		Name:        "frontend",
+		Reservation: capacity * 0.35,
+		Rate:        4,
+		QueueCap:    64,
+		Mix: []cluster.WorkloadSpec{{
+			Kind: "webserver", Hint: 0.15, Util: 0.45,
+			Service: cluster.Exp(1500 * selftune.Millisecond),
+		}},
+		SLO: telemetry.SLO{Quantile: quantile, Threshold: selftune.Duration(threshold)},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// The batch realm: a bimodal mix of over-hinted light jobs and
+	// under-hinted heavy ones. Worst-fit admission levels the *hints*
+	// across machines, so wherever the interleaving concentrates the
+	// heavy kind the real reserved load piles up far beyond what the
+	// hint ledger shows — structural skew, invisible to FleetWorstFit.
+	if _, err := c.AddRealm(cluster.RealmConfig{
+		Name:        "batch",
+		Reservation: capacity * 0.55,
+		Rate:        6,
+		QueueCap:    64,
+		Mix: []cluster.WorkloadSpec{
+			{Kind: "rtload", Hint: 0.35, Util: 0.15, Service: cluster.Exp(6 * selftune.Second)},
+			{Kind: "rtload", Hint: 0.05, Util: 0.55, Service: cluster.Exp(6 * selftune.Second)},
+		},
+	}); err != nil {
+		panic(err)
+	}
+
+	// Thirds: baseline, frontend surge, recovery.
+	third := horizon / 3
+	base := frontend.Rate()
+	start := time.Now()
+	c.Run(third)
+	frontend.SetRate(3 * base)
+	c.Run(third)
+	frontend.SetRate(base)
+	c.Run(horizon - 2*third)
+	wall := time.Since(start).Seconds()
+
+	front := frontend.Stats()
+	out := SLOAwareRun{
+		Policy:           policy,
+		TardyP99:         simtime.Duration(front.LatencyP99),
+		TardyAttainment:  front.SLOAttainment,
+		TardyBurn:        front.ErrorBudgetBurn(),
+		Replacements:     c.Replacements(),
+		LiveReplacements: c.LiveReplacements(),
+		WallSeconds:      wall,
+	}
+	for _, r := range c.Realms() {
+		st := r.Stats()
+		out.Realms = append(out.Realms, st)
+		out.Requests += st.Requests
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestSLOAwareFleetRescue is the acceptance scenario of the live
+// cross-machine migration work: on paired surge arrivals, the
+// hint-blind FleetWorstFit plans nothing (the hint ledger looks
+// balanced) while BalanceSLOAware live-migrates the tardy realm's
+// jobs onto the machines with real headroom — improving its p99 and
+// its SLO attainment without touching the arrival streams.
+func TestSLOAwareFleetRescue(t *testing.T) {
+	// Seed 42 is the cmd/experiments default: the asserted rescue is
+	// exactly the table `go run ./cmd/experiments sloaware` prints.
+	r := SLOAwareFleet(42, 4, 8, 12*simtime.Second, 0)
+
+	// The comparison must be paired: both runs, realm for realm, saw
+	// the exact same arrival stream.
+	if len(r.Static.Realms) != 2 || len(r.SLOAware.Realms) != 2 {
+		t.Fatalf("scenario shaped %d/%d realms, want 2",
+			len(r.Static.Realms), len(r.SLOAware.Realms))
+	}
+	for i := range r.Static.Realms {
+		s, a := r.Static.Realms[i], r.SLOAware.Realms[i]
+		if s.Name != a.Name {
+			t.Fatalf("realm order diverged: %s vs %s", s.Name, a.Name)
+		}
+		if s.Arrived != a.Arrived {
+			t.Fatalf("realm %s saw different arrival streams: %d vs %d — the comparison is not paired",
+				s.Name, s.Arrived, a.Arrived)
+		}
+	}
+
+	// The surge must hurt: the static baseline's tardy realm is in
+	// violation, or the rescue proves nothing.
+	if r.Static.TardyP99 <= simtime.Duration(r.Threshold) {
+		t.Fatalf("static baseline p99 %v within the %v objective; the surge lost its teeth",
+			r.Static.TardyP99, r.Threshold)
+	}
+	// The hint ledger is balanced by construction, so the hint-blind
+	// policy must sit on its hands…
+	if r.Static.Replacements != 0 {
+		t.Errorf("hint-blind FleetWorstFit executed %d moves on a hint-balanced fleet",
+			r.Static.Replacements)
+	}
+	// …while the SLO-aware policy steals capacity for the tardy realm,
+	// and does it live.
+	if r.SLOAware.Replacements == 0 {
+		t.Fatal("BalanceSLOAware executed no moves for a tardy realm")
+	}
+	if r.SLOAware.LiveReplacements == 0 {
+		t.Fatal("no re-placement ran as a live transfer on a fully detailed fleet")
+	}
+	if f := r.SLOAware.LiveFraction(); f < 0.9 {
+		t.Errorf("only %.0f%% of moves ran live; webserver jobs should all carry", 100*f)
+	}
+
+	// The headline: tardy realm p99 and SLO attainment both improve.
+	if r.SLOAware.TardyP99 >= r.Static.TardyP99 {
+		t.Errorf("SLO-aware balancing did not improve tardy p99: %v vs static %v",
+			r.SLOAware.TardyP99, r.Static.TardyP99)
+	}
+	if r.SLOAware.TardyAttainment < r.Static.TardyAttainment {
+		t.Errorf("SLO-aware balancing worsened attainment: %.4f vs static %.4f",
+			r.SLOAware.TardyAttainment, r.Static.TardyAttainment)
+	}
+	if r.SLOAware.TardyBurn > r.Static.TardyBurn {
+		t.Errorf("SLO-aware balancing worsened error-budget burn: %.2f vs static %.2f",
+			r.SLOAware.TardyBurn, r.Static.TardyBurn)
+	}
+
+	tbl := r.Table()
+	for _, want := range []string{"worst-fit", "slo-aware", "frontend", "batch", "live"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table lacks %q:\n%s", want, tbl)
+		}
+	}
+}
+
+// TestSLOAwareFleetQuickShape keeps the quick-mode configuration
+// honest: the scaled-down fleet still pairs its arrivals and still
+// executes live moves, so the smoke run in CI exercises the same
+// machinery.
+func TestSLOAwareFleetQuickShape(t *testing.T) {
+	r := SLOAwareFleet(1, 2, 4, 6*simtime.Second, 2)
+	if r.Machines != 2 || r.Cores != 4 {
+		t.Fatalf("scenario shaped %d x %d, want 2 x 4", r.Machines, r.Cores)
+	}
+	for i := range r.Static.Realms {
+		if s, a := r.Static.Realms[i], r.SLOAware.Realms[i]; s.Arrived != a.Arrived {
+			t.Fatalf("realm %s saw different arrival streams: %d vs %d",
+				s.Name, s.Arrived, a.Arrived)
+		}
+	}
+	if r.SLOAware.LiveReplacements == 0 {
+		t.Error("quick configuration executed no live transfers")
+	}
+}

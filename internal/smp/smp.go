@@ -51,12 +51,22 @@ type Machine struct {
 // cores share one engine: events across cores interleave in global
 // (when, seq) order on a single goroutine.
 func New(engine *sim.Engine, n int, ulub float64) *Machine {
+	return NewOffset(engine, n, ulub, 0)
+}
+
+// NewOffset builds a machine like New but shifts every core's PID base
+// by pidOffset. Fleets of machines that exchange tasks (live
+// cross-machine migration carries syscall evidence between tracers)
+// give each machine a disjoint offset so per-PID drains never mix
+// tasks from different machines; offset 0 is the single-machine
+// default.
+func NewOffset(engine *sim.Engine, n int, ulub float64, pidOffset int) *Machine {
 	if n <= 0 {
 		panic("smp: need at least one core")
 	}
 	m := &Machine{engine: engine, placed: make([]float64, n), domainOf: make([]int, n)}
 	for i := 0; i < n; i++ {
-		m.cores = append(m.cores, sched.New(coreConfig(engine, i)))
+		m.cores = append(m.cores, sched.New(coreConfig(engine, i, pidOffset)))
 		m.sups = append(m.sups, supervisor.New(ulub))
 	}
 	return m
@@ -71,6 +81,12 @@ func New(engine *sim.Engine, n int, ulub float64) *Machine {
 // sched.Detach/Adopt already cancel and re-arm on each scheduler's own
 // engine, which is exactly lane-correct at a fence.
 func NewLaned(engines []*sim.Engine, ulub float64) *Machine {
+	return NewLanedOffset(engines, ulub, 0)
+}
+
+// NewLanedOffset builds a laned machine like NewLaned but shifts every
+// core's PID base by pidOffset (see NewOffset).
+func NewLanedOffset(engines []*sim.Engine, ulub float64, pidOffset int) *Machine {
 	if len(engines) == 0 {
 		panic("smp: need at least one core")
 	}
@@ -80,7 +96,7 @@ func NewLaned(engines []*sim.Engine, ulub float64) *Machine {
 		if eng == nil {
 			panic("smp: NewLaned with a nil engine lane")
 		}
-		m.cores = append(m.cores, sched.New(coreConfig(eng, i)))
+		m.cores = append(m.cores, sched.New(coreConfig(eng, i, pidOffset)))
 		m.sups = append(m.sups, supervisor.New(ulub))
 	}
 	return m
@@ -89,11 +105,13 @@ func NewLaned(engines []*sim.Engine, ulub float64) *Machine {
 // coreConfig is the per-core scheduler configuration shared by both
 // constructors: disjoint PID ranges per core (the cores share — or in
 // laned mode, migrate trace evidence between — syscall tracers, and
-// per-PID drains must never mix tasks from different cores; core 0
-// keeps the uniprocessor default base), and pooled job storage (every
-// job a machine workload completes is recycled generation-tagged).
-func coreConfig(engine *sim.Engine, i int) sched.Config {
-	return sched.Config{Engine: engine, PIDBase: 1000 + i*1_000_000, RecycleJobs: true}
+// per-PID drains must never mix tasks from different cores; core 0 of
+// an unshifted machine keeps the uniprocessor default base), and
+// pooled job storage (every job a machine workload completes is
+// recycled generation-tagged). pidOffset shifts the whole machine's
+// PID space so fleets stay disjoint machine-to-machine.
+func coreConfig(engine *sim.Engine, i, pidOffset int) sched.Config {
+	return sched.Config{Engine: engine, PIDBase: pidOffset + 1000 + i*1_000_000, RecycleJobs: true}
 }
 
 // Cores returns the number of cores.

@@ -2,15 +2,18 @@ package cluster
 
 // The fleet balancer reuses the machine-level Balancer seam one level
 // up: a policy plans over an immutable FleetSnapshot and returns
-// Placements, and the Cluster executes them. The moves are
-// re-placements, not live migrations — a job moved across machines is
-// despawned on its source and respawned (fresh) on its destination;
-// within a machine, the per-machine selftune.Balancer still performs
-// real state-carrying migrations between cores.
+// Placements, and the Cluster executes them. A Placement is live by
+// default: the job's CBS server — tasks, remaining budget, absolute
+// deadline, throttle state, undownloaded syscall evidence, tuner
+// sampling tick — transfers from source machine to destination at the
+// same simulated instant (selftune.System.Transfer), falling back to
+// despawn/respawn only for jobs that cannot carry their state
+// (unstarted coarse-modelled jobs, kinds without lane-movable timers)
+// or when the policy asks for MoveRespawn explicitly. Within a
+// machine, the per-machine selftune.Balancer still performs
+// state-carrying migrations between cores.
 
 import (
-	"sort"
-
 	"repro/selftune"
 )
 
@@ -50,10 +53,52 @@ type FleetSnapshot struct {
 	Jobs []JobStat
 }
 
+// MoveMode selects how a planned Placement is executed.
+type MoveMode int
+
+const (
+	// MoveLive — the zero value, so plain Placement{Job, To} literals
+	// keep their historical meaning — carries the job's CBS server
+	// state across machines (selftune.System.Transfer): tasks,
+	// remaining budget, absolute deadline, throttle state, syscall
+	// evidence and tuner tick all arrive intact. Jobs that cannot
+	// carry state (not live-movable) fall back to respawn
+	// automatically.
+	MoveLive MoveMode = iota
+	// MoveRespawn despawns the job on its source machine and respawns
+	// it fresh on the destination, discarding accumulated state — the
+	// pre-live executor behaviour, still right for policies that want
+	// a clean restart.
+	MoveRespawn
+)
+
+// String returns the mode's name.
+func (m MoveMode) String() string {
+	switch m {
+	case MoveLive:
+		return "live"
+	case MoveRespawn:
+		return "respawn"
+	default:
+		return "unknown"
+	}
+}
+
 // Placement is one planned re-placement: job Job moves to machine To.
+// The zero values of Mode and Reason keep the historical semantics —
+// existing policies that return Placement{Job: id, To: m} compile and
+// behave unchanged (live-first with automatic respawn fallback).
 type Placement struct {
 	Job int
 	To  int
+	// Mode selects the move mechanism: MoveLive (default) or
+	// MoveRespawn. The executor records which mode actually ran on the
+	// published MigrationEvent (a live request may fall back).
+	Mode MoveMode
+	// Reason annotates the published MigrationEvent: FleetWorstFit
+	// emits "drain-hot", BalanceSLOAware "slo-steal". Empty falls back
+	// to "fleet".
+	Reason string
 }
 
 // ClusterBalancer plans cross-machine re-placements. Plan runs
@@ -68,6 +113,8 @@ type ClusterBalancer interface {
 	// Name identifies the policy in reports.
 	Name() string
 	// Plan returns the re-placements for one balancing opportunity.
+	// The returned slice may reuse the policy's own planning buffer
+	// (the built-ins do): it is valid only until the next Plan call.
 	Plan(snap FleetSnapshot) []Placement
 }
 
@@ -76,7 +123,7 @@ type ClusterBalancer interface {
 // (in fractions of one machine's capacity), move the job that best
 // fills half the gap from the former to the latter, up to maxMoves
 // re-placements per plan. The fleet analogue of the machine-level push
-// policies.
+// policies; its placements carry Reason "drain-hot".
 func FleetWorstFit(threshold float64, maxMoves int) ClusterBalancer {
 	if threshold <= 0 {
 		threshold = 0.1
@@ -90,22 +137,33 @@ func FleetWorstFit(threshold float64, maxMoves int) ClusterBalancer {
 type fleetWorstFit struct {
 	threshold float64
 	maxMoves  int
+
+	// Reused planning buffers: Plan runs every fleet tick, and the
+	// hot path must not allocate (the PR 7 zero-alloc discipline).
+	used  []float64
+	moved []int // job IDs already planned this call
+	plan  []Placement
 }
 
 func (f *fleetWorstFit) Name() string { return "fleet-worst-fit" }
+
+func (f *fleetWorstFit) hasMoved(id int) bool {
+	for _, m := range f.moved {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
 
 func (f *fleetWorstFit) Plan(snap FleetSnapshot) []Placement {
 	if len(snap.MachineUsed) < 2 || snap.MachineCap <= 0 {
 		return nil
 	}
-	used := append([]float64(nil), snap.MachineUsed...)
-	// Jobs still on their planning-time machine, indexed by machine.
-	byMachine := make(map[int][]JobStat, len(used))
-	for _, j := range snap.Jobs {
-		byMachine[j.Machine] = append(byMachine[j.Machine], j)
-	}
-	moved := make(map[int]bool)
-	var plan []Placement
+	used := append(f.used[:0], snap.MachineUsed...)
+	f.used = used
+	f.moved = f.moved[:0]
+	plan := f.plan[:0]
 	for len(plan) < f.maxMoves {
 		hot, cold := 0, 0
 		for i := range used {
@@ -122,11 +180,13 @@ func (f *fleetWorstFit) Plan(snap FleetSnapshot) []Placement {
 		}
 		// Best single job to shed: the largest hint that still fits in
 		// half the gap (moving more would overshoot and oscillate).
+		// snap.Jobs is sorted by ID, so the scan keeps the smallest ID
+		// on equal hints.
 		half := (used[hot] - used[cold]) / 2
 		best := -1
 		var bestHint float64
-		for _, j := range byMachine[hot] {
-			if moved[j.ID] || j.Hint > half {
+		for _, j := range snap.Jobs {
+			if j.Machine != hot || j.Hint > half || f.hasMoved(j.ID) {
 				continue
 			}
 			if j.Hint > bestHint || (j.Hint == bestHint && (best < 0 || j.ID < best)) {
@@ -139,11 +199,223 @@ func (f *fleetWorstFit) Plan(snap FleetSnapshot) []Placement {
 		if used[cold]+bestHint > snap.MachineCap {
 			break
 		}
-		plan = append(plan, Placement{Job: best, To: cold})
-		moved[best] = true
+		plan = append(plan, Placement{Job: best, To: cold, Reason: "drain-hot"})
+		f.moved = append(f.moved, best)
 		used[hot] -= bestHint
 		used[cold] += bestHint
 	}
-	sort.Slice(plan, func(i, j int) bool { return plan[i].Job < plan[j].Job })
+	sortPlacements(plan)
+	f.plan = plan
+	return plan
+}
+
+// sortPlacements orders a plan by job ID — insertion sort, since plans
+// are a handful of moves and sort.Slice would allocate on a hot path.
+func sortPlacements(plan []Placement) {
+	for i := 1; i < len(plan); i++ {
+		for j := i; j > 0 && plan[j].Job < plan[j-1].Job; j-- {
+			plan[j], plan[j-1] = plan[j-1], plan[j]
+		}
+	}
+}
+
+// BalanceSLOAware returns the SLO-chasing fleet policy: instead of
+// draining the hottest machine, it steals capacity *for the most
+// tardy realm*. Realms with a latency objective are ranked by how far
+// their observed p99 sits above the SLO threshold and by error-budget
+// burn (RealmStats.ErrorBudgetBurn); the worst offender — if it is
+// actually tardy — gets up to sloAwareMaxMoves of its jobs moved off
+// the machines with the highest pressure (the worse of actual core
+// load and hint mass per machine) onto the machines with the lowest.
+// Planning on MachineLoads rather than the hint ledger alone is the
+// point: a fleet can be perfectly balanced by hints while one
+// tenant's requests queue behind real contention, which is invisible
+// to FleetWorstFit. The policy is itself a feedback controller: after
+// a wave of moves that fails to improve the realm's severity it backs
+// off exponentially (severity is cumulative, so a surge already over
+// would otherwise keep it churning to the horizon), and a recovered
+// fleet resets it. Placements carry Reason "slo-steal" and default to
+// live moves, so the tardy realm's jobs keep their budgets and
+// evidence across the rescue.
+func BalanceSLOAware() ClusterBalancer {
+	return &sloAware{maxMoves: sloAwareMaxMoves}
+}
+
+// sloAwareMaxMoves bounds how many jobs one plan may move: a rescue
+// relocates a few jobs per tick rather than thrashing the whole realm.
+const sloAwareMaxMoves = 4
+
+// sloAwareImprovement is the severity ratio a wave of moves must buy
+// before the next planning opportunity to keep the full cadence; a
+// wave that improves less backs the policy off exponentially.
+const sloAwareImprovement = 0.95
+
+// sloAwareMaxBackoff caps the exponential backoff, so a persistently
+// tardy realm is still probed every so often.
+const sloAwareMaxBackoff = 16
+
+// sloAwareInflate multiplies the tardy realm's own hint mass in the
+// planner's pressure ledger. A realm gets tardy precisely when its
+// real demand is invisible to the ledgers (best-effort jobs hold no
+// reservations, under-hinted jobs under-charge), so its hints are
+// treated as understatements — without this the greedy loop funnels
+// every tardy job onto the one reservation-cold machine and
+// re-creates the contention it is fleeing.
+const sloAwareInflate = 3
+
+// sloAwareMargin is the minimum actual-load gap (in mean core load)
+// between source and destination for a steal to be worth it.
+const sloAwareMargin = 0.05
+
+type sloAware struct {
+	maxMoves int
+
+	// Feedback state: lastSev is the severity observed when the last
+	// wave of moves was planned; an unproductive wave doubles backoff
+	// and sits out that many planning opportunities (skip).
+	lastSev float64
+	backoff int
+	skip    int
+
+	// Reused planning buffers (see fleetWorstFit).
+	press []float64
+	used  []float64
+	moved []int
+	plan  []Placement
+}
+
+func (b *sloAware) Name() string { return "slo-aware" }
+
+func (b *sloAware) hasMoved(id int) bool {
+	for _, m := range b.moved {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *sloAware) Plan(snap FleetSnapshot) []Placement {
+	if len(snap.MachineLoads) < 2 || snap.MachineCap <= 0 {
+		return nil
+	}
+	// Most tardy realm: severity is the worse of p99/threshold and
+	// error-budget burn; only realms actually over the line (severity
+	// > 1) qualify, so a healthy fleet plans nothing.
+	tardy, worst := -1, 1.0
+	for i := range snap.Realms {
+		r := &snap.Realms[i]
+		if r.SLOThreshold <= 0 || r.Requests == 0 {
+			continue
+		}
+		sev := float64(r.LatencyP99) / float64(r.SLOThreshold)
+		if burn := r.ErrorBudgetBurn(); burn > sev {
+			sev = burn
+		}
+		if sev > worst {
+			tardy, worst = i, sev
+		}
+	}
+	if tardy < 0 {
+		// Recovered (or never tardy): reset the feedback state so the
+		// next incident starts at full cadence.
+		b.lastSev, b.backoff, b.skip = 0, 0, 0
+		return nil
+	}
+	if b.skip > 0 {
+		b.skip--
+		return nil
+	}
+	realm := snap.Realms[tardy].Name
+	used := append(b.used[:0], snap.MachineUsed...)
+	// Pressure is the worse of the two ledgers per machine: the mean
+	// core load (actual reservations — catches under-hinted jobs) and
+	// the hint mass with the tardy realm's own share inflated (its
+	// demand is the one the ledgers demonstrably missed). Planning on
+	// loads alone would keep stacking the tardy realm's
+	// reservation-free jobs onto the same reservation-cold machine
+	// plan after plan — the moved mass has to count somewhere for the
+	// greedy loop to converge, and to spread.
+	press := append(b.press[:0], used...)
+	for _, j := range snap.Jobs {
+		if j.Realm == realm && j.Machine >= 0 && j.Machine < len(press) {
+			press[j.Machine] += (sloAwareInflate - 1) * j.Hint
+		}
+	}
+	for i, l := range snap.MachineLoads {
+		if h := press[i] / snap.MachineCap; h > l {
+			l = h
+		}
+		press[i] = l
+	}
+	b.press, b.used = press, used
+	b.moved = b.moved[:0]
+	plan := b.plan[:0]
+	// loadShift approximates how much one job's hint moves a machine's
+	// mean core load (MachineCap is cores x U_lub, so hint/MachineCap
+	// is within U_lub of exact — plenty for greedy planning).
+	loadShift := func(hint float64) float64 { return hint / snap.MachineCap }
+	for len(plan) < b.maxMoves {
+		cold := 0
+		for i := range press {
+			if press[i] < press[cold] {
+				cold = i
+			}
+		}
+		// The tardy realm's job on the machine with the highest
+		// pressure — the job most likely queueing behind contention —
+		// largest hint first so one move buys the most relief.
+		best, bestFrom := -1, -1
+		var bestHint float64
+		for _, j := range snap.Jobs {
+			if j.Realm != realm || j.Machine == cold || b.hasMoved(j.ID) {
+				continue
+			}
+			// The move must leave the source above the destination by
+			// the margin even after the inflated mass lands — keeping
+			// the ordering monotone is what rules out planning a job
+			// back and forth.
+			if press[j.Machine]-(press[cold]+loadShift(sloAwareInflate*j.Hint)) <= sloAwareMargin {
+				continue
+			}
+			if used[cold]+j.Hint > snap.MachineCap {
+				continue
+			}
+			hotter := bestFrom >= 0 && press[j.Machine] > press[bestFrom]
+			sameHot := bestFrom >= 0 && press[j.Machine] == press[bestFrom]
+			if bestFrom < 0 || hotter || (sameHot && j.Hint > bestHint) {
+				best, bestFrom, bestHint = j.ID, j.Machine, j.Hint
+			}
+		}
+		if best < 0 {
+			break
+		}
+		plan = append(plan, Placement{Job: best, To: cold, Reason: "slo-steal"})
+		b.moved = append(b.moved, best)
+		used[bestFrom] -= bestHint
+		used[cold] += bestHint
+		press[bestFrom] -= loadShift(sloAwareInflate * bestHint)
+		press[cold] += loadShift(sloAwareInflate * bestHint)
+	}
+	if len(plan) > 0 {
+		// Severity is cumulative (run-long quantiles), so "did the last
+		// wave help" is the only honest progress signal: a wave that did
+		// not buy the improvement ratio doubles the backoff, one that
+		// did restores the full cadence.
+		if b.lastSev > 0 && worst > b.lastSev*sloAwareImprovement {
+			if b.backoff *= 2; b.backoff < 1 {
+				b.backoff = 1
+			}
+			if b.backoff > sloAwareMaxBackoff {
+				b.backoff = sloAwareMaxBackoff
+			}
+			b.skip = b.backoff
+		} else {
+			b.backoff = 0
+		}
+		b.lastSev = worst
+	}
+	sortPlacements(plan)
+	b.plan = plan
 	return plan
 }

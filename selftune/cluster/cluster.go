@@ -43,8 +43,10 @@
 // Granted = reservation, Detected = queue depth), queued arrivals as
 // BudgetExhaustedEvents, queue-full rejections as
 // AdmissionRejectEvents, and fleet re-placements as MigrationEvents
-// (From/To = machine indices). Every CSV, trace and report sink works
-// on a cluster Snapshot exactly as on a machine one.
+// with FromMachine/ToMachine set and Live marking whether the move
+// carried CBS state across (a live Transfer) or respawned the job.
+// Every CSV, trace and report sink works on a cluster Snapshot exactly
+// as on a machine one.
 package cluster
 
 import (
@@ -419,13 +421,16 @@ type Cluster struct {
 	fleetEveryTicks int
 	scaleEveryTicks int
 	replacements    int
+	liveMoves       int // of them, executed as live Transfers
 
 	// Reused per-tick buffers: the fleet balancer's snapshot, its
-	// per-destination batch counts, and the load-fold sample.
-	snapBuf     FleetSnapshot
-	perDestBuf  []int
-	loadsBuf    []float64
-	coreLoadBuf []float64
+	// per-destination batch counts and reasons, and the load-fold
+	// sample.
+	snapBuf       FleetSnapshot
+	perDestBuf    []int
+	perDestReason []string
+	loadsBuf      []float64
+	coreLoadBuf   []float64
 }
 
 // New builds a Cluster from functional options:
@@ -481,6 +486,12 @@ func New(opts ...Option) (*Cluster, error) {
 			selftune.WithSeed(seeds.Uint64()),
 			selftune.WithCPUs(o.cores),
 			selftune.WithULub(o.ulub),
+			// Disjoint PID spaces per machine: live Transfers inject a
+			// task's syscall evidence into the destination tracer, and
+			// per-PID drains must never mix tasks from different
+			// machines. Machine 0 keeps offset 0, the single-machine
+			// bases.
+			selftune.WithPIDOffset(i * machinePIDSpan),
 		}
 		if laneWorkers > 0 {
 			mopts = append(mopts, selftune.WithCoreParallelism(laneWorkers))
@@ -532,6 +543,12 @@ func New(opts ...Option) (*Cluster, error) {
 	c.scaleEveryTicks = c.ticksOf(every)
 	return c, nil
 }
+
+// machinePIDSpan is the PID-space width reserved per machine: far
+// above any per-machine PID (core bases step by 1e6, so 1024 cores at
+// a million tasks each still fit), far below int64 overflow for any
+// realistic fleet.
+const machinePIDSpan = 1_000_000_000
 
 // ticksOf converts a duration to whole ticks, rounding up, minimum 1.
 func (c *Cluster) ticksOf(d selftune.Duration) int {
@@ -620,8 +637,13 @@ func (c *Cluster) MachineCollector() *telemetry.Collector { return c.mcol }
 func (c *Cluster) Parallelism() int { return c.parallel }
 
 // Replacements returns how many cross-machine re-placements the fleet
-// balancer has executed.
+// balancer has executed (live Transfers and respawns together).
 func (c *Cluster) Replacements() int { return c.replacements }
+
+// LiveReplacements returns how many of the executed re-placements
+// were live Transfers — the job's CBS state carried across machines
+// instead of a despawn/respawn.
+func (c *Cluster) LiveReplacements() int { return c.liveMoves }
 
 // FleetRequests returns the request completions and deadline misses
 // observed on the detail machines (both zero without
@@ -915,6 +937,17 @@ func (c *Cluster) spawn(machine int, r *Realm, spec int, name string, hint float
 // planning snapshot reuses the cluster's buffers (valid for the Plan
 // call), and the per-destination batch counts reuse a slice instead
 // of a per-tick map.
+//
+// Execution is live-first: a MoveLive placement whose job can carry
+// its state (LiveMovable, destination inside the detail window)
+// Transfers the running workload — CBS budget, deadline, throttle
+// state, syscall evidence, tuner tick — to the destination machine at
+// this tick's fence; everything else falls back to despawn/respawn.
+// The executor runs serially in the control phase, with every machine
+// engine (and every core lane) resting at c.now, and walks the plan
+// in order — so live moves are byte-identical at every
+// WithParallelism/WithCoreParallelism level. The published
+// MigrationEvent records which mode actually ran (Event.Live).
 func (c *Cluster) rebalance() {
 	c.snapshotInto(&c.snapBuf)
 	plan := c.opt.fleetBal.Plan(c.snapBuf)
@@ -923,10 +956,13 @@ func (c *Cluster) rebalance() {
 	}
 	if len(c.perDestBuf) < len(c.machines) {
 		c.perDestBuf = make([]int, len(c.machines))
+		c.perDestReason = make([]string, len(c.machines))
 	}
 	perDest := c.perDestBuf[:len(c.machines)]
+	perDestReason := c.perDestReason[:len(c.machines)]
 	for i := range perDest {
 		perDest[i] = 0
+		perDestReason[i] = ""
 	}
 	for _, p := range plan {
 		j := c.jobs[p.Job]
@@ -936,36 +972,62 @@ func (c *Cluster) rebalance() {
 		if c.mused[p.To]+j.hint > c.mcap+1e-9 {
 			continue
 		}
-		h, err := c.spawn(p.To, j.realm, j.spec, j.name, j.hint)
-		if err != nil {
-			continue // per-core fragmentation on the destination
-		}
-		if err := c.machines[j.machine].Despawn(j.handle); err != nil {
-			panic(fmt.Sprintf("cluster: re-place %s off machine %d: %v", j.name, j.machine, err))
-		}
 		from := j.machine
+		live := false
+		if p.Mode == MoveLive && p.To < c.opt.detail && j.handle.LiveMovable() {
+			// The hint ledger follows the handle inside Transfer's
+			// machine accounts; the cluster ledger below.
+			if _, err := c.machines[from].Transfer(j.handle, c.machines[p.To]); err == nil {
+				live = true
+			}
+			// A failed Transfer (per-core fragmentation, supervisor
+			// rejection) left the source untouched: fall back to
+			// respawn like any non-live-movable job.
+		}
+		if !live {
+			h, err := c.spawn(p.To, j.realm, j.spec, j.name, j.hint)
+			if err != nil {
+				continue // per-core fragmentation on the destination
+			}
+			if err := c.machines[from].Despawn(j.handle); err != nil {
+				panic(fmt.Sprintf("cluster: re-place %s off machine %d: %v", j.name, from, err))
+			}
+			j.handle = h
+			if p.To < c.opt.detail {
+				h.Start(c.now)
+			}
+		}
 		c.mused[from] -= j.hint
 		c.mused[p.To] += j.hint
 		j.machine = p.To
-		j.handle = h
-		if p.To < c.opt.detail {
-			h.Start(c.now)
-		}
 		j.realm.replaced++
 		c.replacements++
+		if live {
+			c.liveMoves++
+		}
+		reason := p.Reason
+		if reason == "" {
+			reason = "fleet"
+		}
 		perDest[p.To]++
+		if perDestReason[p.To] == "" {
+			perDestReason[p.To] = reason
+		}
 		c.col.Observe(selftune.Event{
-			Kind:   selftune.MigrationEvent,
-			At:     c.now,
-			Core:   p.To,
-			From:   from,
-			Source: j.name,
-			Reason: "fleet",
+			Kind:        selftune.MigrationEvent,
+			At:          c.now,
+			Core:        p.To,
+			From:        from,
+			FromMachine: from,
+			ToMachine:   p.To,
+			Live:        live,
+			Source:      j.name,
+			Reason:      reason,
 		})
 	}
 	// One batch record per destination machine, like the machine-level
 	// steal path's per-destination batches. Destinations in index
-	// order for determinism.
+	// order for determinism; the batch carries its first move's reason.
 	for dest := 0; dest < len(c.machines); dest++ {
 		if n := perDest[dest]; n > 0 {
 			c.col.Observe(selftune.Event{
@@ -973,7 +1035,7 @@ func (c *Cluster) rebalance() {
 				At:     c.now,
 				Core:   dest,
 				Count:  n,
-				Reason: "fleet",
+				Reason: perDestReason[dest],
 			})
 		}
 	}

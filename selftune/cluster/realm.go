@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/rng"
 	"repro/selftune"
@@ -155,6 +156,32 @@ type RealmStats struct {
 	// reports whether it meets the objective's quantile.
 	SLOAttainment float64
 	SLOMet        bool
+	// SLOQuantile and SLOThreshold echo the realm's configured
+	// objective (both zero without one), so fleet policies can rank
+	// tardiness against the target (BalanceSLOAware does).
+	SLOQuantile  float64
+	SLOThreshold selftune.Duration
+}
+
+// ErrorBudgetBurn returns the realm's observed SLO miss rate relative
+// to the miss budget its objective allows (1 - quantile): burn 1.0
+// means misses arrive exactly at the budgeted rate, above 1 the
+// objective is heading for violation (the same convention as
+// telemetry.SLOStatus.ErrorBudgetBurn). Realms without an objective —
+// or without scored requests — burn nothing.
+func (s RealmStats) ErrorBudgetBurn() float64 {
+	if s.SLOQuantile <= 0 {
+		return 0
+	}
+	miss := 1 - s.SLOAttainment
+	budget := 1 - s.SLOQuantile
+	if budget <= 0 {
+		if miss > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return miss / budget
 }
 
 // RejectFraction returns Rejected/Arrived (0 for an idle realm).
@@ -199,6 +226,8 @@ func (r *Realm) Stats() RealmStats {
 		st.SLOAttainment = float64(r.sloWithin) / float64(r.sloScored)
 	}
 	st.SLOMet = st.SLOAttainment >= r.cfg.SLO.Quantile
+	st.SLOQuantile = r.cfg.SLO.Quantile
+	st.SLOThreshold = r.cfg.SLO.Threshold
 	return st
 }
 

@@ -25,7 +25,9 @@ const (
 	// cores: Event.Source names the workload, Event.From the origin
 	// core, Event.Core the destination, and Event.Reason the trigger
 	// ("periodic", "imbalance", "steal", "numa", "admission" or
-	// "manual").
+	// "manual"). Cluster-scope re-placements publish the same kind with
+	// Event.FromMachine/ToMachine set (unequal) and Event.Live
+	// distinguishing a state-carrying Transfer from a respawn.
 	MigrationEvent
 	// AdmissionRejectEvent fires when Spawn turns a workload away
 	// because no core can take its bandwidth hint (after the balancer's
@@ -98,6 +100,18 @@ type Event struct {
 	// From is the origin core of a MigrationEvent (Core holds the
 	// destination); meaningless for other kinds.
 	From int
+	// FromMachine and ToMachine are the machine indices of a
+	// cluster-scope MigrationEvent — a fleet balancer re-placing a job
+	// across machines. Machine-scope (cross-core) migrations leave both
+	// zero: a MigrationEvent is cross-machine iff FromMachine !=
+	// ToMachine.
+	FromMachine int
+	ToMachine   int
+	// Live reports whether a cross-machine MigrationEvent carried the
+	// CBS server state across (a live Transfer) rather than respawning
+	// the workload on the destination. Machine-scope migrations are
+	// always live and leave it false.
+	Live bool
 	// Reason is what triggered a MigrationEvent or MigrationBatchEvent
 	// ("periodic", "imbalance", "steal", "numa", "admission" or
 	// "manual") or the placement error of an AdmissionRejectEvent.

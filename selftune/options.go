@@ -40,6 +40,7 @@ type options struct {
 	topo         Topology
 	topoSet      bool
 	coreParallel int
+	pidOffset    int
 }
 
 func defaultOptions() options {
@@ -152,6 +153,22 @@ func WithCoreParallelism(n int) Option {
 			return fmt.Errorf("selftune: WithCoreParallelism(%d): need at least one worker", n)
 		}
 		o.coreParallel = n
+		return nil
+	}
+}
+
+// WithPIDOffset shifts the machine's whole task-PID space by off.
+// PIDs are per-core disjoint within one System already; a fleet whose
+// machines exchange live tasks (cluster live migration carries syscall
+// evidence between tracers) gives each System a disjoint offset so
+// per-PID drains never mix tasks from different machines. Offset 0 —
+// the default — keeps the historical single-machine PID bases.
+func WithPIDOffset(off int) Option {
+	return func(o *options) error {
+		if off < 0 {
+			return fmt.Errorf("selftune: WithPIDOffset(%d): offset must be non-negative", off)
+		}
+		o.pidOffset = off
 		return nil
 	}
 }

@@ -347,7 +347,7 @@ func (s *System) Spawn(kind string, opts ...SpawnOption) (*Handle, error) {
 		s.machine.Release(coreIdx, hint)
 		return nil, fmt.Errorf("selftune: spawn %q: %w", spec.Name, err)
 	}
-	ctx := &spawnCtx{core: coreIdx}
+	ctx := &spawnCtx{sys: s, core: coreIdx}
 	env := Env{
 		Core:       s.Core(coreIdx),
 		Scheduler:  s.machine.Core(coreIdx),

@@ -102,10 +102,10 @@ func NewSystem(opts ...Option) (*System, error) {
 			s.laneBufs[i] = ktrace.NewBuffer(ktrace.QTrace, o.tracerCap)
 		}
 		s.group = sim.NewGroup(s.lanes, o.coreParallel)
-		s.machine = smp.NewLaned(s.lanes, o.ulub)
+		s.machine = smp.NewLanedOffset(s.lanes, o.ulub, o.pidOffset)
 		s.laneStages = make([][]Event, o.cpus)
 	} else {
-		s.machine = smp.New(eng, o.cpus, o.ulub)
+		s.machine = smp.NewOffset(eng, o.cpus, o.ulub, o.pidOffset)
 		s.tracer = ktrace.NewBuffer(ktrace.QTrace, o.tracerCap)
 	}
 	if o.topoSet {
@@ -256,6 +256,15 @@ func (s *System) tracerFor(core int) *ktrace.Buffer {
 	return s.tracer
 }
 
+// engineFor resolves the engine core i's timers schedule on: the
+// core's own lane in laned mode, the shared engine otherwise.
+func (s *System) engineFor(core int) *sim.Engine {
+	if s.group != nil {
+		return s.lanes[core]
+	}
+	return s.engine
+}
+
 // Clock returns the System's observation clock.
 func (s *System) Clock() Clock { return s.clock }
 
@@ -360,22 +369,30 @@ func (s *System) tickPublisher(coreIdx int, source string) func(TunerSnapshot) {
 
 // spawnCtx tracks where a spawned instance currently runs. Request
 // publishers are buried inside workload configs and cannot be rebuilt
-// on migration, so they read the core through this indirection. On a
-// single-engine System the core is never updated — Event.Core keeps
-// its documented spawn-time semantics — while laned migrations update
-// it so events stage on (and report) the lane actually executing the
-// workload.
-type spawnCtx struct{ core int }
+// on migration, so they read the System and core through this
+// indirection. On a single-engine System the core is never updated —
+// Event.Core keeps its documented spawn-time semantics — while laned
+// migrations update the core, and cross-machine live transfers update
+// the System, so events stage on (and report) the machine and lane
+// actually executing the workload.
+type spawnCtx struct {
+	sys  *System
+	core int
+}
 
 // requestPublisher returns the RequestObserver that routes one spawned
 // instance's completed requests onto the observer bus. Publishing with
 // no subscribers is a near-free early return, so every request-shaped
-// spawn gets one unconditionally.
+// spawn gets one unconditionally. The System is resolved through ctx
+// at publish time, so a live cross-machine transfer re-routes the
+// stream to the destination's bus without rebuilding the workload's
+// config.
 func (s *System) requestPublisher(ctx *spawnCtx, kind, source string) RequestObserver {
 	return func(r Request) {
+		sys := ctx.sys
 		e := Event{
 			Kind:     RequestCompleteEvent,
-			At:       s.clock.Now(),
+			At:       sys.clock.Now(),
 			Core:     ctx.core,
 			Source:   source,
 			Workload: kind,
@@ -383,12 +400,12 @@ func (s *System) requestPublisher(ctx *spawnCtx, kind, source string) RequestObs
 			Deadline: r.Deadline,
 			Missed:   r.Missed,
 		}
-		if s.group != nil {
-			e.At = s.lanes[ctx.core].Now()
-			s.stage(ctx.core, e)
+		if sys.group != nil {
+			e.At = sys.lanes[ctx.core].Now()
+			sys.stage(ctx.core, e)
 			return
 		}
-		s.publish(e)
+		sys.publish(e)
 	}
 }
 

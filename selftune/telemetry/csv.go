@@ -171,6 +171,13 @@ func (s Snapshot) WriteCSV(w io.Writer) error {
 		cols = append(cols, "cross_node_migrations")
 		vals = append(vals, float64(s.CrossNodeMigrations))
 	}
+	// Cross-machine mode breakdown appears only once a fleet actually
+	// moved a job between machines, so single-machine runs keep their
+	// historical counters row.
+	if s.LiveMigrations+s.RespawnMigrations > 0 {
+		cols = append(cols, "live_migrations", "respawn_migrations")
+		vals = append(vals, float64(s.LiveMigrations), float64(s.RespawnMigrations))
+	}
 	if s.Requests > 0 {
 		cols = append(cols, "requests", "deadline_misses")
 		vals = append(vals, float64(s.Requests), float64(s.DeadlineMisses))

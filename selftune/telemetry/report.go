@@ -21,6 +21,10 @@ func (s Snapshot) Tables() []*report.Table {
 	if len(s.Domain) > 0 {
 		counters.AddRowf("cross-node migrations", s.CrossNodeMigrations)
 	}
+	if s.LiveMigrations+s.RespawnMigrations > 0 {
+		counters.AddRowf("live migrations (cross-machine)", s.LiveMigrations)
+		counters.AddRowf("respawn migrations (cross-machine)", s.RespawnMigrations)
+	}
 	counters.AddRowf("migration batches", s.Batches)
 	counters.AddRowf("admission rejects", s.Rejects)
 	counters.AddRowf("load samples", s.LoadEvents)

@@ -63,12 +63,22 @@ type ExhaustRecord struct {
 	Source string
 }
 
-// MigrationRecord is one cross-core migration instant.
+// MigrationRecord is one migration instant: a reservation moving
+// between cores of one machine, or — in cluster-scope streams — a job
+// moving between machines of a fleet.
 type MigrationRecord struct {
 	At       selftune.Time
 	From, To int
 	Source   string
 	Reason   string
+	// FromMachine and ToMachine are the machine indices of a
+	// cluster-scope move; a record is cross-machine iff they differ
+	// (machine-scope migrations leave both zero). Live reports whether
+	// a cross-machine move carried the CBS server state across (a live
+	// Transfer) rather than respawning the workload.
+	FromMachine int
+	ToMachine   int
+	Live        bool
 }
 
 // BatchRecord is one executed balancer batch: a destination core
@@ -164,6 +174,13 @@ type Snapshot struct {
 	DomainLoads         []float64
 	CrossNodeMigrations int
 
+	// Cross-machine moves (cluster-scope streams only; both zero on a
+	// single machine): of the Migrations counted above, how many moved
+	// a job between machines as a live Transfer carrying its CBS state,
+	// and how many respawned it on the destination.
+	LiveMigrations    int
+	RespawnMigrations int
+
 	// Time series.
 	LoadSamples []LoadSample
 	// DomainSamples is the per-domain mean-load trajectory, one entry
@@ -227,6 +244,8 @@ type Collector struct {
 	domain        []int // per-core domain map; nil = flat machine
 	domains       int   // number of domains (0 when domain is nil)
 	crossNode     int
+	liveMoves     int // cross-machine migrations executed live
+	respawnMoves  int // cross-machine migrations executed as respawns
 	domainLoads   []float64
 	domainSamples []LoadSample
 
@@ -422,8 +441,16 @@ func (c *Collector) fold(e selftune.Event) {
 		if c.domains > 0 && c.domainOf(e.From) != c.domainOf(e.Core) {
 			c.crossNode++
 		}
+		if e.FromMachine != e.ToMachine {
+			if e.Live {
+				c.liveMoves++
+			} else {
+				c.respawnMoves++
+			}
+		}
 		c.moves = append(c.moves, MigrationRecord{
 			At: e.At, From: e.From, To: e.Core, Source: e.Source, Reason: e.Reason,
+			FromMachine: e.FromMachine, ToMachine: e.ToMachine, Live: e.Live,
 		})
 		c.moves = trim(c.moves, c.capacity)
 	case selftune.MigrationBatchEvent:
@@ -534,6 +561,8 @@ func (c *Collector) Snapshot() Snapshot {
 		DomainLoads: append([]float64(nil), c.domainLoads...),
 
 		CrossNodeMigrations: c.crossNode,
+		LiveMigrations:      c.liveMoves,
+		RespawnMigrations:   c.respawnMoves,
 
 		Exhausts:    append([]ExhaustRecord(nil), c.exhausts...),
 		Moves:       append([]MigrationRecord(nil), c.moves...),

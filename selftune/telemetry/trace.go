@@ -161,6 +161,15 @@ func (s Snapshot) WriteTrace(w io.Writer) error {
 		if nodes > 0 {
 			args["cross_node"] = s.domainOf(mv.From) != s.domainOf(mv.To)
 		}
+		if mv.FromMachine != mv.ToMachine {
+			args["from_machine"] = mv.FromMachine
+			args["to_machine"] = mv.ToMachine
+			mode := "respawn"
+			if mv.Live {
+				mode = "live"
+			}
+			args["mode"] = mode
+		}
 		events = append(events, traceEvent{
 			Name: "migrate " + mv.Source, Cat: "balance", Ph: "i", S: "g",
 			TS: us(mv.At), PID: s.pidOf(mv.To), TID: mv.To,

@@ -1,0 +1,272 @@
+package selftune_test
+
+import (
+	"testing"
+
+	"repro/selftune"
+)
+
+// twoMachines builds two independent Systems playing the two machines
+// of a fleet: disjoint PID spaces (WithPIDOffset) so per-PID tracer
+// drains never mix, same config otherwise.
+func twoMachines(t *testing.T) (*selftune.System, *selftune.System) {
+	t.Helper()
+	a, err := selftune.NewSystem(selftune.WithSeed(1), selftune.WithCPUs(2))
+	if err != nil {
+		t.Fatalf("machine A: %v", err)
+	}
+	b, err := selftune.NewSystem(selftune.WithSeed(2), selftune.WithCPUs(2),
+		selftune.WithPIDOffset(1_000_000_000))
+	if err != nil {
+		t.Fatalf("machine B: %v", err)
+	}
+	return a, b
+}
+
+// pidEvents counts a tracer's buffered events per PID without draining.
+func pidEvents(buf *selftune.Tracer) map[int]int {
+	out := map[int]int{}
+	if buf == nil {
+		return out
+	}
+	for _, e := range buf.Snapshot() {
+		out[e.PID]++
+	}
+	return out
+}
+
+// TestTransferCarriesServerState is the live-migration contract: the
+// CBS server crosses machines as the same object with its remaining
+// budget, absolute deadline and accounting intact, the undownloaded
+// syscall evidence follows the tasks between tracers, and the workload
+// and tuner keep running on the destination.
+func TestTransferCarriesServerState(t *testing.T) {
+	a, b := twoMachines(t)
+	h, err := a.Spawn("video",
+		selftune.SpawnHint(0.4),
+		selftune.SpawnUtil(0.2),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	h.Start(0)
+	// Both machines advance to the same instant — the cluster's control
+	// fence in miniature.
+	a.Run(1 * selftune.Second)
+	b.Run(1 * selftune.Second)
+
+	if !h.LiveMovable() {
+		t.Fatal("running tuned workload reports not live-movable")
+	}
+	srv := h.Tuner().Server()
+	srcCore := h.Core().Index
+	wantBudget := srv.Budget()
+	wantPeriod := srv.Period()
+	wantRemaining := srv.RemainingBudget()
+	wantDeadline := srv.Deadline()
+	wantStats := srv.Stats()
+	var pids []int
+	for _, task := range srv.Tasks() {
+		pids = append(pids, task.PID())
+	}
+	if len(pids) == 0 {
+		t.Fatal("server carries no tasks")
+	}
+	srcEvidence := pidEvents(a.CoreTracer(srcCore))
+	ticksBefore := len(h.Tuner().Snapshots())
+	framesBefore := h.Player().Frames()
+
+	dstCore, err := a.Transfer(h, b)
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+
+	// Identity and CBS state: the same server object, nothing reset.
+	if got := h.Tuner().Server(); got != srv {
+		t.Fatal("transfer replaced the CBS server instead of carrying it")
+	}
+	if srv.Detached() {
+		t.Fatal("server detached after transfer")
+	}
+	if got := srv.Budget(); got != wantBudget {
+		t.Errorf("budget %v after transfer, want %v", got, wantBudget)
+	}
+	if got := srv.Period(); got != wantPeriod {
+		t.Errorf("period %v after transfer, want %v", got, wantPeriod)
+	}
+	if got := srv.RemainingBudget(); got != wantRemaining {
+		t.Errorf("remaining budget %v after transfer, want %v", got, wantRemaining)
+	}
+	if got := srv.Deadline(); got != wantDeadline {
+		t.Errorf("absolute deadline %v after transfer, want %v", got, wantDeadline)
+	}
+	if got := srv.Stats(); got != wantStats {
+		t.Errorf("server stats changed across transfer:\n%+v\nvs\n%+v", got, wantStats)
+	}
+	for i, task := range srv.Tasks() {
+		if task.PID() != pids[i] {
+			t.Errorf("task %d PID %d after transfer, want %d", i, task.PID(), pids[i])
+		}
+	}
+
+	// Evidence carry: the source tracer drained the tasks' events, the
+	// destination tracer received every one of them.
+	dstEvidence := pidEvents(b.CoreTracer(dstCore))
+	for _, pid := range pids {
+		if n := pidEvents(a.CoreTracer(srcCore))[pid]; n != 0 {
+			t.Errorf("source tracer still buffers %d events of PID %d", n, pid)
+		}
+		if got, want := dstEvidence[pid], srcEvidence[pid]; got != want {
+			t.Errorf("destination tracer holds %d events of PID %d, want %d", got, want, pid)
+		}
+	}
+
+	// Bookkeeping: the handle now belongs to the destination.
+	if got := len(a.Handles()); got != 0 {
+		t.Errorf("source still lists %d handles", got)
+	}
+	if got := len(b.Handles()); got != 1 || b.Handles()[0] != h {
+		t.Errorf("destination handle list %v does not carry the moved handle", b.Handles())
+	}
+	if got := b.Migrations(); got != 1 {
+		t.Errorf("destination counted %d migrations, want 1", got)
+	}
+
+	// The workload and its tuner keep making progress on the
+	// destination; the source stays quiet.
+	stepsA := a.Steps()
+	a.Run(1 * selftune.Second)
+	b.Run(1 * selftune.Second)
+	if got := h.Player().Frames(); got <= framesBefore {
+		t.Errorf("workload stalled after transfer: %d frames, had %d", got, framesBefore)
+	}
+	if got := len(h.Tuner().Snapshots()); got <= ticksBefore {
+		t.Errorf("tuner stopped ticking after transfer: %d activations, had %d", got, ticksBefore)
+	}
+	if a.Steps() != stepsA {
+		t.Errorf("source engine stepped %d times after losing its only workload", a.Steps()-stepsA)
+	}
+}
+
+// TestTransferAccounting seals the bandwidth ledger: the hint leaves
+// the source account and lands on the destination, with the admission
+// overcharge shrunk back.
+func TestTransferAccounting(t *testing.T) {
+	a, b := twoMachines(t)
+	h, err := a.Spawn("video",
+		selftune.SpawnHint(0.4),
+		selftune.SpawnUtil(0.2),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	h.Start(0)
+	a.Run(500 * selftune.Millisecond)
+	b.Run(500 * selftune.Millisecond)
+
+	srcCore := h.Core().Index
+	dstCore, err := a.Transfer(h, b)
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	srcLoad := a.Machine().Load(srcCore)
+	dstLoad := b.Machine().Load(dstCore)
+	srv := h.Tuner().Server()
+	want := srv.Bandwidth()
+	if want < 0.4 {
+		want = 0.4 // the spawn hint outlives a smaller reservation
+	}
+	if srcLoad > 1e-9 {
+		t.Errorf("source core still charged %.4f after transfer", srcLoad)
+	}
+	if diff := dstLoad - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("destination core charged %.4f, want %.4f", dstLoad, want)
+	}
+}
+
+// TestTransferEligibility pins down what refuses a live move — and
+// that a refusal leaves the source untouched.
+func TestTransferEligibility(t *testing.T) {
+	a, b := twoMachines(t)
+
+	// An unstarted multi-server load ("rtload") has no reservations on
+	// its core yet — nothing to carry, so respawning it on the
+	// destination is the right move and LiveMovable says no. (A *tuned*
+	// spawn is movable even before Start: its tuner holds a live
+	// reservation from the moment it attaches.)
+	idle, err := a.Spawn("rtload", selftune.SpawnHint(0.2), selftune.SpawnUtil(0.1))
+	if err != nil {
+		t.Fatalf("Spawn idle: %v", err)
+	}
+	if idle.LiveMovable() {
+		t.Error("unstarted multi-server workload claims to be live-movable")
+	}
+	if _, err := a.Transfer(idle, b); err == nil {
+		t.Error("Transfer of an unstarted multi-server workload succeeded")
+	}
+
+	h, err := a.Spawn("video", selftune.SpawnHint(0.3), selftune.SpawnUtil(0.2),
+		selftune.Tuned(selftune.DefaultTunerConfig()))
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	h.Start(0)
+	a.Run(200 * selftune.Millisecond)
+
+	// Desynchronised clocks: machine B still rests at 0.
+	if _, err := a.Transfer(h, b); err == nil {
+		t.Error("Transfer across different simulated instants succeeded")
+	}
+	b.Run(200 * selftune.Millisecond)
+
+	// Self-transfer and foreign handles.
+	if _, err := a.Transfer(h, a); err == nil {
+		t.Error("Transfer onto the same System succeeded")
+	}
+	if _, err := b.Transfer(h, a); err == nil {
+		t.Error("Transfer of a handle the System does not own succeeded")
+	}
+
+	// None of the refusals may have disturbed the source.
+	if h.Core().Index < 0 || len(a.Handles()) != 2 {
+		t.Fatal("failed transfers disturbed the source machine")
+	}
+	if srv := h.Tuner().Server(); srv.Detached() {
+		t.Fatal("failed transfers detached the server")
+	}
+	a.Run(1 * selftune.Second)
+	if h.Player().Frames() == 0 {
+		t.Fatal("workload dead after refused transfers")
+	}
+}
+
+// TestTransferSharedGroupRefused: TuneShared members may not move
+// alone — the multi-tuner's servers are entangled on one core.
+func TestTransferSharedGroupRefused(t *testing.T) {
+	a, b := twoMachines(t)
+	var handles []*selftune.Handle
+	for i := 0; i < 2; i++ {
+		h, err := a.Spawn("video", selftune.OnCore(0),
+			selftune.SpawnHint(0.2), selftune.SpawnUtil(0.1))
+		if err != nil {
+			t.Fatalf("Spawn %d: %v", i, err)
+		}
+		handles = append(handles, h)
+	}
+	if _, err := a.TuneShared(handles, []int{0, 1}, selftune.DefaultTunerConfig()); err != nil {
+		t.Fatalf("TuneShared: %v", err)
+	}
+	for _, h := range handles {
+		h.Start(0)
+	}
+	a.Run(500 * selftune.Millisecond)
+	b.Run(500 * selftune.Millisecond)
+	for i, h := range handles {
+		if h.LiveMovable() {
+			t.Errorf("shared-group member %d claims to be live-movable", i)
+		}
+		if _, err := a.Transfer(h, b); err == nil {
+			t.Errorf("Transfer moved shared-group member %d", i)
+		}
+	}
+}
